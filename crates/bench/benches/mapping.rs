@@ -1,0 +1,43 @@
+//! Mapping-setup cost at paper scale: the one-time `DDR_SetupDataMapping`
+//! geometry work for the Table II/III configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddr_bench::tiffcase::{layouts, Method, PAPER_ELEM, PAPER_VOLUME};
+use ddr_core::{compute_local_plan, DataKind, Descriptor, GlobalStats};
+use std::hint::black_box;
+
+fn bench_local_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compute_local_plan");
+    g.sample_size(10);
+    for (label, method, nprocs) in [
+        ("consecutive_216", Method::Consecutive, 216usize),
+        ("round_robin_27", Method::RoundRobin, 27),
+        ("round_robin_216", Method::RoundRobin, 216),
+    ] {
+        let ls = layouts(PAPER_VOLUME, nprocs, method).unwrap();
+        let desc = Descriptor::new(nprocs, DataKind::D3, PAPER_ELEM).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &ls, |b, ls| {
+            b.iter(|| black_box(compute_local_plan(0, black_box(ls), &desc).unwrap().num_rounds()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_global_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_stats");
+    g.sample_size(10);
+    for (label, method, nprocs) in [
+        ("round_robin_27", Method::RoundRobin, 27usize),
+        ("round_robin_216", Method::RoundRobin, 216),
+        ("consecutive_216", Method::Consecutive, 216),
+    ] {
+        let ls = layouts(PAPER_VOLUME, nprocs, method).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &ls, |b, ls| {
+            b.iter(|| black_box(GlobalStats::compute(black_box(ls), PAPER_ELEM).num_rounds));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_local_plan, bench_global_stats);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Subarray pack/unpack bandwidth — the per-byte cost under every DDR
+//! transfer, across rectangle shapes (row-contiguous copies vs thin strided
+//! columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minimpi::Subarray;
+use std::hint::black_box;
+
+fn bench_pack_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subarray_pack");
+    let full = [512usize, 512, 1];
+    let src: Vec<u8> = (0..full[0] * full[1] * 4).map(|i| i as u8).collect();
+    // (label, subsizes): same byte volume, different row lengths.
+    let cases = [
+        ("wide_rows_512x32", [512usize, 32, 1]),
+        ("square_128x128", [128, 128, 1]),
+        ("thin_columns_32x512", [32, 512, 1]),
+    ];
+    for (label, sub) in cases {
+        let s = Subarray::new(2, full, sub, [0, 0, 0], 4).unwrap();
+        g.throughput(Throughput::Bytes(s.packed_len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
+            let mut out = Vec::with_capacity(s.packed_len());
+            b.iter(|| {
+                out.clear();
+                s.pack_into(black_box(&src), &mut out).unwrap();
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subarray_unpack");
+    let full = [512usize, 512, 1];
+    let s = Subarray::new(2, full, [128, 128, 1], [64, 64, 0], 4).unwrap();
+    let src = vec![0xA5u8; full[0] * full[1] * 4];
+    let packed = s.pack(&src).unwrap();
+    let mut dst = vec![0u8; full[0] * full[1] * 4];
+    g.throughput(Throughput::Bytes(s.packed_len() as u64));
+    g.bench_function("square_128x128", |b| {
+        b.iter(|| {
+            s.unpack(black_box(&packed), &mut dst).unwrap();
+            black_box(dst[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_pack_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subarray_pack_3d");
+    let full = [128usize, 128, 64];
+    let src = vec![1u8; full[0] * full[1] * full[2] * 4];
+    let s = Subarray::new(3, full, [64, 64, 32], [32, 32, 16], 4).unwrap();
+    g.throughput(Throughput::Bytes(s.packed_len() as u64));
+    g.bench_function("brick_64x64x32_of_128x128x64", |b| {
+        let mut out = Vec::with_capacity(s.packed_len());
+        b.iter(|| {
+            out.clear();
+            s.pack_into(black_box(&src), &mut out).unwrap();
+            black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack_shapes, bench_unpack, bench_pack_3d);
+criterion_main!(benches);

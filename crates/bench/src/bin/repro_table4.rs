@@ -1,0 +1,182 @@
+//! Reproduce **Table IV** (raw vs in-transit-processed output size) of
+//! *Automated Dynamic Data Redistribution*.
+//!
+//! The paper runs a 2-D LBM simulation for 20 000 iterations, saving every
+//! 100th step (200 outputs), and compares writing the raw 4-byte vorticity
+//! field against streaming it in-transit to an analysis resource that
+//! renders a blue-white-red JPEG.
+//!
+//! Raw sizes are analytically exact (`nx × ny × 4 × 200`). JPEG sizes are
+//! **measured** by running the full pipeline — distributed LBM, M→N frame
+//! streaming, DDR repartitioning, colormap, JPEG q75 — at a scaled-down
+//! grid with the paper's aspect ratio (the paper's largest grid is 204.7 GB
+//! of raw output; running it verbatim is a cluster job), and applying the
+//! measured bits-per-pixel to the paper's grids.
+//!
+//! Usage: `repro_table4 [--scale D]` (default D=4: simulate at 1/4 of the
+//! smallest paper grid; D=1 runs the smallest grid in full).
+
+use ddr_core::Block;
+use ddr_lbm::{barrier_line, Config, DistributedLbm};
+use intransit::{
+    analysis_block, consumer_sources, producer_targets, recv_frames, send_frame,
+    split_resources, Repartitioner, Role,
+};
+use jimage::{jpeg, Colormap, RgbImage};
+use minimpi::Universe;
+
+/// Paper grids: (nx, ny, paper raw, paper processed, paper reduction %).
+const PAPER_GRIDS: [(usize, usize, &str, &str, f64); 4] = [
+    (3238, 1295, "3.2 GB", "19.9 MB", 99.38),
+    (6476, 2590, "12.8 GB", "61.0 MB", 99.52),
+    (12952, 5180, "51.2 GB", "217.8 MB", 99.57),
+    (25904, 10360, "204.7 GB", "830.9 MB", 99.59),
+];
+const SAVES: usize = 200;
+const SIM_RANKS: usize = 8;
+const ANALYSIS_RANKS: usize = 4;
+
+/// Run the full in-transit pipeline at `nx × ny`, saving `frames` outputs
+/// every `every` steps. Returns (jpeg bytes per frame, raw bytes per frame).
+fn measure_pipeline(nx: usize, ny: usize, frames: usize, every: usize) -> (Vec<usize>, usize) {
+    let cfg = Config::wind_tunnel(nx, ny);
+    let steps = frames * every;
+    let results = Universe::run(SIM_RANKS + ANALYSIS_RANKS, move |world| {
+        let barrier = barrier_line(nx / 4, ny * 2 / 5, ny * 3 / 5);
+        let (role, group) = split_resources(world, SIM_RANKS).unwrap();
+        match role {
+            Role::Simulation => {
+                let mut sim = DistributedLbm::new(cfg, &group, &barrier);
+                let consumer =
+                    SIM_RANKS + producer_targets(SIM_RANKS, ANALYSIS_RANKS)[group.rank()];
+                for step in 1..=steps {
+                    sim.step(&group).unwrap();
+                    if step % every == 0 {
+                        let (y0, rows) = sim.slab();
+                        let vort = sim.vorticity(&group).unwrap();
+                        let block = Block::d2([0, y0], [nx, rows]).unwrap();
+                        send_frame(world, consumer, step as u64, block, vort).unwrap();
+                    }
+                }
+                Vec::new()
+            }
+            Role::Analysis => {
+                let c = group.rank();
+                let need = analysis_block(nx, ny, ANALYSIS_RANKS, c).unwrap();
+                let mut rep = Repartitioner::new(need);
+                let sources = consumer_sources(SIM_RANKS, ANALYSIS_RANKS, c);
+                let cmap = Colormap::blue_white_red();
+                let mut sizes = Vec::new();
+                for step in 1..=steps {
+                    if step % every == 0 {
+                        let fr = recv_frames(world, &sources, Some(step as u64)).unwrap();
+                        let field = rep.redistribute(&group, &fr).unwrap();
+                        // Each analysis rank renders and compresses its tile
+                        // (the paper's per-rank image output).
+                        let img = RgbImage::from_scalar_field(
+                            need.dims[0],
+                            need.dims[1],
+                            &field,
+                            -0.08,
+                            0.08,
+                            &cmap,
+                        );
+                        sizes.push(jpeg::encode(&img, 75).unwrap().len());
+                    }
+                }
+                sizes
+            }
+        }
+    });
+    // Sum the per-rank tile sizes per frame.
+    let per_frame: Vec<usize> = (0..frames)
+        .map(|f| results.iter().skip(SIM_RANKS).map(|s| s[f]).sum())
+        .collect();
+    (per_frame, nx * ny * 4)
+}
+
+/// Measure the developed-flow JPEG bits/pixel at one scale divisor.
+fn measure_bpp(scale: usize, frames: usize, every: usize) -> f64 {
+    let (nx, ny) = (PAPER_GRIDS[0].0 / scale, PAPER_GRIDS[0].1 / scale);
+    let (per_frame, raw_per_frame) = measure_pipeline(nx, ny, frames, every);
+    // Discard the first third (flow still developing; near-uniform frames
+    // compress unrealistically well).
+    let developed = &per_frame[frames / 3..];
+    let mean_jpeg = developed.iter().sum::<usize>() as f64 / developed.len() as f64;
+    let bpp = mean_jpeg * 8.0 / (nx * ny) as f64;
+    println!(
+        "measured @ {nx}x{ny}: raw {}/frame, jpeg {:.1} KB/frame ({:.3} bits/pixel), reduction {:.2}%",
+        ddr_bench::table::human_bytes(raw_per_frame as f64),
+        mean_jpeg / 1e3,
+        bpp,
+        100.0 * (1.0 - mean_jpeg / raw_per_frame as f64)
+    );
+    bpp
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: usize = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let quick = args.iter().any(|a| a == "--quick");
+    let frames = 12;
+    let every = 100;
+    println!(
+        "== Table IV (measured in-transit pipeline, {SIM_RANKS} sim + {ANALYSIS_RANKS} analysis ranks, \
+         {frames} frames every {every} steps) ==\n"
+    );
+    // Measure at two resolutions to capture how bits/pixel falls as the
+    // grid grows (the same physical flow spread over more pixels), then
+    // project each paper grid with the fitted power law.
+    let bpp_lo = measure_bpp(scale * 2, frames, every);
+    let (bpp_hi, exponent) = if quick {
+        (bpp_lo, 0.0)
+    } else {
+        let bpp_hi = measure_bpp(scale, frames, every);
+        // bpp(pixels) = a * pixels^-k through the two measured points. Small
+        // grids are resolution-limited (a fixed number of vortices gets
+        // smoother as pixels are added), so the locally fitted falloff is
+        // too steep to extrapolate three orders of magnitude; real turbulent
+        // flow adds detail at every scale. Cap the exponent conservatively.
+        let px = |s: usize| (PAPER_GRIDS[0].0 / s * (PAPER_GRIDS[0].1 / s)) as f64;
+        let k = (bpp_lo / bpp_hi).ln() / (px(scale) / px(scale * 2)).ln();
+        (bpp_hi, k.clamp(0.0, 0.15))
+    };
+    let ref_pixels = ((PAPER_GRIDS[0].0 / scale) * (PAPER_GRIDS[0].1 / scale)) as f64;
+    println!("\nfitted: bpp(pixels) = {bpp_hi:.3} * (pixels / {ref_pixels:.2e})^-{exponent:.3}\n");
+
+    println!("projection to the paper's grids:\n");
+    ddr_bench::table::header(&[
+        ("Grid", 15),
+        ("Raw (exact)", 12),
+        ("Processed", 12),
+        ("Reduction", 10),
+        ("paper raw", 10),
+        ("processed", 10),
+        ("red. %", 7),
+    ]);
+    for &(gx, gy, praw, pproc, pred) in &PAPER_GRIDS {
+        let raw = (gx * gy * 4 * SAVES) as f64;
+        let bpp = bpp_hi * ((gx * gy) as f64 / ref_pixels).powf(-exponent);
+        let processed = bpp / 8.0 * (gx * gy) as f64 * SAVES as f64;
+        let reduction = 100.0 * (1.0 - processed / raw);
+        ddr_bench::table::row(&[
+            (format!("{gx} x {gy}"), 15),
+            (ddr_bench::table::human_bytes(raw), 12),
+            (ddr_bench::table::human_bytes(processed), 12),
+            (format!("{reduction:.2}%"), 10),
+            (praw.to_string(), 10),
+            (pproc.to_string(), 10),
+            (format!("{pred:.2}"), 7),
+        ]);
+    }
+    println!(
+        "\n(Paper reports GiB-based sizes; the reduction percentage is scale-free and is\n\
+         the comparison that matters. Rerun with --scale 2 or --scale 1 to measure at\n\
+         larger grids, or --quick for a single-resolution measurement.)"
+    );
+}

@@ -1,0 +1,55 @@
+//! Minimal fixed-width table printing for the harness binaries.
+
+/// Print a header row followed by a separator.
+pub fn header(cols: &[(&str, usize)]) {
+    let row: Vec<String> = cols.iter().map(|(name, w)| format!("{name:>w$}")).collect();
+    println!("{}", row.join("  "));
+    let sep: Vec<String> = cols.iter().map(|(_, w)| "-".repeat(*w)).collect();
+    println!("{}", sep.join("  "));
+}
+
+/// Print one data row with the same widths.
+pub fn row(cells: &[(String, usize)]) {
+    let row: Vec<String> = cells.iter().map(|(s, w)| format!("{s:>w$}")).collect();
+    println!("{}", row.join("  "));
+}
+
+/// Format seconds like the paper's tables ("165.3 sec").
+pub fn secs(t: f64) -> String {
+    format!("{t:.1} sec")
+}
+
+/// Format a byte count in the paper's MB (10^6) convention.
+pub fn mb(bytes: f64) -> String {
+    format!("{:.2}", bytes / 1e6)
+}
+
+/// Format a byte count with a binary-ish human suffix for logs.
+pub fn human_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = bytes;
+    let mut u = 0;
+    while v >= 1000.0 && u + 1 < UNITS.len() {
+        v /= 1000.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{v:.0} {}", UNITS[u])
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(165.31), "165.3 sec");
+        assert_eq!(mb(4315.12e6), "4315.12");
+        assert_eq!(human_bytes(3.2e9), "3.2 GB");
+        assert_eq!(human_bytes(12.0), "12 B");
+        assert_eq!(human_bytes(204.7e9), "204.7 GB");
+    }
+}

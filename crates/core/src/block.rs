@@ -1,0 +1,260 @@
+//! Axis-aligned blocks of the global data domain.
+//!
+//! A [`Block`] is a rectangular region of a 1-D, 2-D or 3-D array, described
+//! by its offset into the overall domain and its extents — exactly the
+//! `(dims, offsets)` pairs the paper's `DDR_SetupDataMapping` takes.
+//! Coordinate 0 varies fastest in memory (see [`minimpi::Subarray`]).
+
+use crate::error::{DdrError, Result};
+use minimpi::Subarray;
+
+/// Maximum dimensionality (the paper supports 1-D/2-D/3-D).
+pub const MAX_DIMS: usize = 3;
+
+/// A rectangular region of the global domain.
+///
+/// For `ndims < 3` the trailing dimensions are normalized to extent 1 and
+/// offset 0, so all geometry code can operate on three axes unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// Number of meaningful dimensions (1..=3).
+    pub ndims: usize,
+    /// Offset of this block in the global domain, fastest-varying axis first.
+    pub offset: [usize; MAX_DIMS],
+    /// Extents of this block.
+    pub dims: [usize; MAX_DIMS],
+}
+
+impl Block {
+    /// Create a block, normalizing trailing dimensions.
+    pub fn new(ndims: usize, offset: [usize; MAX_DIMS], dims: [usize; MAX_DIMS]) -> Result<Self> {
+        if ndims == 0 || ndims > MAX_DIMS {
+            return Err(DdrError::InvalidBlock(format!("ndims must be 1..=3, got {ndims}")));
+        }
+        let mut offset = offset;
+        let mut dims = dims;
+        for d in ndims..MAX_DIMS {
+            offset[d] = 0;
+            dims[d] = 1;
+        }
+        for d in 0..ndims {
+            if dims[d] == 0 {
+                return Err(DdrError::InvalidBlock(format!("dimension {d} has zero extent")));
+            }
+        }
+        Ok(Block { ndims, offset, dims })
+    }
+
+    /// 1-D convenience constructor.
+    pub fn d1(offset: usize, len: usize) -> Result<Self> {
+        Self::new(1, [offset, 0, 0], [len, 1, 1])
+    }
+
+    /// 2-D convenience constructor (`[x, y]`, x fastest).
+    pub fn d2(offset: [usize; 2], dims: [usize; 2]) -> Result<Self> {
+        Self::new(2, [offset[0], offset[1], 0], [dims[0], dims[1], 1])
+    }
+
+    /// 3-D convenience constructor (`[x, y, z]`, x fastest).
+    pub fn d3(offset: [usize; 3], dims: [usize; 3]) -> Result<Self> {
+        Self::new(3, offset, dims)
+    }
+
+    /// Number of elements in the block.
+    pub fn count(&self) -> u64 {
+        self.dims.iter().map(|&d| d as u64).product()
+    }
+
+    /// Exclusive upper corner on axis `d`.
+    fn end(&self, d: usize) -> usize {
+        self.offset[d] + self.dims[d]
+    }
+
+    /// Geometric intersection with another block, or `None` when disjoint.
+    pub fn intersect(&self, other: &Block) -> Option<Block> {
+        let ndims = self.ndims.max(other.ndims);
+        let mut offset = [0usize; MAX_DIMS];
+        let mut dims = [1usize; MAX_DIMS];
+        for d in 0..MAX_DIMS {
+            let lo = self.offset[d].max(other.offset[d]);
+            let hi = self.end(d).min(other.end(d));
+            if lo >= hi {
+                return None;
+            }
+            offset[d] = lo;
+            dims[d] = hi - lo;
+        }
+        Some(Block { ndims, offset, dims })
+    }
+
+    /// Whether `other` lies entirely inside this block.
+    pub fn contains(&self, other: &Block) -> bool {
+        (0..MAX_DIMS)
+            .all(|d| other.offset[d] >= self.offset[d] && other.end(d) <= self.end(d))
+    }
+
+    /// Smallest block covering both `self` and `other`.
+    pub fn union_bbox(&self, other: &Block) -> Block {
+        let ndims = self.ndims.max(other.ndims);
+        let mut offset = [0usize; MAX_DIMS];
+        let mut dims = [1usize; MAX_DIMS];
+        for d in 0..MAX_DIMS {
+            let lo = self.offset[d].min(other.offset[d]);
+            let hi = self.end(d).max(other.end(d));
+            offset[d] = lo;
+            dims[d] = hi - lo;
+        }
+        Block { ndims, offset, dims }
+    }
+
+    /// Subarray datatype selecting `region` within this block's local buffer.
+    /// `region` must lie inside `self`; its coordinates are global and get
+    /// translated to block-local starts.
+    pub fn subarray_for(&self, region: &Block, elem_size: usize) -> Result<Subarray> {
+        if !self.contains(region) {
+            return Err(DdrError::InvalidBlock(format!(
+                "region {region:?} not contained in block {self:?}"
+            )));
+        }
+        let starts = [
+            region.offset[0] - self.offset[0],
+            region.offset[1] - self.offset[1],
+            region.offset[2] - self.offset[2],
+        ];
+        Subarray::new(MAX_DIMS, self.dims, region.dims, starts, elem_size)
+            .map_err(DdrError::from)
+    }
+
+    /// Linear index of a global coordinate within this block's local buffer.
+    /// Returns `None` when the coordinate is outside the block.
+    pub fn linear_index(&self, global: [usize; MAX_DIMS]) -> Option<usize> {
+        let mut local = [0usize; MAX_DIMS];
+        for d in 0..MAX_DIMS {
+            if global[d] < self.offset[d] || global[d] >= self.end(d) {
+                return None;
+            }
+            local[d] = global[d] - self.offset[d];
+        }
+        Some(local[0] + self.dims[0] * (local[1] + self.dims[1] * local[2]))
+    }
+
+    /// Iterate over all global coordinates of the block in memory order
+    /// (axis 0 fastest). Intended for tests and small blocks.
+    pub fn coords(&self) -> impl Iterator<Item = [usize; MAX_DIMS]> + '_ {
+        let b = *self;
+        (0..b.dims[2]).flat_map(move |z| {
+            (0..b.dims[1]).flat_map(move |y| {
+                (0..b.dims[0])
+                    .map(move |x| [b.offset[0] + x, b.offset[1] + y, b.offset[2] + z])
+            })
+        })
+    }
+}
+
+/// Bounding box of a set of blocks; `None` for an empty set.
+pub fn bounding_box<'a>(blocks: impl IntoIterator<Item = &'a Block>) -> Option<Block> {
+    let mut it = blocks.into_iter();
+    let first = *it.next()?;
+    Some(it.fold(first, |acc, b| acc.union_bbox(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_trailing_dims() {
+        let b = Block::d1(5, 3).unwrap();
+        assert_eq!(b.offset, [5, 0, 0]);
+        assert_eq!(b.dims, [3, 1, 1]);
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn rejects_degenerate_blocks() {
+        assert!(Block::d2([0, 0], [0, 4]).is_err());
+        assert!(Block::new(0, [0; 3], [1; 3]).is_err());
+        assert!(Block::new(4, [0; 3], [1; 3]).is_err());
+    }
+
+    #[test]
+    fn intersection_basic_2d() {
+        let a = Block::d2([0, 0], [4, 4]).unwrap();
+        let b = Block::d2([2, 2], [4, 4]).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Block::d2([2, 2], [2, 2]).unwrap());
+        // Symmetric.
+        assert_eq!(b.intersect(&a).unwrap(), i);
+    }
+
+    #[test]
+    fn touching_blocks_do_not_intersect() {
+        let a = Block::d2([0, 0], [4, 4]).unwrap();
+        let b = Block::d2([4, 0], [4, 4]).unwrap();
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn intersection_3d_partial() {
+        let a = Block::d3([0, 0, 0], [10, 10, 10]).unwrap();
+        let b = Block::d3([5, 5, 5], [10, 10, 10]).unwrap();
+        assert_eq!(a.intersect(&b).unwrap(), Block::d3([5, 5, 5], [5, 5, 5]).unwrap());
+    }
+
+    #[test]
+    fn contains_and_union() {
+        let a = Block::d2([0, 0], [8, 8]).unwrap();
+        let b = Block::d2([2, 3], [4, 4]).unwrap();
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert_eq!(a.union_bbox(&b), a);
+        let c = Block::d2([7, 7], [4, 4]).unwrap();
+        assert_eq!(a.union_bbox(&c), Block::d2([0, 0], [11, 11]).unwrap());
+    }
+
+    #[test]
+    fn subarray_translation_is_block_local() {
+        // Block at global offset [4, 2], 4x4; region 2x2 at global [5, 3].
+        let blk = Block::d2([4, 2], [4, 4]).unwrap();
+        let region = Block::d2([5, 3], [2, 2]).unwrap();
+        let s = blk.subarray_for(&region, 4).unwrap();
+        assert_eq!(s.sizes[..2], [4, 4]);
+        assert_eq!(s.subsizes[..2], [2, 2]);
+        assert_eq!(s.starts[..2], [1, 1]);
+        assert_eq!(s.elem_size, 4);
+    }
+
+    #[test]
+    fn subarray_rejects_escaping_region() {
+        let blk = Block::d2([0, 0], [4, 4]).unwrap();
+        let region = Block::d2([3, 3], [2, 2]).unwrap();
+        assert!(blk.subarray_for(&region, 1).is_err());
+    }
+
+    #[test]
+    fn linear_index_row_major_x_fastest() {
+        let blk = Block::d2([10, 20], [8, 4]).unwrap();
+        assert_eq!(blk.linear_index([10, 20, 0]), Some(0));
+        assert_eq!(blk.linear_index([11, 20, 0]), Some(1));
+        assert_eq!(blk.linear_index([10, 21, 0]), Some(8));
+        assert_eq!(blk.linear_index([17, 23, 0]), Some(31));
+        assert_eq!(blk.linear_index([18, 20, 0]), None);
+        assert_eq!(blk.linear_index([9, 20, 0]), None);
+    }
+
+    #[test]
+    fn coords_iterates_in_memory_order() {
+        let blk = Block::d2([1, 1], [2, 2]).unwrap();
+        let cs: Vec<_> = blk.coords().collect();
+        assert_eq!(cs, vec![[1, 1, 0], [2, 1, 0], [1, 2, 0], [2, 2, 0]]);
+        assert_eq!(cs.len() as u64, blk.count());
+    }
+
+    #[test]
+    fn bounding_box_of_set() {
+        let blocks =
+            [Block::d1(0, 4).unwrap(), Block::d1(8, 4).unwrap(), Block::d1(4, 4).unwrap()];
+        assert_eq!(bounding_box(blocks.iter()).unwrap(), Block::d1(0, 12).unwrap());
+        assert!(bounding_box([].iter()).is_none());
+    }
+}

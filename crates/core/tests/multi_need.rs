@@ -1,0 +1,155 @@
+//! End-to-end tests of the generalized multi-block receive extension:
+//! ghost/halo layouts, scattered gathers, and reuse across steps.
+
+use ddr_core::{Block, DataKind, Descriptor, ValidationPolicy};
+use minimpi::Universe;
+
+fn cell_value(c: [usize; 3]) -> u64 {
+    (c[0] as u64) | ((c[1] as u64) << 20) | ((c[2] as u64) << 40)
+}
+
+#[test]
+fn ghost_halo_exchange_via_multi_need() {
+    // 2-D domain split into row slabs; every rank needs its own slab plus
+    // one-row halos above and below — three needed blocks, the classic
+    // ghost-zone pattern the single-need API cannot express.
+    let (nx, ny, n) = (16usize, 20, 4usize);
+    let domain = Block::d2([0, 0], [nx, ny]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let slab = ddr_core::decompose::slab(&domain, 1, n, r).unwrap();
+        let owned = vec![slab];
+        let mut needs = vec![slab];
+        if slab.offset[1] > 0 {
+            needs.push(Block::d2([0, slab.offset[1] - 1], [nx, 1]).unwrap());
+        }
+        if slab.offset[1] + slab.dims[1] < ny {
+            needs.push(Block::d2([0, slab.offset[1] + slab.dims[1]], [nx, 1]).unwrap());
+        }
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+        let plan = desc
+            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
+            .unwrap();
+
+        let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+        let mut bufs: Vec<Vec<u64>> =
+            needs.iter().map(|b| vec![u64::MAX; b.count() as usize]).collect();
+        {
+            let mut refs: Vec<&mut [u64]> =
+                bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            plan.reorganize(comm, &[&data], &mut refs).unwrap();
+        }
+        for (buf, blk) in bufs.iter().zip(&needs) {
+            for (got, coord) in buf.iter().zip(blk.coords()) {
+                assert_eq!(*got, cell_value(coord), "rank {r} block {blk:?}");
+            }
+        }
+    });
+}
+
+#[test]
+fn scattered_multi_block_gather() {
+    // Rank 0 collects four scattered corners of a domain owned in slabs by
+    // all ranks; other ranks need nothing.
+    let (nx, ny, n) = (12usize, 12, 3usize);
+    let domain = Block::d2([0, 0], [nx, ny]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![ddr_core::decompose::slab(&domain, 1, n, r).unwrap()];
+        let needs: Vec<Block> = if r == 0 {
+            vec![
+                Block::d2([0, 0], [3, 3]).unwrap(),
+                Block::d2([9, 0], [3, 3]).unwrap(),
+                Block::d2([0, 9], [3, 3]).unwrap(),
+                Block::d2([9, 9], [3, 3]).unwrap(),
+            ]
+        } else {
+            Vec::new()
+        };
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+        let plan = desc
+            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
+            .unwrap();
+        let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+        let mut bufs: Vec<Vec<u64>> =
+            needs.iter().map(|b| vec![0; b.count() as usize]).collect();
+        let mut refs: Vec<&mut [u64]> = bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        plan.reorganize(comm, &[&data], &mut refs).unwrap();
+        if r == 0 {
+            for (buf, blk) in bufs.iter().zip(&needs) {
+                for (got, coord) in buf.iter().zip(blk.coords()) {
+                    assert_eq!(*got, cell_value(coord));
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn multi_plan_reused_across_steps_with_ragged_chunks() {
+    // Owned sides with different chunk counts (1 vs 3), needs spanning both,
+    // reorganized 4 times with evolving data.
+    let n = 2;
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned: Vec<Block> = if r == 0 {
+            vec![Block::d1(0, 6).unwrap()]
+        } else {
+            vec![
+                Block::d1(6, 2).unwrap(),
+                Block::d1(8, 2).unwrap(),
+                Block::d1(10, 2).unwrap(),
+            ]
+        };
+        let needs = vec![Block::d1(r * 3, 3).unwrap(), Block::d1(6 + r * 3, 3).unwrap()];
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D1).unwrap();
+        let plan = desc
+            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
+            .unwrap();
+        assert_eq!(plan.num_rounds(), 3);
+        for step in 0..4u64 {
+            let data: Vec<Vec<u64>> = owned
+                .iter()
+                .map(|b| b.coords().map(|c| cell_value(c) + step * 7919).collect())
+                .collect();
+            let data_refs: Vec<&[u64]> = data.iter().map(|v| v.as_slice()).collect();
+            let mut bufs: Vec<Vec<u64>> =
+                needs.iter().map(|b| vec![0; b.count() as usize]).collect();
+            let mut refs: Vec<&mut [u64]> =
+                bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            plan.reorganize(comm, &data_refs, &mut refs).unwrap();
+            for (buf, blk) in bufs.iter().zip(&needs) {
+                for (got, coord) in buf.iter().zip(blk.coords()) {
+                    assert_eq!(*got, cell_value(coord) + step * 7919);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn multi_buffer_mismatches_rejected() {
+    Universe::run(2, |comm| {
+        let r = comm.rank();
+        let owned = vec![Block::d1(r * 4, 4).unwrap()];
+        let needs = vec![Block::d1((1 - r) * 4, 4).unwrap()];
+        let desc = Descriptor::for_type::<u32>(2, DataKind::D1).unwrap();
+        let plan = desc
+            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
+            .unwrap();
+        let ok = vec![0u32; 4];
+        // Wrong need buffer count.
+        let mut empty: Vec<&mut [u32]> = Vec::new();
+        assert!(plan.reorganize(comm, &[&ok], &mut empty).is_err());
+        // Wrong need buffer length.
+        let mut short = vec![0u32; 3];
+        let mut refs: Vec<&mut [u32]> = vec![short.as_mut_slice()];
+        assert!(plan.reorganize(comm, &[&ok], &mut refs).is_err());
+        // Correct call still works afterwards.
+        let data: Vec<u32> = (0..4).map(|i| (r * 4 + i) as u32).collect();
+        let mut buf = vec![0u32; 4];
+        let mut refs: Vec<&mut [u32]> = vec![buf.as_mut_slice()];
+        plan.reorganize(comm, &[&data], &mut refs).unwrap();
+        assert_eq!(buf, ((1 - r) as u32 * 4..(1 - r) as u32 * 4 + 4).collect::<Vec<_>>());
+    });
+}

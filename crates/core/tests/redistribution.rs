@@ -1,0 +1,361 @@
+//! End-to-end redistribution tests: real rank threads, real exchanges,
+//! verified against a global reference array.
+
+use ddr_core::{Block, DataKind, Descriptor, Layout, Strategy, ValidationPolicy};
+use minimpi::Universe;
+
+/// Global reference value at a coordinate: unique per cell.
+fn cell_value(c: [usize; 3]) -> u64 {
+    (c[0] as u64) | ((c[1] as u64) << 20) | ((c[2] as u64) << 40)
+}
+
+/// Fill a local buffer for `block` from the global reference function.
+fn fill(block: &Block) -> Vec<u64> {
+    block.coords().map(cell_value).collect()
+}
+
+/// Run a full redistribution for the given per-rank layouts and check every
+/// received element against the reference, for both wire strategies.
+fn check_redistribution(kind: DataKind, layouts: &[Layout], policy: ValidationPolicy) {
+    for strategy in [Strategy::Alltoallw, Strategy::PointToPoint] {
+        let layouts_ref = &layouts;
+        let n = layouts.len();
+        Universe::run(n, move |comm| {
+            let me = &layouts_ref[comm.rank()];
+            let desc = Descriptor::for_type::<u64>(n, kind).unwrap();
+            let plan = desc
+                .setup_data_mapping_with(comm, &me.owned, me.need, policy)
+                .unwrap();
+            let owned_data: Vec<Vec<u64>> = me.owned.iter().map(fill).collect();
+            let refs: Vec<&[u64]> = owned_data.iter().map(|v| v.as_slice()).collect();
+            let mut need = vec![u64::MAX; me.need.count() as usize];
+            plan.reorganize_with(comm, &refs, &mut need, strategy).unwrap();
+            for (got, coord) in need.iter().zip(me.need.coords()) {
+                assert_eq!(
+                    *got,
+                    cell_value(coord),
+                    "rank {} coord {:?} strategy {:?}",
+                    comm.rank(),
+                    coord,
+                    strategy
+                );
+            }
+        });
+    }
+}
+
+/// The paper's E1 (Fig. 1): rows → quadrants on 4 ranks.
+fn e1_layouts() -> Vec<Layout> {
+    (0..4usize)
+        .map(|rank| Layout {
+            owned: vec![
+                Block::d2([0, rank], [8, 1]).unwrap(),
+                Block::d2([0, rank + 4], [8, 1]).unwrap(),
+            ],
+            need: Block::d2([4 * (rank % 2), 4 * (rank / 2)], [4, 4]).unwrap(),
+        })
+        .collect()
+}
+
+#[test]
+fn e1_rows_to_quadrants() {
+    check_redistribution(DataKind::D2, &e1_layouts(), ValidationPolicy::Strict);
+}
+
+#[test]
+fn e1_table_1_parameter_values() {
+    // Table I of the paper, expressed through the flat paper-style API.
+    use ddr_core::papi::*;
+    Universe::run(4, |comm| {
+        let rank = comm.rank();
+        let desc = ddr_new_data_descriptor(4, DataKind::D2, 4).unwrap();
+        // P3 = 2 chunks, P4 = {[8,1],[8,1]}, P5 = {[0,rank],[0,rank+4]},
+        // P6 = [4,4], P7 = [4*right, 4*bottom].
+        let plan = ddr_setup_data_mapping(
+            comm,
+            rank,
+            4,
+            2,
+            &[8, 1, 8, 1],
+            &[0, rank, 0, rank + 4],
+            &[4, 4],
+            &[4 * (rank % 2), 4 * (rank / 2)],
+            &desc,
+        )
+        .unwrap();
+        assert_eq!(plan.num_rounds(), 2);
+        let own0: Vec<f32> = (0..8).map(|x| (rank * 8 + x) as f32).collect();
+        let own1: Vec<f32> = (0..8).map(|x| ((rank + 4) * 8 + x) as f32).collect();
+        let mut need = vec![0f32; 16];
+        ddr_reorganize_data(comm, 4, &[&own0, &own1], &mut need, &plan).unwrap();
+        // Verify the quadrant contents.
+        let (right, bottom) = (rank % 2, rank / 2);
+        for y in 0..4 {
+            for x in 0..4 {
+                let gx = 4 * right + x;
+                let gy = 4 * bottom + y;
+                assert_eq!(need[y * 4 + x], (gy * 8 + gx) as f32);
+            }
+        }
+    });
+}
+
+#[test]
+fn one_dimensional_reshard() {
+    // 6 ranks own uneven contiguous 1-D pieces; needs are a rotated split.
+    let bounds = [0usize, 5, 12, 20, 33, 41, 60];
+    let layouts: Vec<Layout> = (0..6)
+        .map(|r| Layout {
+            owned: vec![Block::d1(bounds[r], bounds[r + 1] - bounds[r]).unwrap()],
+            need: Block::d1(10 * ((r + 2) % 6), 10).unwrap(),
+        })
+        .collect();
+    check_redistribution(DataKind::D1, &layouts, ValidationPolicy::Strict);
+}
+
+#[test]
+fn slices_to_bricks_3d() {
+    // The medical-imaging pattern: 8 ranks own z-slabs of a 16x12x8 volume,
+    // need 2x2x2 bricks.
+    use ddr_core::decompose::{brick, slab};
+    let domain = Block::d3([0, 0, 0], [16, 12, 8]).unwrap();
+    let layouts: Vec<Layout> = (0..8)
+        .map(|r| Layout {
+            owned: vec![slab(&domain, 2, 8, r).unwrap()],
+            need: brick(&domain, [2, 2, 2], r).unwrap(),
+        })
+        .collect();
+    check_redistribution(DataKind::D3, &layouts, ValidationPolicy::Strict);
+}
+
+#[test]
+fn round_robin_chunks_to_bricks_3d() {
+    // Round-robin z-planes (many chunks per rank, ragged counts) to bricks.
+    use ddr_core::decompose::{brick, round_robin_items};
+    let domain = Block::d3([0, 0, 0], [8, 8, 11]).unwrap();
+    let layouts: Vec<Layout> = (0..4)
+        .map(|r| Layout {
+            owned: round_robin_items(11, 4, r, |z| Block::d3([0, 0, z], [8, 8, 1])).unwrap(),
+            need: brick(&domain, [2, 2, 1], r).unwrap(),
+        })
+        .collect();
+    // Ranks 0..3 own 3,3,3,2 chunks → 3 rounds with ragged participation.
+    assert_eq!(layouts[3].owned.len(), 2);
+    check_redistribution(DataKind::D3, &layouts, ValidationPolicy::Strict);
+}
+
+#[test]
+fn overlapping_needs_duplicate_data() {
+    // Two ranks need the same region (allowed; paper §III-B) and a third
+    // gets a disjoint corner; parts of the domain are never received.
+    let domain = Block::d2([0, 0], [12, 6]).unwrap();
+    let layouts: Vec<Layout> = (0..3)
+        .map(|r| Layout {
+            owned: vec![ddr_core::decompose::slab(&domain, 1, 3, r).unwrap()],
+            need: if r < 2 {
+                Block::d2([2, 1], [6, 4]).unwrap()
+            } else {
+                Block::d2([10, 0], [2, 2]).unwrap()
+            },
+        })
+        .collect();
+    check_redistribution(DataKind::D2, &layouts, ValidationPolicy::Strict);
+}
+
+#[test]
+fn lbm_slices_to_near_square_grid() {
+    // Use case 2's shape: 12 producer slices redistributed to a 4x3 grid.
+    use ddr_core::decompose::{brick, near_square_grid, slab};
+    let domain = Block::d2([0, 0], [64, 48]).unwrap();
+    let n = 12;
+    let (gx, gy) = near_square_grid(n);
+    let layouts: Vec<Layout> = (0..n)
+        .map(|r| Layout {
+            owned: vec![slab(&domain, 1, n, r).unwrap()],
+            need: brick(&domain, [gx, gy, 1], r).unwrap(),
+        })
+        .collect();
+    check_redistribution(DataKind::D2, &layouts, ValidationPolicy::Strict);
+}
+
+#[test]
+fn dynamic_data_reuses_plan_across_timesteps() {
+    // The in-transit property: one mapping, many reorganize calls with
+    // changing data.
+    let n = 4;
+    let domain = Block::d2([0, 0], [16, 16]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![ddr_core::decompose::slab(&domain, 1, n, r).unwrap()];
+        let need = ddr_core::decompose::brick(&domain, [2, 2, 1], r).unwrap();
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        for step in 0..5u64 {
+            let data: Vec<u64> =
+                owned[0].coords().map(|c| cell_value(c) + step * 1_000_000_007).collect();
+            let mut out = vec![0u64; need.count() as usize];
+            plan.reorganize(comm, &[&data], &mut out).unwrap();
+            for (got, coord) in out.iter().zip(need.coords()) {
+                assert_eq!(*got, cell_value(coord) + step * 1_000_000_007);
+            }
+        }
+    });
+}
+
+#[test]
+fn buffer_mismatches_are_rejected() {
+    let n = 2;
+    let domain = Block::d1(0, 8).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![ddr_core::decompose::slab(&domain, 0, n, r).unwrap()];
+        let need = ddr_core::decompose::slab(&domain, 0, n, (r + 1) % n).unwrap();
+        let desc = Descriptor::for_type::<u32>(n, DataKind::D1).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+
+        // Wrong element type (u64 instead of u32).
+        let bad_elems = vec![0u64; 4];
+        let mut need_buf64 = vec![0u64; 4];
+        assert!(matches!(
+            plan.reorganize(comm, &[&bad_elems], &mut need_buf64),
+            Err(ddr_core::DdrError::BufferMismatch { .. })
+        ));
+
+        // Wrong owned buffer length.
+        let short = vec![0u32; 3];
+        let mut need_buf = vec![0u32; 4];
+        assert!(matches!(
+            plan.reorganize(comm, &[&short], &mut need_buf),
+            Err(ddr_core::DdrError::BufferMismatch { .. })
+        ));
+
+        // Wrong chunk count.
+        let ok = vec![0u32; 4];
+        assert!(matches!(
+            plan.reorganize(comm, &[&ok, &ok], &mut need_buf),
+            Err(ddr_core::DdrError::BufferMismatch { .. })
+        ));
+
+        // Wrong need length.
+        let mut short_need = vec![0u32; 3];
+        assert!(matches!(
+            plan.reorganize(comm, &[&ok], &mut short_need),
+            Err(ddr_core::DdrError::BufferMismatch { .. })
+        ));
+
+        // Correct buffers still work afterwards (errors had no side effects
+        // on the communicator state).
+        plan.reorganize(comm, &[&ok], &mut need_buf).unwrap();
+    });
+}
+
+#[test]
+fn invalid_ownership_fails_on_every_rank() {
+    // All ranks see the same validation error from setup (collective check).
+    let n = 3;
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        // Overlapping slabs: every rank claims [0..6) of a 1-D domain.
+        let owned = vec![Block::d1(0, 6).unwrap()];
+        let need = Block::d1(r * 2, 2).unwrap();
+        let desc = Descriptor::for_type::<u8>(n, DataKind::D1).unwrap();
+        let err = desc.setup_data_mapping(comm, &owned, need).unwrap_err();
+        assert!(matches!(err, ddr_core::DdrError::OwnershipOverlap { .. }));
+    });
+}
+
+#[test]
+fn single_rank_identity_redistribution() {
+    let layouts = vec![Layout {
+        owned: vec![Block::d2([0, 0], [5, 5]).unwrap()],
+        need: Block::d2([1, 1], [3, 3]).unwrap(),
+    }];
+    check_redistribution(DataKind::D2, &layouts, ValidationPolicy::Strict);
+}
+
+#[test]
+fn elem_sizes_from_1_to_16_bytes() {
+    // Redistribute with u8 elements (1B) and [u64; 2] elements (16B).
+    let n = 3;
+    let domain = Block::d1(0, 30).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![ddr_core::decompose::slab(&domain, 0, n, r).unwrap()];
+        let need = ddr_core::decompose::slab(&domain, 0, n, (r + 1) % n).unwrap();
+
+        let desc = Descriptor::for_type::<u8>(n, DataKind::D1).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        let data: Vec<u8> = owned[0].coords().map(|c| c[0] as u8).collect();
+        let mut out = vec![0u8; need.count() as usize];
+        plan.reorganize(comm, &[&data], &mut out).unwrap();
+        for (got, coord) in out.iter().zip(need.coords()) {
+            assert_eq!(*got as usize, coord[0]);
+        }
+
+        let desc = Descriptor::for_type::<[u64; 2]>(n, DataKind::D1).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        let data: Vec<[u64; 2]> =
+            owned[0].coords().map(|c| [c[0] as u64, (c[0] * 2) as u64]).collect();
+        let mut out = vec![[0u64; 2]; need.count() as usize];
+        plan.reorganize(comm, &[&data], &mut out).unwrap();
+        for (got, coord) in out.iter().zip(need.coords()) {
+            assert_eq!(*got, [coord[0] as u64, (coord[0] * 2) as u64]);
+        }
+    });
+}
+
+#[test]
+fn auto_strategy_resolves_by_mapping_sparsity() {
+    use ddr_core::decompose::{brick, slab};
+    let n = 8;
+    // Dense: slabs along z feeding x/y bricks -> every rank talks to all.
+    let domain = Block::d3([0, 0, 0], [16, 16, 16]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 2, n, r).unwrap()];
+        let dense_need = brick(&domain, [4, 2, 1], r).unwrap();
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D3).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, dense_need).unwrap();
+        assert_eq!(plan.resolve_strategy(Strategy::Auto), Strategy::Alltoallw);
+        assert_eq!(plan.max_neighbor_count(), n - 1);
+
+        // Sparse: shift slabs by one -> at most 2 neighbors each.
+        let sparse_need = slab(&domain, 2, n, (r + 1) % n).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, sparse_need).unwrap();
+        assert_eq!(plan.resolve_strategy(Strategy::Auto), Strategy::PointToPoint);
+        assert!(plan.max_neighbor_count() <= 2);
+
+        // And Auto actually runs correctly end to end on both.
+        for need in [dense_need, sparse_need] {
+            let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+            let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+            let mut out = vec![0u64; need.count() as usize];
+            plan.reorganize_with(comm, &[&data], &mut out, Strategy::Auto).unwrap();
+            for (got, coord) in out.iter().zip(need.coords()) {
+                assert_eq!(*got, cell_value(coord));
+            }
+        }
+    });
+}
+
+#[test]
+fn explicit_strategies_match_auto_results() {
+    let n = 5;
+    let domain = Block::d2([0, 0], [20, 15]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![ddr_core::decompose::slab(&domain, 1, n, r).unwrap()];
+        let need = ddr_core::decompose::brick(&domain, [5, 1, 1], r).unwrap();
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+        let mut outs = Vec::new();
+        for strategy in [Strategy::Alltoallw, Strategy::PointToPoint, Strategy::Auto] {
+            let mut out = vec![0u64; need.count() as usize];
+            plan.reorganize_with(comm, &[&data], &mut out, strategy).unwrap();
+            outs.push(out);
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    });
+}

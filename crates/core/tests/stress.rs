@@ -1,0 +1,164 @@
+//! Stress and endurance tests: larger rank counts, repeated plan changes,
+//! interleaved collectives, and failure-path behaviour under load.
+
+use ddr_core::decompose::{brick, near_cubic_grid, slab};
+use ddr_core::{Block, DataKind, Descriptor, Strategy, ValidationPolicy};
+use minimpi::Universe;
+
+fn cell_value(c: [usize; 3]) -> u64 {
+    (c[0] as u64) | ((c[1] as u64) << 20) | ((c[2] as u64) << 40)
+}
+
+#[test]
+fn sixteen_ranks_many_timesteps() {
+    // 16 ranks, 48x48x48 domain, 25 time steps of slab->brick staging.
+    let n = 16;
+    let domain = Block::d3([0, 0, 0], [48, 48, 48]).unwrap();
+    let counts = near_cubic_grid(n);
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 2, n, r).unwrap()];
+        let need = brick(&domain, counts, r).unwrap();
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D3).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        let mut out = vec![0u64; need.count() as usize];
+        for step in 0..25u64 {
+            let data: Vec<u64> =
+                owned[0].coords().map(|c| cell_value(c) ^ (step << 50)).collect();
+            plan.reorganize(comm, &[&data], &mut out).unwrap();
+        }
+        // Spot-check the final step.
+        let first = need.coords().next().unwrap();
+        assert_eq!(out[0], cell_value(first) ^ (24u64 << 50));
+    });
+}
+
+#[test]
+fn alternating_mappings_on_one_communicator() {
+    // Rebuild the mapping 20 times with alternating consumer layouts; plan
+    // setup and execution must not leak state between configurations.
+    let n = 6;
+    let domain = Block::d3([0, 0, 0], [24, 24, 24]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 2, n, r).unwrap()];
+        let desc = Descriptor::for_type::<u32>(n, DataKind::D3).unwrap();
+        for round in 0..20 {
+            let need = if round % 2 == 0 {
+                brick(&domain, [3, 2, 1], r).unwrap()
+            } else {
+                slab(&domain, 2, n, (r + round) % n).unwrap()
+            };
+            let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+            let data: Vec<u32> =
+                owned[0].coords().map(|c| (c[0] + c[1] * 31 + c[2] * 977 + round) as u32).collect();
+            let mut out = vec![0u32; need.count() as usize];
+            plan.reorganize(comm, &[&data], &mut out).unwrap();
+            for (got, c) in out.iter().zip(need.coords()) {
+                assert_eq!(*got, (c[0] + c[1] * 31 + c[2] * 977 + round) as u32);
+            }
+        }
+    });
+}
+
+#[test]
+fn reorganize_interleaved_with_unrelated_collectives() {
+    // User collectives and p2p traffic between reorganize calls must never
+    // interfere with the redistribution's internal messages.
+    let n = 5;
+    let domain = Block::d2([0, 0], [40, 25]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 1, n, r).unwrap()];
+        let need = slab(&domain, 0, n, r).unwrap(); // columns
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        let mut out = vec![0u64; need.count() as usize];
+        for step in 0..10u64 {
+            // Unrelated chatter.
+            let peer = (r + 1) % n;
+            comm.send(peer, 7777, &[step]).unwrap();
+            let sum = comm.allreduce(&[r as u64], |a, b| a + b)[0];
+            assert_eq!(sum, (n * (n - 1) / 2) as u64);
+
+            let data: Vec<u64> = owned[0].coords().map(|c| cell_value(c) + step).collect();
+            plan.reorganize(comm, &[&data], &mut out).unwrap();
+
+            let from = (r + n - 1) % n;
+            assert_eq!(comm.recv_vec::<u64>(from, 7777).unwrap(), vec![step]);
+            comm.barrier().unwrap();
+            for (got, c) in out.iter().zip(need.coords()) {
+                assert_eq!(*got, cell_value(c) + step);
+            }
+        }
+    });
+}
+
+#[test]
+fn repeated_universes_do_not_leak() {
+    // Spin up and tear down many small worlds — thread and mailbox lifetime
+    // management under churn.
+    for i in 0..60 {
+        let n = 1 + i % 4;
+        let sums = Universe::run(n, |comm| {
+            comm.allreduce(&[comm.rank() as u64 + 1], |a, b| a + b)[0]
+        });
+        assert!(sums.iter().all(|&s| s == (n * (n + 1) / 2) as u64));
+    }
+}
+
+#[test]
+fn big_single_transfer() {
+    // One 32 MB transfer through reorganize (exercises large payloads
+    // through mailbox buffering and subarray pack).
+    let n = 2;
+    let domain = Block::d2([0, 0], [2048, 2048]).unwrap();
+    Universe::run(n, |comm| {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 1, n, r).unwrap()];
+        let need = slab(&domain, 1, n, 1 - r).unwrap(); // full swap
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+        let mut out = vec![0u64; need.count() as usize];
+        plan.reorganize(comm, &[&data], &mut out).unwrap();
+        assert_eq!(out.len(), 2048 * 1024);
+        let last = need.coords().last().unwrap();
+        assert_eq!(*out.last().unwrap(), cell_value(last));
+    });
+}
+
+#[test]
+fn strategies_agree_under_stress() {
+    // 12 ranks, ragged chunk counts, both strategies, multiple rounds.
+    let n = 12;
+    let domain = Block::d3([0, 0, 0], [24, 24, 36]).unwrap();
+    for strategy in [Strategy::Alltoallw, Strategy::PointToPoint] {
+        Universe::run(n, |comm| {
+            let r = comm.rank();
+            // Rank r owns r%3+1 interleaved z-sub-slabs of its portion.
+            let (z0, zlen) = ddr_core::decompose::split_axis(36, n, r);
+            let pieces = (r % 3) + 1;
+            let owned: Vec<Block> = (0..pieces)
+                .map(|p| {
+                    let (o, l) = ddr_core::decompose::split_axis(zlen, pieces, p);
+                    Block::d3([0, 0, z0 + o], [24, 24, l]).unwrap()
+                })
+                .collect();
+            let need = brick(&domain, [3, 2, 2], r).unwrap();
+            let desc = Descriptor::for_type::<u64>(n, DataKind::D3).unwrap();
+            let plan = desc
+                .setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Strict)
+                .unwrap();
+            assert_eq!(plan.num_rounds(), 3); // max pieces
+            let data: Vec<Vec<u64>> =
+                owned.iter().map(|b| b.coords().map(cell_value).collect()).collect();
+            let refs: Vec<&[u64]> = data.iter().map(|v| v.as_slice()).collect();
+            let mut out = vec![0u64; need.count() as usize];
+            plan.reorganize_with(comm, &refs, &mut out, strategy).unwrap();
+            for (got, c) in out.iter().zip(need.coords()) {
+                assert_eq!(*got, cell_value(c), "{strategy:?}");
+            }
+        });
+    }
+}

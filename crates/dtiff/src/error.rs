@@ -1,0 +1,62 @@
+//! TIFF codec errors.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding TIFF data.
+#[derive(Debug)]
+pub enum TiffError {
+    /// The file does not start with a valid TIFF header.
+    BadMagic,
+    /// The data ends before a required structure.
+    Truncated {
+        /// What was being parsed when the data ran out.
+        context: &'static str,
+    },
+    /// A structurally valid file uses a feature this baseline codec does not
+    /// implement (compression, palettes, tiles, multiple samples…).
+    Unsupported(String),
+    /// A tag value is inconsistent with the rest of the file.
+    Malformed(String),
+    /// Image dimensions and pixel buffer length disagree.
+    DimensionMismatch {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Pixels actually provided.
+        got: usize,
+    },
+    /// Underlying I/O failure (stack helpers).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TiffError::BadMagic => write!(f, "not a TIFF file (bad magic)"),
+            TiffError::Truncated { context } => write!(f, "truncated TIFF while reading {context}"),
+            TiffError::Unsupported(s) => write!(f, "unsupported TIFF feature: {s}"),
+            TiffError::Malformed(s) => write!(f, "malformed TIFF: {s}"),
+            TiffError::DimensionMismatch { expected, got } => {
+                write!(f, "pixel buffer holds {got} pixels, dimensions imply {expected}")
+            }
+            TiffError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TiffError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TiffError {
+    fn from(e: std::io::Error) -> Self {
+        TiffError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TiffError>;

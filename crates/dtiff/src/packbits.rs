@@ -1,0 +1,160 @@
+//! PackBits (Apple RLE) compression — TIFF compression scheme 32773.
+//!
+//! TIFF requires each image row to be packed separately; the strip writer
+//! honors that, and the decoder simply consumes headers until the expected
+//! number of bytes has been produced.
+
+use crate::error::{Result, TiffError};
+
+/// Compress one row, appending to `out`.
+pub fn compress_row(row: &[u8], out: &mut Vec<u8>) {
+    let n = row.len();
+    let mut i = 0;
+    while i < n {
+        // Find the length of the run starting at i.
+        let mut run = 1;
+        while i + run < n && run < 128 && row[i + run] == row[i] {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push((257 - run) as u8); // -(run - 1) as two's complement
+            out.push(row[i]);
+            i += run;
+            continue;
+        }
+        // Literal segment: extend until a run of >= 3 starts (a 2-run inside
+        // a literal is cheaper to keep literal) or 128 bytes are collected.
+        let start = i;
+        i += 1;
+        while i < n && (i - start) < 128 {
+            let mut ahead = 1;
+            while i + ahead < n && ahead < 3 && row[i + ahead] == row[i] {
+                ahead += 1;
+            }
+            if ahead >= 3 {
+                break;
+            }
+            i += 1;
+        }
+        let len = i - start;
+        out.push((len - 1) as u8);
+        out.extend_from_slice(&row[start..i]);
+    }
+}
+
+/// Decompress PackBits data until `expected` bytes have been produced.
+pub fn decompress(mut data: &[u8], expected: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected);
+    while out.len() < expected {
+        let (&header, rest) = data
+            .split_first()
+            .ok_or(TiffError::Truncated { context: "packbits header" })?;
+        data = rest;
+        let h = header as i8;
+        if h == -128 {
+            continue; // no-op per spec
+        }
+        if h >= 0 {
+            let len = h as usize + 1;
+            if data.len() < len {
+                return Err(TiffError::Truncated { context: "packbits literal" });
+            }
+            out.extend_from_slice(&data[..len]);
+            data = &data[len..];
+        } else {
+            let len = (1 - h as i32) as usize;
+            let (&value, rest) = data
+                .split_first()
+                .ok_or(TiffError::Truncated { context: "packbits run value" })?;
+            data = rest;
+            out.extend(std::iter::repeat(value).take(len));
+        }
+    }
+    if out.len() != expected {
+        return Err(TiffError::Malformed(format!(
+            "packbits produced {} bytes, expected {expected}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(row: &[u8]) {
+        let mut packed = Vec::new();
+        compress_row(row, &mut packed);
+        let back = decompress(&packed, row.len()).unwrap();
+        assert_eq!(back, row, "roundtrip failed for {row:?}");
+    }
+
+    #[test]
+    fn runs_and_literals() {
+        roundtrip(&[]);
+        roundtrip(&[7]);
+        roundtrip(&[7, 7]);
+        roundtrip(&[1, 2, 3, 4, 5]);
+        roundtrip(&[0; 500]);
+        roundtrip(&[1, 1, 1, 2, 3, 3, 3, 3, 4, 5, 6, 6]);
+    }
+
+    #[test]
+    fn long_runs_split_at_128() {
+        let row = vec![9u8; 300];
+        let mut packed = Vec::new();
+        compress_row(&row, &mut packed);
+        // 300 = 128 + 128 + 44 -> three run segments of 2 bytes each.
+        assert_eq!(packed.len(), 6);
+        assert_eq!(decompress(&packed, 300).unwrap(), row);
+    }
+
+    #[test]
+    fn long_literals_split_at_128() {
+        let row: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        roundtrip(&row);
+    }
+
+    #[test]
+    fn compresses_uniform_data_massively() {
+        let row = vec![0u8; 4096];
+        let mut packed = Vec::new();
+        compress_row(&row, &mut packed);
+        assert!(packed.len() <= 2 * 4096 / 128);
+    }
+
+    #[test]
+    fn decompress_rejects_truncation() {
+        assert!(decompress(&[], 4).is_err());
+        assert!(decompress(&[3, 1, 2], 4).is_err()); // literal cut short
+        assert!(decompress(&[0xFE], 3).is_err()); // run value missing
+    }
+
+    #[test]
+    fn noop_header_is_skipped() {
+        // 0x80 no-op, then a 3-byte run of 5.
+        let back = decompress(&[0x80, 0xFE, 5], 3).unwrap();
+        assert_eq!(back, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn mixed_content_roundtrip_exhaustive() {
+        // Deterministic pseudo-random rows of varied lengths.
+        let mut state = 0x12345678u64;
+        for len in [1usize, 2, 3, 127, 128, 129, 255, 256, 1000] {
+            let row: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    // Mix runs and noise.
+                    if (state >> 40) % 3 == 0 {
+                        0xAA
+                    } else {
+                        (state >> 56) as u8
+                    }
+                })
+                .collect();
+            roundtrip(&row);
+        }
+    }
+}

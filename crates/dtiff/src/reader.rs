@@ -1,0 +1,252 @@
+//! Baseline TIFF decoding.
+
+use crate::error::{Result, TiffError};
+use crate::image::{Endian, PixelData, PixelKind, TiffImage};
+use crate::packbits;
+use crate::writer::{
+    TAG_BITS_PER_SAMPLE, TAG_COMPRESSION, TAG_IMAGE_LENGTH, TAG_IMAGE_WIDTH, TAG_PHOTOMETRIC,
+    TAG_ROWS_PER_STRIP, TAG_SAMPLES_PER_PIXEL, TAG_SAMPLE_FORMAT, TAG_STRIP_BYTE_COUNTS,
+    TAG_STRIP_OFFSETS, TYPE_LONG, TYPE_SHORT,
+};
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    endian: Endian,
+}
+
+impl<'a> Cursor<'a> {
+    fn u16_at(&self, pos: usize) -> Result<u16> {
+        let b: [u8; 2] = self
+            .data
+            .get(pos..pos + 2)
+            .ok_or(TiffError::Truncated { context: "u16" })?
+            .try_into()
+            .unwrap();
+        Ok(match self.endian {
+            Endian::Little => u16::from_le_bytes(b),
+            Endian::Big => u16::from_be_bytes(b),
+        })
+    }
+
+    fn u32_at(&self, pos: usize) -> Result<u32> {
+        let b: [u8; 4] = self
+            .data
+            .get(pos..pos + 4)
+            .ok_or(TiffError::Truncated { context: "u32" })?
+            .try_into()
+            .unwrap();
+        Ok(match self.endian {
+            Endian::Little => u32::from_le_bytes(b),
+            Endian::Big => u32::from_be_bytes(b),
+        })
+    }
+}
+
+/// One parsed IFD entry.
+#[derive(Debug, Clone, Copy)]
+struct RawEntry {
+    typ: u16,
+    count: u32,
+    /// Byte position of the 4-byte value/offset field.
+    value_pos: usize,
+}
+
+impl RawEntry {
+    /// Read element `i` of this entry's value array as u32 (SHORT or LONG).
+    fn element(&self, cur: &Cursor<'_>, i: usize) -> Result<u32> {
+        let elem_size = match self.typ {
+            TYPE_SHORT => 2,
+            TYPE_LONG => 4,
+            t => return Err(TiffError::Unsupported(format!("tag value type {t}"))),
+        };
+        if i >= self.count as usize {
+            return Err(TiffError::Malformed(format!(
+                "tag element {i} out of count {}",
+                self.count
+            )));
+        }
+        let inline = elem_size * self.count as usize <= 4;
+        let base = if inline { self.value_pos } else { cur.u32_at(self.value_pos)? as usize };
+        let pos = base + i * elem_size;
+        match self.typ {
+            TYPE_SHORT => cur.u16_at(pos).map(u32::from),
+            _ => cur.u32_at(pos),
+        }
+    }
+
+    fn scalar(&self, cur: &Cursor<'_>) -> Result<u32> {
+        self.element(cur, 0)
+    }
+}
+
+impl TiffImage {
+    /// Decode the first page of a baseline grayscale TIFF (either byte
+    /// order).
+    ///
+    /// Decoding assembles **all** strips of the image — the whole-image cost
+    /// the paper's loading analysis depends on — and converts samples to
+    /// native byte order.
+    pub fn decode(bytes: &[u8]) -> Result<TiffImage> {
+        let (endian, first_ifd) = parse_header(bytes)?;
+        decode_page(bytes, endian, first_ifd).map(|(img, _)| img)
+    }
+
+    /// Decode **all** pages of a (possibly multi-page) TIFF, following the
+    /// IFD chain.
+    pub fn decode_all(bytes: &[u8]) -> Result<Vec<TiffImage>> {
+        let (endian, mut ifd) = parse_header(bytes)?;
+        let mut pages = Vec::new();
+        while ifd != 0 {
+            let (img, next) = decode_page(bytes, endian, ifd)?;
+            pages.push(img);
+            if next != 0 && next <= ifd {
+                return Err(TiffError::Malformed("IFD chain does not advance".into()));
+            }
+            ifd = next;
+        }
+        Ok(pages)
+    }
+}
+
+/// Validate magic and return (endian, first IFD offset).
+fn parse_header(bytes: &[u8]) -> Result<(Endian, usize)> {
+    let endian = match bytes.get(0..2) {
+        Some(b"II") => Endian::Little,
+        Some(b"MM") => Endian::Big,
+        Some(_) => return Err(TiffError::BadMagic),
+        None => return Err(TiffError::Truncated { context: "header" }),
+    };
+    if bytes.len() < 8 {
+        return Err(TiffError::Truncated { context: "header" });
+    }
+    let cur = Cursor { data: bytes, endian };
+    if cur.u16_at(2)? != 42 {
+        return Err(TiffError::BadMagic);
+    }
+    Ok((endian, cur.u32_at(4)? as usize))
+}
+
+/// Decode the page whose IFD starts at `ifd`; returns the image and the
+/// next IFD offset (0 = end of chain).
+fn decode_page(bytes: &[u8], endian: Endian, ifd: usize) -> Result<(TiffImage, usize)> {
+    {
+        let cur = Cursor { data: bytes, endian };
+        let n_entries = cur.u16_at(ifd)? as usize;
+        if n_entries == 0 {
+            return Err(TiffError::Malformed("empty IFD".into()));
+        }
+
+        let find = |tag_wanted: u16| -> Result<Option<RawEntry>> {
+            for i in 0..n_entries {
+                let pos = ifd + 2 + i * 12;
+                if cur.u16_at(pos)? == tag_wanted {
+                    return Ok(Some(RawEntry {
+                        typ: cur.u16_at(pos + 2)?,
+                        count: cur.u32_at(pos + 4)?,
+                        value_pos: pos + 8,
+                    }));
+                }
+            }
+            Ok(None)
+        };
+        let required = |tag: u16, name: &str| -> Result<RawEntry> {
+            find(tag)?.ok_or_else(|| TiffError::Malformed(format!("missing tag {name}")))
+        };
+
+        let width = required(TAG_IMAGE_WIDTH, "ImageWidth")?.scalar(&cur)?;
+        let height = required(TAG_IMAGE_LENGTH, "ImageLength")?.scalar(&cur)?;
+        if width == 0 || height == 0 {
+            return Err(TiffError::Malformed("zero image dimension".into()));
+        }
+
+        let compression = match find(TAG_COMPRESSION)? {
+            Some(e) => match e.scalar(&cur)? {
+                1 => crate::image::Compression::None,
+                32773 => crate::image::Compression::PackBits,
+                c => return Err(TiffError::Unsupported(format!("compression {c}"))),
+            },
+            None => crate::image::Compression::None,
+        };
+        if let Some(e) = find(TAG_SAMPLES_PER_PIXEL)? {
+            let spp = e.scalar(&cur)?;
+            if spp != 1 {
+                return Err(TiffError::Unsupported(format!("{spp} samples per pixel")));
+            }
+        }
+        if let Some(e) = find(TAG_PHOTOMETRIC)? {
+            let p = e.scalar(&cur)?;
+            if p > 1 {
+                return Err(TiffError::Unsupported(format!("photometric interpretation {p}")));
+            }
+        }
+        let bits = match find(TAG_BITS_PER_SAMPLE)? {
+            Some(e) => e.scalar(&cur)?,
+            None => 1, // TIFF default is bilevel; we reject it below.
+        };
+        let format = match find(TAG_SAMPLE_FORMAT)? {
+            Some(e) => e.scalar(&cur)?,
+            None => 1,
+        };
+        let kind = match (bits, format) {
+            (8, 1) => PixelKind::U8,
+            (16, 1) => PixelKind::U16,
+            (32, 1) => PixelKind::U32,
+            (32, 3) => PixelKind::F32,
+            (b, f) => {
+                return Err(TiffError::Unsupported(format!(
+                    "{b} bits/sample with sample format {f}"
+                )))
+            }
+        };
+
+        let offsets = required(TAG_STRIP_OFFSETS, "StripOffsets")?;
+        let counts = required(TAG_STRIP_BYTE_COUNTS, "StripByteCounts")?;
+        if offsets.count != counts.count {
+            return Err(TiffError::Malformed(format!(
+                "{} strip offsets but {} byte counts",
+                offsets.count, counts.count
+            )));
+        }
+        // RowsPerStrip bounds how many decompressed bytes each strip holds.
+        let rows_per_strip = match find(TAG_ROWS_PER_STRIP)? {
+            Some(e) => e.scalar(&cur)? as usize,
+            None => height as usize,
+        };
+        if rows_per_strip == 0 {
+            return Err(TiffError::Malformed("RowsPerStrip is zero".into()));
+        }
+
+        let row_bytes = width as usize * kind.sample_bytes();
+        let expected_bytes = width as usize * height as usize * kind.sample_bytes();
+        let mut pixel_bytes = Vec::with_capacity(expected_bytes);
+        for s in 0..offsets.count as usize {
+            let off = offsets.element(&cur, s)? as usize;
+            let len = counts.element(&cur, s)? as usize;
+            let strip = bytes
+                .get(off..off + len)
+                .ok_or(TiffError::Truncated { context: "strip data" })?;
+            match compression {
+                crate::image::Compression::None => pixel_bytes.extend_from_slice(strip),
+                crate::image::Compression::PackBits => {
+                    let first_row = s * rows_per_strip;
+                    let rows = rows_per_strip.min((height as usize).saturating_sub(first_row));
+                    pixel_bytes.extend(packbits::decompress(strip, rows * row_bytes)?);
+                }
+            }
+        }
+        if pixel_bytes.len() < expected_bytes {
+            return Err(TiffError::Malformed(format!(
+                "strips supply {} bytes, dimensions imply {expected_bytes}",
+                pixel_bytes.len()
+            )));
+        }
+        let data = PixelData::from_bytes(
+            kind,
+            endian,
+            &pixel_bytes,
+            width as usize * height as usize,
+        )?;
+        let next_ifd = cur.u32_at(ifd + 2 + n_entries * 12)? as usize;
+        Ok((TiffImage::new(width, height, data)?, next_ifd))
+    }
+}

@@ -1,0 +1,303 @@
+//! TIFF codec tests: roundtrips, cross-endian decode, multi-strip handling,
+//! malformed-input rejection, and stack I/O.
+
+use dtiff::{Endian, PixelData, PixelKind, TiffImage, TiffError};
+
+fn gradient_u8(w: u32, h: u32) -> TiffImage {
+    let data: Vec<u8> = (0..w as usize * h as usize).map(|i| (i % 251) as u8).collect();
+    TiffImage::new(w, h, PixelData::U8(data)).unwrap()
+}
+
+fn gradient_u32(w: u32, h: u32) -> TiffImage {
+    let data: Vec<u32> =
+        (0..w as usize * h as usize).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+    TiffImage::new(w, h, PixelData::U32(data)).unwrap()
+}
+
+#[test]
+fn roundtrip_all_kinds_little_endian() {
+    let n = 13 * 7;
+    let images = [
+        TiffImage::new(13, 7, PixelData::U8((0..n).map(|i| i as u8).collect())).unwrap(),
+        TiffImage::new(13, 7, PixelData::U16((0..n).map(|i| i as u16 * 257).collect())).unwrap(),
+        TiffImage::new(13, 7, PixelData::U32((0..n).map(|i| i as u32 * 65537).collect())).unwrap(),
+        TiffImage::new(13, 7, PixelData::F32((0..n).map(|i| i as f32 * 0.25 - 3.0).collect()))
+            .unwrap(),
+    ];
+    for img in images {
+        let bytes = img.encode(Endian::Little).unwrap();
+        let back = TiffImage::decode(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+}
+
+#[test]
+fn roundtrip_big_endian() {
+    let img = gradient_u32(31, 17);
+    let bytes = img.encode(Endian::Big).unwrap();
+    assert_eq!(&bytes[0..2], b"MM");
+    let back = TiffImage::decode(&bytes).unwrap();
+    assert_eq!(back, img);
+}
+
+#[test]
+fn little_and_big_endian_decode_to_identical_pixels() {
+    let img = TiffImage::new(5, 4, PixelData::U16((0..20).map(|i| 1000 + i).collect())).unwrap();
+    let le = TiffImage::decode(&img.encode(Endian::Little).unwrap()).unwrap();
+    let be = TiffImage::decode(&img.encode(Endian::Big).unwrap()).unwrap();
+    assert_eq!(le, be);
+}
+
+#[test]
+fn single_pixel_image() {
+    let img = TiffImage::new(1, 1, PixelData::U8(vec![200])).unwrap();
+    let back = TiffImage::decode(&img.encode(Endian::Little).unwrap()).unwrap();
+    assert_eq!(back, img);
+}
+
+#[test]
+fn large_image_uses_multiple_strips_and_roundtrips() {
+    // 512x512 u32 = 1 MiB of pixels => ~16 strips at the 64 KiB target.
+    let img = gradient_u32(512, 512);
+    let bytes = img.encode(Endian::Little).unwrap();
+    let back = TiffImage::decode(&bytes).unwrap();
+    assert_eq!(back, img);
+}
+
+#[test]
+fn tall_thin_and_wide_flat_images() {
+    for (w, h) in [(1u32, 1000u32), (1000, 1), (3, 333)] {
+        let img = gradient_u8(w, h);
+        let back = TiffImage::decode(&img.encode(Endian::Little).unwrap()).unwrap();
+        assert_eq!(back, img);
+    }
+}
+
+#[test]
+fn wide_row_larger_than_strip_target() {
+    // One row of 128 Ki u32 pixels = 512 KiB > 64 KiB strip target: the
+    // writer must fall back to one row per strip.
+    let img = gradient_u32(131072, 3);
+    let back = TiffImage::decode(&img.encode(Endian::Little).unwrap()).unwrap();
+    assert_eq!(back, img);
+}
+
+#[test]
+fn dimension_mismatch_rejected_at_construction() {
+    assert!(matches!(
+        TiffImage::new(4, 4, PixelData::U8(vec![0; 15])),
+        Err(TiffError::DimensionMismatch { expected: 16, got: 15 })
+    ));
+}
+
+#[test]
+fn rejects_garbage_and_truncation() {
+    assert!(matches!(TiffImage::decode(b"PNG..."), Err(TiffError::BadMagic)));
+    assert!(matches!(TiffImage::decode(b"II"), Err(TiffError::Truncated { .. })));
+    // Valid magic, nonsense version.
+    assert!(matches!(TiffImage::decode(b"II\x2b\x00\x08\x00\x00\x00"), Err(TiffError::BadMagic)));
+
+    let good = gradient_u8(64, 64).encode(Endian::Little).unwrap();
+    // Truncate mid-pixel-data (strips start right after the 8-byte header).
+    assert!(TiffImage::decode(&good[..good.len() / 2]).is_err());
+}
+
+#[test]
+fn rejects_unsupported_compression() {
+    let mut bytes = gradient_u8(8, 8).encode(Endian::Little).unwrap();
+    // Find the IFD and rewrite the Compression entry's value to 5 (LZW).
+    let ifd = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let n = u16::from_le_bytes(bytes[ifd..ifd + 2].try_into().unwrap()) as usize;
+    let mut patched = false;
+    for i in 0..n {
+        let pos = ifd + 2 + i * 12;
+        let tag = u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap());
+        if tag == 259 {
+            bytes[pos + 8] = 5;
+            patched = true;
+        }
+    }
+    assert!(patched);
+    assert!(matches!(TiffImage::decode(&bytes), Err(TiffError::Unsupported(_))));
+}
+
+#[test]
+fn rejects_rgb_photometric() {
+    let mut bytes = gradient_u8(8, 8).encode(Endian::Little).unwrap();
+    let ifd = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+    let n = u16::from_le_bytes(bytes[ifd..ifd + 2].try_into().unwrap()) as usize;
+    for i in 0..n {
+        let pos = ifd + 2 + i * 12;
+        let tag = u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap());
+        if tag == 262 {
+            bytes[pos + 8] = 2; // RGB
+        }
+    }
+    assert!(matches!(TiffImage::decode(&bytes), Err(TiffError::Unsupported(_))));
+}
+
+#[test]
+fn pixel_kind_metadata() {
+    assert_eq!(PixelKind::U8.bits(), 8);
+    assert_eq!(PixelKind::U32.bits(), 32);
+    assert_eq!(PixelKind::F32.sample_format(), 3);
+    assert_eq!(PixelKind::U16.sample_format(), 1);
+    assert_eq!(gradient_u32(4, 4).row_bytes(), 16);
+}
+
+#[test]
+fn stack_write_read_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("dtiff_stack_{}", std::process::id()));
+    let slices: Vec<TiffImage> = (0..5u32)
+        .map(|z| {
+            TiffImage::new(
+                16,
+                8,
+                PixelData::U16((0..128).map(|i| (z * 1000 + i) as u16).collect()),
+            )
+            .unwrap()
+        })
+        .collect();
+    dtiff::write_stack(&dir, &slices, Endian::Little).unwrap();
+    for (z, expect) in slices.iter().enumerate() {
+        let got = dtiff::read_stack_slice(&dir, z).unwrap();
+        assert_eq!(&got, expect);
+    }
+    assert!(dtiff::read_stack_slice(&dir, 99).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stack_paths_are_sorted_and_padded() {
+    let dir = std::path::Path::new("/data");
+    let paths = dtiff::stack_paths(dir, 3);
+    assert_eq!(paths[0].to_str().unwrap(), "/data/slice_00000.tif");
+    assert_eq!(paths[2].to_str().unwrap(), "/data/slice_00002.tif");
+    let mut sorted = paths.clone();
+    sorted.sort();
+    assert_eq!(sorted, paths);
+}
+
+#[test]
+fn packbits_roundtrip_all_kinds() {
+    use dtiff::Compression;
+    let n = 33 * 17;
+    let images = [
+        TiffImage::new(33, 17, PixelData::U8((0..n).map(|i| (i / 40) as u8).collect())).unwrap(),
+        TiffImage::new(33, 17, PixelData::U16((0..n).map(|i| (i % 7) as u16).collect())).unwrap(),
+        TiffImage::new(33, 17, PixelData::U32((0..n).map(|i| i as u32).collect())).unwrap(),
+    ];
+    for img in images {
+        for endian in [Endian::Little, Endian::Big] {
+            let bytes = img.encode_with(endian, Compression::PackBits).unwrap();
+            let back = TiffImage::decode(&bytes).unwrap();
+            assert_eq!(back, img);
+        }
+    }
+}
+
+#[test]
+fn packbits_shrinks_smooth_data() {
+    use dtiff::Compression;
+    // A mostly-uniform slice (like the air around a CT specimen).
+    let mut pixels = vec![0u8; 256 * 256];
+    for y in 100..140 {
+        for x in 100..150 {
+            pixels[y * 256 + x] = 200;
+        }
+    }
+    let img = TiffImage::new(256, 256, PixelData::U8(pixels)).unwrap();
+    let plain = img.encode(Endian::Little).unwrap();
+    let packed = img.encode_with(Endian::Little, Compression::PackBits).unwrap();
+    assert!(packed.len() * 10 < plain.len(), "{} vs {}", packed.len(), plain.len());
+    assert_eq!(TiffImage::decode(&packed).unwrap(), img);
+}
+
+#[test]
+fn packbits_multistrip_roundtrip() {
+    use dtiff::Compression;
+    // Big enough for several 64 KiB strips.
+    let img = {
+        let data: Vec<u32> =
+            (0..256 * 512).map(|i| if i % 97 < 50 { 7 } else { i as u32 }).collect();
+        TiffImage::new(256, 512, PixelData::U32(data)).unwrap()
+    };
+    let bytes = img.encode_with(Endian::Little, Compression::PackBits).unwrap();
+    assert_eq!(TiffImage::decode(&bytes).unwrap(), img);
+}
+
+#[test]
+fn packbits_corrupt_stream_rejected() {
+    use dtiff::Compression;
+    let img = TiffImage::new(64, 64, PixelData::U8(vec![5; 4096])).unwrap();
+    let bytes = img.encode_with(Endian::Little, Compression::PackBits).unwrap();
+    // Truncating the compressed strips must fail cleanly.
+    assert!(TiffImage::decode(&bytes[..16]).is_err());
+}
+
+#[test]
+fn multipage_roundtrip() {
+    use dtiff::{encode_multipage, Compression};
+    let pages: Vec<TiffImage> = (0..5u32)
+        .map(|p| {
+            TiffImage::new(
+                10,
+                6,
+                PixelData::U16((0..60).map(|i| (p * 500 + i) as u16).collect()),
+            )
+            .unwrap()
+        })
+        .collect();
+    for endian in [Endian::Little, Endian::Big] {
+        for compression in [Compression::None, Compression::PackBits] {
+            let bytes = encode_multipage(&pages, endian, compression).unwrap();
+            let back = TiffImage::decode_all(&bytes).unwrap();
+            assert_eq!(back, pages, "{endian:?} {compression:?}");
+            // decode() sees the first page only.
+            assert_eq!(TiffImage::decode(&bytes).unwrap(), pages[0]);
+        }
+    }
+}
+
+#[test]
+fn multipage_mixed_kinds_and_sizes() {
+    use dtiff::encode_multipage;
+    let pages = vec![
+        TiffImage::new(4, 4, PixelData::U8((0..16).collect())).unwrap(),
+        TiffImage::new(300, 2, PixelData::U32((0..600).map(|i| i as u32).collect())).unwrap(),
+        TiffImage::new(1, 1, PixelData::F32(vec![3.5])).unwrap(),
+    ];
+    let bytes = encode_multipage(&pages, Endian::Little, dtiff::Compression::None).unwrap();
+    assert_eq!(TiffImage::decode_all(&bytes).unwrap(), pages);
+}
+
+#[test]
+fn single_page_decode_all_yields_one() {
+    let img = gradient_u8(12, 12);
+    let pages = TiffImage::decode_all(&img.encode(Endian::Little).unwrap()).unwrap();
+    assert_eq!(pages, vec![img]);
+}
+
+#[test]
+fn cyclic_ifd_chain_rejected() {
+    // Build a 2-page file and patch page 2's next pointer back to page 1's
+    // IFD to form a loop; decode_all must error, not spin.
+    use dtiff::encode_multipage;
+    let pages = vec![gradient_u8(4, 4), gradient_u8(4, 4)];
+    let mut bytes =
+        encode_multipage(&pages, Endian::Little, dtiff::Compression::None).unwrap();
+    let first_ifd = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    // Page 1's next pointer sits right after its 12-byte entries.
+    let ifd = first_ifd as usize;
+    let n = u16::from_le_bytes(bytes[ifd..ifd + 2].try_into().unwrap()) as usize;
+    let second_ptr_pos = {
+        let second_ifd =
+            u32::from_le_bytes(bytes[ifd + 2 + n * 12..ifd + 6 + n * 12].try_into().unwrap())
+                as usize;
+        let n2 = u16::from_le_bytes(bytes[second_ifd..second_ifd + 2].try_into().unwrap())
+            as usize;
+        second_ifd + 2 + n2 * 12
+    };
+    bytes[second_ptr_pos..second_ptr_pos + 4].copy_from_slice(&first_ifd.to_le_bytes());
+    assert!(TiffImage::decode_all(&bytes).is_err());
+}

@@ -1,0 +1,99 @@
+//! Property tests: arbitrary images roundtrip through every encoder
+//! configuration.
+
+use dtiff::{Compression, Endian, PixelData, TiffImage};
+use proptest::prelude::*;
+
+fn arb_pixels(n: usize, seed: u64, kind: u8) -> PixelData {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    match kind % 4 {
+        0 => PixelData::U8((0..n).map(|_| next() as u8).collect()),
+        1 => PixelData::U16((0..n).map(|_| next() as u16).collect()),
+        2 => PixelData::U32((0..n).map(|_| next() as u32).collect()),
+        _ => PixelData::F32((0..n).map(|_| (next() as f32) / 1e6).collect()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_image_roundtrips_any_configuration(
+        w in 1u32..80,
+        h in 1u32..80,
+        seed in any::<u64>(),
+        kind in any::<u8>(),
+        big_endian in any::<bool>(),
+        packbits in any::<bool>(),
+    ) {
+        let img = TiffImage::new(w, h, arb_pixels((w * h) as usize, seed, kind)).unwrap();
+        let endian = if big_endian { Endian::Big } else { Endian::Little };
+        let compression =
+            if packbits { Compression::PackBits } else { Compression::None };
+        let bytes = img.encode_with(endian, compression).unwrap();
+        let back = TiffImage::decode(&bytes).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn runs_compress_noise_does_not_corrupt(
+        w in 8u32..64,
+        h in 8u32..64,
+        run_value in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        // Half runs, half noise: PackBits must stay lossless either way.
+        let n = (w * h) as usize;
+        let mut s = seed | 1;
+        let data: Vec<u8> = (0..n)
+            .map(|i| {
+                if (i / 16) % 2 == 0 {
+                    run_value
+                } else {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 56) as u8
+                }
+            })
+            .collect();
+        let img = TiffImage::new(w, h, PixelData::U8(data)).unwrap();
+        let bytes = img.encode_with(Endian::Little, Compression::PackBits).unwrap();
+        prop_assert_eq!(TiffImage::decode(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn truncated_files_never_panic(
+        w in 1u32..32,
+        h in 1u32..32,
+        seed in any::<u64>(),
+        cut_ppm in 0.0f64..1.0,
+    ) {
+        let img = TiffImage::new(w, h, arb_pixels((w * h) as usize, seed, 1)).unwrap();
+        let bytes = img.encode(Endian::Little).unwrap();
+        let cut = ((bytes.len() as f64) * cut_ppm) as usize;
+        // Any prefix must either decode (if it happens to be complete) or
+        // return an error — never panic.
+        let _ = TiffImage::decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn multipage_chains_roundtrip(
+        n_pages in 1usize..6,
+        w in 1u32..24,
+        h in 1u32..24,
+        seed in any::<u64>(),
+    ) {
+        let pages: Vec<TiffImage> = (0..n_pages)
+            .map(|p| {
+                TiffImage::new(w, h, arb_pixels((w * h) as usize, seed ^ p as u64, 2))
+                    .unwrap()
+            })
+            .collect();
+        let bytes =
+            dtiff::encode_multipage(&pages, Endian::Little, Compression::None).unwrap();
+        prop_assert_eq!(TiffImage::decode_all(&bytes).unwrap(), pages);
+    }
+}

@@ -1,0 +1,33 @@
+//! # intransit — M-to-N in-transit streaming with DDR repartitioning
+//!
+//! The paper's second use case streams intermediate data from a simulation
+//! resource (M ranks) to a separate analysis resource (N ranks): "data is
+//! sent from M simulation ranks to N analysis ranks. After receiving
+//! intermediate data, the analysis resource leverages our library to
+//! redistribute data from how it was laid out in the simulation application
+//! to how it needs to be laid out for the application performing analysis"
+//! (Figures 4 and 5).
+//!
+//! This crate provides that workflow inside one [`minimpi::Universe`]:
+//!
+//! * [`split_resources`] — partition the world into the two resources
+//!   (disjoint sub-communicators, as two separate clusters would be),
+//! * [`producer_targets`] / [`consumer_sources`] — the contiguous M→N
+//!   fan-in of Figure 4 (non-uniform when `N ∤ M`),
+//! * [`send_frame`] / [`recv_frames`] — framed transfer of 2-D `f32` slabs
+//!   with step tagging,
+//! * [`Repartitioner`] — DDR-backed reorganization on the analysis side:
+//!   the mapping is computed once and reused every time step, the paper's
+//!   "the mapping … remains constant" property.
+
+#![warn(missing_docs)]
+
+mod frame;
+mod repartition;
+mod resources;
+mod schedule;
+
+pub use frame::{recv_frames, send_frame, Frame, FRAME_TAG};
+pub use repartition::{analysis_block, Repartitioner};
+pub use schedule::OutputSchedule;
+pub use resources::{consumer_sources, producer_targets, split_resources, Role};

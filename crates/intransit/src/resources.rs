@@ -1,0 +1,104 @@
+//! Splitting the world into simulation and analysis resources, and the
+//! M-to-N fan-in mapping between them.
+
+use minimpi::{Comm, Result};
+
+/// Which resource a world rank belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// One of the `M` simulation ranks (world ranks `0..m`).
+    Simulation,
+    /// One of the `N` analysis ranks (world ranks `m..m+n`).
+    Analysis,
+}
+
+/// Collective: split a world of `m + n` ranks into the simulation resource
+/// (first `m` world ranks) and the analysis resource (the rest). Returns
+/// this rank's role and its resource-local communicator; cross-resource
+/// traffic keeps using the parent `world` communicator (the stand-in for the
+/// network link between the two machines).
+pub fn split_resources(world: &Comm, m: usize) -> Result<(Role, Comm)> {
+    assert!(m > 0 && m < world.size(), "need at least one rank on each resource");
+    let role = if world.rank() < m { Role::Simulation } else { Role::Analysis };
+    let color = match role {
+        Role::Simulation => 0u64,
+        Role::Analysis => 1,
+    };
+    let group = world.split(color)?;
+    Ok((role, group))
+}
+
+/// For each of `m` producers, the consumer index it streams to: contiguous
+/// balanced fan-in ("the first two analysis ranks receive data from 3
+/// simulation ranks, whereas the last two analysis ranks receive data from
+/// 2" — Figure 4, with m=10, n=4).
+pub fn producer_targets(m: usize, n: usize) -> Vec<usize> {
+    assert!(m > 0 && n > 0);
+    (0..n)
+        .flat_map(|c| {
+            let count = m / n + usize::from(c < m % n);
+            std::iter::repeat(c).take(count)
+        })
+        .collect()
+}
+
+/// Producers streaming to consumer `c` (inverse of [`producer_targets`]).
+pub fn consumer_sources(m: usize, n: usize, c: usize) -> Vec<usize> {
+    assert!(c < n, "consumer {c} out of {n}");
+    let base = m / n;
+    let extra = m % n;
+    let start = c * base + c.min(extra);
+    let count = base + usize::from(c < extra);
+    (start..start + count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_mapping_10_to_4() {
+        let t = producer_targets(10, 4);
+        assert_eq!(t, vec![0, 0, 0, 1, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(consumer_sources(10, 4, 0), vec![0, 1, 2]);
+        assert_eq!(consumer_sources(10, 4, 1), vec![3, 4, 5]);
+        assert_eq!(consumer_sources(10, 4, 2), vec![6, 7]);
+        assert_eq!(consumer_sources(10, 4, 3), vec![8, 9]);
+    }
+
+    #[test]
+    fn uniform_mapping_128_to_32() {
+        // The paper's actual run: 128 simulation ranks to 32 analysis ranks.
+        let t = producer_targets(128, 32);
+        for (p, &c) in t.iter().enumerate() {
+            assert_eq!(c, p / 4);
+        }
+        for c in 0..32 {
+            assert_eq!(consumer_sources(128, 32, c).len(), 4);
+        }
+    }
+
+    #[test]
+    fn mappings_are_mutually_consistent() {
+        for (m, n) in [(10usize, 4usize), (7, 3), (5, 5), (3, 7), (1, 1)] {
+            let targets = producer_targets(m, n);
+            assert_eq!(targets.len(), m);
+            for c in 0..n {
+                for p in consumer_sources(m, n, c) {
+                    assert_eq!(targets[p], c, "m={m} n={n} p={p}");
+                }
+            }
+            let total: usize = (0..n).map(|c| consumer_sources(m, n, c).len()).sum();
+            assert_eq!(total, m);
+        }
+    }
+
+    #[test]
+    fn more_consumers_than_producers_leaves_some_idle() {
+        // 3 producers, 7 consumers: consumers 3..7 receive nothing.
+        for c in 3..7 {
+            assert!(consumer_sources(3, 7, c).is_empty());
+        }
+        assert_eq!(producer_targets(3, 7), vec![0, 1, 2]);
+    }
+}

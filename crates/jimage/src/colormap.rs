@@ -1,0 +1,126 @@
+//! Scalar-to-color maps.
+
+/// A piecewise-linear colormap over `t ∈ [0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Colormap {
+    /// Control points: `(t, rgb)`, strictly increasing in `t`, covering 0..1.
+    stops: Vec<(f32, [u8; 3])>,
+}
+
+impl Colormap {
+    /// Build a colormap from control points. Points are sorted by `t`;
+    /// the first and last stop are used for out-of-range values.
+    ///
+    /// # Panics
+    /// Panics if fewer than two stops are given.
+    pub fn from_stops(mut stops: Vec<(f32, [u8; 3])>) -> Self {
+        assert!(stops.len() >= 2, "a colormap needs at least two stops");
+        stops.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("stop positions must be finite"));
+        Colormap { stops }
+    }
+
+    /// The paper's **blue-white-red** diverging map used for vorticity
+    /// ("rendered using a blue-white-red colormap"): negative rotation blue,
+    /// zero white, positive red.
+    pub fn blue_white_red() -> Self {
+        Colormap::from_stops(vec![
+            (0.0, [0, 0, 255]),
+            (0.5, [255, 255, 255]),
+            (1.0, [255, 0, 0]),
+        ])
+    }
+
+    /// Linear grayscale ramp.
+    pub fn grayscale() -> Self {
+        Colormap::from_stops(vec![(0.0, [0, 0, 0]), (1.0, [255, 255, 255])])
+    }
+
+    /// Warm bone/amber transfer ramp approximating the primate-tooth
+    /// rendering of the paper's Figure 2 (dark transparent background through
+    /// amber dentine to bright enamel).
+    pub fn tooth() -> Self {
+        Colormap::from_stops(vec![
+            (0.0, [0, 0, 0]),
+            (0.35, [96, 48, 24]),
+            (0.65, [208, 144, 64]),
+            (0.85, [240, 212, 160]),
+            (1.0, [255, 252, 240]),
+        ])
+    }
+
+    /// Map a normalized scalar to a color (clamping outside `[0, 1]`).
+    pub fn map(&self, t: f32) -> [u8; 3] {
+        let t = if t.is_nan() { 0.0 } else { t };
+        let first = self.stops.first().expect("nonempty");
+        let last = self.stops.last().expect("nonempty");
+        if t <= first.0 {
+            return first.1;
+        }
+        if t >= last.0 {
+            return last.1;
+        }
+        let hi = self.stops.iter().position(|&(s, _)| s >= t).expect("t within range");
+        let (t0, c0) = self.stops[hi - 1];
+        let (t1, c1) = self.stops[hi];
+        let f = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        let mut out = [0u8; 3];
+        for ch in 0..3 {
+            let v = c0[ch] as f32 + f * (c1[ch] as f32 - c0[ch] as f32);
+            out[ch] = v.round().clamp(0.0, 255.0) as u8;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blue_white_red_endpoints_and_center() {
+        let c = Colormap::blue_white_red();
+        assert_eq!(c.map(0.0), [0, 0, 255]);
+        assert_eq!(c.map(0.5), [255, 255, 255]);
+        assert_eq!(c.map(1.0), [255, 0, 0]);
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let c = Colormap::blue_white_red();
+        assert_eq!(c.map(0.25), [128, 128, 255]);
+        assert_eq!(c.map(0.75), [255, 128, 128]);
+    }
+
+    #[test]
+    fn clamps_out_of_range_and_nan() {
+        let c = Colormap::grayscale();
+        assert_eq!(c.map(-3.0), [0, 0, 0]);
+        assert_eq!(c.map(42.0), [255, 255, 255]);
+        assert_eq!(c.map(f32::NAN), [0, 0, 0]);
+    }
+
+    #[test]
+    fn unsorted_stops_are_sorted() {
+        let c = Colormap::from_stops(vec![(1.0, [255, 0, 0]), (0.0, [0, 0, 0])]);
+        assert_eq!(c.map(0.0), [0, 0, 0]);
+        assert_eq!(c.map(1.0), [255, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_stop_panics() {
+        Colormap::from_stops(vec![(0.0, [0, 0, 0])]);
+    }
+
+    #[test]
+    fn tooth_map_is_monotonically_brightening() {
+        let c = Colormap::tooth();
+        let lum = |rgb: [u8; 3]| 0.299 * rgb[0] as f32 + 0.587 * rgb[1] as f32 + 0.114 * rgb[2] as f32;
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let l = lum(c.map(i as f32 / 20.0));
+            assert!(l >= prev, "luminance must not decrease");
+            prev = l;
+        }
+    }
+}

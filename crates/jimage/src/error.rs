@@ -1,0 +1,52 @@
+//! Image crate errors.
+
+use std::fmt;
+
+/// Errors produced by image construction and codecs.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Buffer length does not match the stated dimensions.
+    DimensionMismatch {
+        /// Expected number of values.
+        expected: usize,
+        /// Values actually provided.
+        got: usize,
+    },
+    /// Not a JPEG/PNM stream, or a corrupted one.
+    Malformed(String),
+    /// Structurally valid input using a feature outside the baseline subset.
+    Unsupported(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::DimensionMismatch { expected, got } => {
+                write!(f, "buffer holds {got} values, dimensions imply {expected}")
+            }
+            ImageError::Malformed(s) => write!(f, "malformed image data: {s}"),
+            ImageError::Unsupported(s) => write!(f, "unsupported image feature: {s}"),
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ImageError>;

@@ -1,0 +1,138 @@
+//! 8×8 forward and inverse DCT (orthonormal, matching T.81's definition).
+
+use std::sync::OnceLock;
+
+/// Orthonormal 1-D DCT-II basis: `M[u][n] = c(u) · cos((2n+1)uπ/16)` with
+/// `c(0) = 1/√8`, `c(u>0) = 1/2`. The 2-D transform `M·f·Mᵀ` then equals the
+/// JPEG FDCT `¼·C(u)C(v)·ΣΣ…` exactly.
+fn basis() -> &'static [[f32; 8]; 8] {
+    static M: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    M.get_or_init(|| {
+        let mut m = [[0f32; 8]; 8];
+        for (u, row) in m.iter_mut().enumerate() {
+            let c = if u == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = (c * ((2 * n + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos())
+                    as f32;
+            }
+        }
+        m
+    })
+}
+
+/// Forward DCT of an 8×8 block, in place (row-major).
+pub fn fdct_8x8(block: &mut [f32; 64]) {
+    let m = basis();
+    let mut tmp = [0f32; 64];
+    // Rows: tmp = f · Mᵀ  (transform along x).
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0f32;
+            for x in 0..8 {
+                acc += block[y * 8 + x] * m[u][x];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Columns: out = M · tmp (transform along y).
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0f32;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * m[v][y];
+            }
+            block[v * 8 + u] = acc;
+        }
+    }
+}
+
+/// Inverse DCT of an 8×8 block, in place (row-major).
+pub fn idct_8x8(block: &mut [f32; 64]) {
+    let m = basis();
+    let mut tmp = [0f32; 64];
+    // Columns: tmp = Mᵀ · F.
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0f32;
+            for v in 0..8 {
+                acc += m[v][y] * block[v * 8 + u];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Rows: out = tmp · M.
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0f32;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] * m[u][x];
+            }
+            block[y * 8 + x] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_block_concentrates_in_dc() {
+        let mut b = [100f32; 64];
+        fdct_8x8(&mut b);
+        // DC of a constant 100 block: 8 * 100 = 800 (orthonormal scaling).
+        assert!((b[0] - 800.0).abs() < 1e-3, "dc = {}", b[0]);
+        for (i, &v) in b.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "ac[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn fdct_idct_roundtrip() {
+        let mut b = [0f32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 255) as f32 - 128.0;
+        }
+        let orig = b;
+        fdct_8x8(&mut b);
+        idct_8x8(&mut b);
+        for (a, o) in b.iter().zip(orig.iter()) {
+            assert!((a - o).abs() < 1e-2, "{a} vs {o}");
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal() {
+        // Parseval: energy preserved.
+        let mut b = [0f32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as f32).sin() * 100.0;
+        }
+        let e0: f32 = b.iter().map(|v| v * v).sum();
+        fdct_8x8(&mut b);
+        let e1: f32 = b.iter().map(|v| v * v).sum();
+        assert!((e0 - e1).abs() / e0 < 1e-4);
+    }
+
+    #[test]
+    fn horizontal_cosine_maps_to_single_coefficient() {
+        // f(x,y) = cos((2x+1)·3π/16) should produce only coefficient (u=3,v=0).
+        let mut b = [0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                b[y * 8 + x] = ((2 * x + 1) as f32 * 3.0 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        fdct_8x8(&mut b);
+        for v in 0..8 {
+            for u in 0..8 {
+                let c = b[v * 8 + u];
+                if (u, v) == (3, 0) {
+                    assert!(c.abs() > 1.0);
+                } else {
+                    assert!(c.abs() < 1e-3, "({u},{v}) = {c}");
+                }
+            }
+        }
+    }
+}

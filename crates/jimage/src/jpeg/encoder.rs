@@ -1,0 +1,372 @@
+//! Baseline sequential JPEG encoder.
+
+use super::bits::BitWriter;
+use super::dct::fdct_8x8;
+use super::tables::{
+    build_codes, scale_quant_table, AC_CHROMA, AC_LUMA, BASE_CHROMA_QUANT, BASE_LUMA_QUANT,
+    DC_CHROMA, DC_LUMA, HuffSpec, ZIGZAG,
+};
+use super::Subsampling;
+use crate::error::Result;
+use crate::rgb::RgbImage;
+
+/// One padded component plane, level-shifted to be centered on zero.
+struct Plane {
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Plane {
+    fn block(&self, bx: usize, by: usize) -> [f32; 64] {
+        let mut out = [0f32; 64];
+        for y in 0..8 {
+            let row = (by * 8 + y) * self.w + bx * 8;
+            out[y * 8..y * 8 + 8].copy_from_slice(&self.data[row..row + 8]);
+        }
+        out
+    }
+}
+
+/// Number of magnitude bits of `v` (JPEG "category"/SSSS).
+fn category(v: i32) -> u8 {
+    (32 - v.unsigned_abs().leading_zeros()) as u8
+}
+
+/// Low `cat` bits encoding `v` per the JPEG magnitude convention.
+fn magnitude_bits(v: i32, cat: u8) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + (1 << cat) - 1) as u32
+    }
+}
+
+struct BlockEncoder {
+    dc_codes: [(u16, u8); 256],
+    ac_codes: [(u16, u8); 256],
+    quant: [u16; 64],
+    dc_pred: i32,
+}
+
+impl BlockEncoder {
+    fn new(dc: &HuffSpec, ac: &HuffSpec, quant: [u16; 64]) -> Self {
+        BlockEncoder {
+            dc_codes: build_codes(&dc.bits, dc.values),
+            ac_codes: build_codes(&ac.bits, ac.values),
+            quant,
+            dc_pred: 0,
+        }
+    }
+
+    fn encode(&mut self, mut block: [f32; 64], w: &mut BitWriter) {
+        fdct_8x8(&mut block);
+        let mut q = [0i32; 64];
+        for (i, (&f, &d)) in block.iter().zip(self.quant.iter()).enumerate() {
+            q[i] = (f / d as f32).round() as i32;
+        }
+        // DC difference.
+        let dc = q[0];
+        let diff = dc - self.dc_pred;
+        self.dc_pred = dc;
+        let cat = category(diff);
+        let (code, len) = self.dc_codes[cat as usize];
+        w.put(code as u32, len);
+        if cat > 0 {
+            w.put(magnitude_bits(diff, cat), cat);
+        }
+        // AC run-length coding over the zigzag scan.
+        let mut run = 0u32;
+        for &nat in &ZIGZAG[1..] {
+            let v = q[nat];
+            if v == 0 {
+                run += 1;
+                continue;
+            }
+            while run >= 16 {
+                let (code, len) = self.ac_codes[0xF0]; // ZRL
+                w.put(code as u32, len);
+                run -= 16;
+            }
+            let cat = category(v);
+            let symbol = ((run as u8) << 4) | cat;
+            let (code, len) = self.ac_codes[symbol as usize];
+            debug_assert!(len > 0, "missing AC code for symbol {symbol:#x}");
+            w.put(code as u32, len);
+            w.put(magnitude_bits(v, cat), cat);
+            run = 0;
+        }
+        if run > 0 {
+            let (code, len) = self.ac_codes[0x00]; // EOB
+            w.put(code as u32, len);
+        }
+    }
+}
+
+fn push_marker(out: &mut Vec<u8>, marker: u8, payload: &[u8]) {
+    out.push(0xFF);
+    out.push(marker);
+    let len = (payload.len() + 2) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn dqt_payload(id: u8, quant: &[u16; 64]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(65);
+    p.push(id); // 8-bit precision, table id
+    for &nat in &ZIGZAG {
+        p.push(quant[nat] as u8);
+    }
+    p
+}
+
+fn dht_payload(class_id: u8, spec: &HuffSpec) -> Vec<u8> {
+    let mut p = Vec::with_capacity(17 + spec.values.len());
+    p.push(class_id);
+    p.extend_from_slice(&spec.bits);
+    p.extend_from_slice(spec.values);
+    p
+}
+
+/// Build the three padded, level-shifted YCbCr planes. The full-resolution
+/// image is padded by edge replication to MCU multiples; chroma is then
+/// box-filtered down by the sampling factors.
+fn build_planes(img: &RgbImage, sub: Subsampling) -> (Plane, Plane, Plane, usize, usize) {
+    let (hs, vs) = match sub {
+        Subsampling::S444 => (1usize, 1usize),
+        Subsampling::S420 => (2, 2),
+    };
+    let mcu_w = 8 * hs;
+    let mcu_h = 8 * vs;
+    let mcux = img.width.div_ceil(mcu_w).max(1);
+    let mcuy = img.height.div_ceil(mcu_h).max(1);
+    let w1 = mcux * mcu_w;
+    let h1 = mcuy * mcu_h;
+
+    let mut y = vec![0f32; w1 * h1];
+    let mut cb = vec![0f32; w1 * h1];
+    let mut cr = vec![0f32; w1 * h1];
+    for yy in 0..h1 {
+        let sy = yy.min(img.height - 1);
+        for xx in 0..w1 {
+            let sx = xx.min(img.width - 1);
+            let [r, g, b] = img.get(sx, sy);
+            let (r, g, b) = (r as f32, g as f32, b as f32);
+            let i = yy * w1 + xx;
+            y[i] = 0.299 * r + 0.587 * g + 0.114 * b - 128.0;
+            cb[i] = -0.168_736 * r - 0.331_264 * g + 0.5 * b;
+            cr[i] = 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+        }
+    }
+    let y_plane = Plane { w: w1, data: y };
+    let (cw, ch) = (w1 / hs, h1 / vs);
+    let downsample = |src: &[f32]| -> Plane {
+        if hs == 1 && vs == 1 {
+            return Plane { w: w1, data: src.to_vec() };
+        }
+        let mut out = vec![0f32; cw * ch];
+        for oy in 0..ch {
+            for ox in 0..cw {
+                let mut acc = 0f32;
+                for dy in 0..vs {
+                    for dx in 0..hs {
+                        acc += src[(oy * vs + dy) * w1 + ox * hs + dx];
+                    }
+                }
+                out[oy * cw + ox] = acc / (hs * vs) as f32;
+            }
+        }
+        Plane { w: cw, data: out }
+    };
+    let cb_plane = downsample(&cb);
+    let cr_plane = downsample(&cr);
+    (y_plane, cb_plane, cr_plane, mcux, mcuy)
+}
+
+/// Encode an RGB image as a baseline JFIF JPEG at the given quality (1-100).
+pub fn encode_with(img: &RgbImage, quality: u8, sub: Subsampling) -> Result<Vec<u8>> {
+    assert!(img.width > 0 && img.height > 0, "cannot encode an empty image");
+    assert!(
+        img.width <= u16::MAX as usize && img.height <= u16::MAX as usize,
+        "JPEG dimensions are limited to 65535"
+    );
+    let lq = scale_quant_table(&BASE_LUMA_QUANT, quality);
+    let cq = scale_quant_table(&BASE_CHROMA_QUANT, quality);
+    let (hs, vs) = match sub {
+        Subsampling::S444 => (1u8, 1u8),
+        Subsampling::S420 => (2, 2),
+    };
+
+    let mut out = Vec::with_capacity(img.data.len() / 8 + 1024);
+    out.extend_from_slice(&[0xFF, 0xD8]); // SOI
+    push_marker(
+        &mut out,
+        0xE0,
+        &[b'J', b'F', b'I', b'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0],
+    );
+    push_marker(&mut out, 0xDB, &dqt_payload(0, &lq));
+    push_marker(&mut out, 0xDB, &dqt_payload(1, &cq));
+    let (w, h) = (img.width as u16, img.height as u16);
+    push_marker(
+        &mut out,
+        0xC0, // SOF0: baseline DCT
+        &[
+            8,
+            (h >> 8) as u8,
+            h as u8,
+            (w >> 8) as u8,
+            w as u8,
+            3,
+            1,
+            (hs << 4) | vs,
+            0,
+            2,
+            0x11,
+            1,
+            3,
+            0x11,
+            1,
+        ],
+    );
+    push_marker(&mut out, 0xC4, &dht_payload(0x00, &DC_LUMA));
+    push_marker(&mut out, 0xC4, &dht_payload(0x10, &AC_LUMA));
+    push_marker(&mut out, 0xC4, &dht_payload(0x01, &DC_CHROMA));
+    push_marker(&mut out, 0xC4, &dht_payload(0x11, &AC_CHROMA));
+    push_marker(&mut out, 0xDA, &[3, 1, 0x00, 2, 0x11, 3, 0x11, 0, 63, 0]);
+
+    let (yp, cbp, crp, mcux, mcuy) = build_planes(img, sub);
+    let mut enc_y = BlockEncoder::new(&DC_LUMA, &AC_LUMA, lq);
+    let mut enc_cb = BlockEncoder::new(&DC_CHROMA, &AC_CHROMA, cq);
+    let mut enc_cr = BlockEncoder::new(&DC_CHROMA, &AC_CHROMA, cq);
+    let mut w = BitWriter::new(out);
+    for my in 0..mcuy {
+        for mx in 0..mcux {
+            for bv in 0..vs as usize {
+                for bh in 0..hs as usize {
+                    enc_y.encode(yp.block(mx * hs as usize + bh, my * vs as usize + bv), &mut w);
+                }
+            }
+            enc_cb.encode(cbp.block(mx, my), &mut w);
+            enc_cr.encode(crp.block(mx, my), &mut w);
+        }
+    }
+    let mut out = w.finish();
+    out.extend_from_slice(&[0xFF, 0xD9]); // EOI
+    Ok(out)
+}
+
+/// Encode an 8-bit grayscale image as a single-component baseline JPEG —
+/// the natural output format for DVR of grayscale CT data.
+pub fn encode_gray(gray: &[u8], width: usize, height: usize, quality: u8) -> Result<Vec<u8>> {
+    assert!(width > 0 && height > 0, "cannot encode an empty image");
+    assert_eq!(gray.len(), width * height, "buffer must match dimensions");
+    assert!(
+        width <= u16::MAX as usize && height <= u16::MAX as usize,
+        "JPEG dimensions are limited to 65535"
+    );
+    let lq = scale_quant_table(&BASE_LUMA_QUANT, quality);
+
+    let mut out = Vec::with_capacity(gray.len() / 8 + 512);
+    out.extend_from_slice(&[0xFF, 0xD8]);
+    push_marker(&mut out, 0xE0, &[b'J', b'F', b'I', b'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0]);
+    push_marker(&mut out, 0xDB, &dqt_payload(0, &lq));
+    let (w, h) = (width as u16, height as u16);
+    push_marker(
+        &mut out,
+        0xC0,
+        &[8, (h >> 8) as u8, h as u8, (w >> 8) as u8, w as u8, 1, 1, 0x11, 0],
+    );
+    push_marker(&mut out, 0xC4, &dht_payload(0x00, &DC_LUMA));
+    push_marker(&mut out, 0xC4, &dht_payload(0x10, &AC_LUMA));
+    push_marker(&mut out, 0xDA, &[1, 1, 0x00, 0, 63, 0]);
+
+    // Pad to 8-pixel multiples by edge replication, level-shifted.
+    let bw = width.div_ceil(8);
+    let bh = height.div_ceil(8);
+    let w1 = bw * 8;
+    let plane: Vec<f32> = (0..bh * 8)
+        .flat_map(|y| {
+            let sy = y.min(height - 1);
+            (0..w1).map(move |x| (x, sy))
+        })
+        .map(|(x, sy)| gray[sy * width + x.min(width - 1)] as f32 - 128.0)
+        .collect();
+    let plane = Plane { w: w1, data: plane };
+
+    let mut enc = BlockEncoder::new(&DC_LUMA, &AC_LUMA, lq);
+    let mut writer = BitWriter::new(out);
+    for by in 0..bh {
+        for bx in 0..bw {
+            enc.encode(plane.block(bx, by), &mut writer);
+        }
+    }
+    let mut out = writer.finish();
+    out.extend_from_slice(&[0xFF, 0xD9]);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_matches_bit_length() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-256), 9);
+        assert_eq!(category(1023), 10);
+    }
+
+    #[test]
+    fn magnitude_bits_convention() {
+        // v = 5 (cat 3) -> 101; v = -5 -> 010 (one's complement of 5).
+        assert_eq!(magnitude_bits(5, 3), 0b101);
+        assert_eq!(magnitude_bits(-5, 3), 0b010);
+        assert_eq!(magnitude_bits(-1, 1), 0);
+        assert_eq!(magnitude_bits(1, 1), 1);
+    }
+
+    #[test]
+    fn stream_is_framed_by_soi_and_eoi() {
+        let img = RgbImage::filled(10, 10, [128, 64, 32]);
+        let bytes = encode_with(&img, 75, Subsampling::S420).unwrap();
+        assert_eq!(&bytes[0..2], &[0xFF, 0xD8]);
+        assert_eq!(&bytes[bytes.len() - 2..], &[0xFF, 0xD9]);
+    }
+
+    #[test]
+    fn flat_image_compresses_massively() {
+        let img = RgbImage::filled(256, 256, [200, 100, 50]);
+        let bytes = encode_with(&img, 75, Subsampling::S420).unwrap();
+        // 192 KiB of raw RGB collapses to well under 2 KiB.
+        assert!(bytes.len() < 2048, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn higher_quality_means_more_bytes() {
+        let mut img = RgbImage::filled(64, 64, [0, 0, 0]);
+        for y in 0..64 {
+            for x in 0..64 {
+                img.set(x, y, [((x * y) % 256) as u8, (x * 4) as u8, (y * 4) as u8]);
+            }
+        }
+        let q10 = encode_with(&img, 10, Subsampling::S420).unwrap().len();
+        let q50 = encode_with(&img, 50, Subsampling::S420).unwrap().len();
+        let q95 = encode_with(&img, 95, Subsampling::S420).unwrap().len();
+        assert!(q10 < q50 && q50 < q95, "{q10} {q50} {q95}");
+    }
+
+    #[test]
+    fn s444_carries_more_chroma_than_s420() {
+        let mut img = RgbImage::filled(64, 64, [0, 0, 0]);
+        for y in 0..64 {
+            for x in 0..64 {
+                img.set(x, y, [(x * 4) as u8, 0, (y * 4) as u8]);
+            }
+        }
+        let s420 = encode_with(&img, 75, Subsampling::S420).unwrap().len();
+        let s444 = encode_with(&img, 75, Subsampling::S444).unwrap().len();
+        assert!(s444 > s420, "{s444} vs {s420}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Standard JPEG tables (ITU-T T.81 Annex K) and quality scaling.
+
+/// Zigzag scan: `ZIGZAG[i]` is the natural (row-major) index of the `i`-th
+/// zigzag position.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Annex K.1 luminance quantization table (natural order).
+pub const BASE_LUMA_QUANT: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K.2 chrominance quantization table (natural order).
+pub const BASE_CHROMA_QUANT: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// IJG-style quality scaling: quality 1..=100 scales the base table;
+/// 50 leaves it unchanged, 100 is (almost) lossless quantization.
+pub fn scale_quant_table(base: &[u16; 64], quality: u8) -> [u16; 64] {
+    let q = quality.clamp(1, 100) as u32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        *o = (((b as u32 * scale) + 50) / 100).clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Huffman table specification: BITS (codes per length 1..16) + HUFFVAL.
+pub struct HuffSpec {
+    /// Number of codes of each length 1..=16.
+    pub bits: [u8; 16],
+    /// Symbols in code order.
+    pub values: &'static [u8],
+}
+
+/// Annex K.3.1: DC luminance.
+pub const DC_LUMA: HuffSpec = HuffSpec {
+    bits: [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+    values: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+};
+
+/// Annex K.3.2: DC chrominance.
+pub const DC_CHROMA: HuffSpec = HuffSpec {
+    bits: [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+    values: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+};
+
+/// Annex K.3.3: AC luminance.
+pub const AC_LUMA: HuffSpec = HuffSpec {
+    bits: [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7d],
+    values: &[
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+        0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52,
+        0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x25,
+        0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45,
+        0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64,
+        0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x83,
+        0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+        0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+        0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3,
+        0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8,
+        0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ],
+};
+
+/// Annex K.3.4: AC chrominance.
+pub const AC_CHROMA: HuffSpec = HuffSpec {
+    bits: [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77],
+    values: &[
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61,
+        0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33,
+        0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25, 0xf1, 0x17, 0x18,
+        0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44,
+        0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63,
+        0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a,
+        0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97,
+        0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4,
+        0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca,
+        0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7,
+        0xe8, 0xe9, 0xea, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ],
+};
+
+/// Canonical Huffman codes derived from a spec: `codes[symbol] = (code, len)`.
+pub fn build_codes(bits: &[u8; 16], values: &[u8]) -> [(u16, u8); 256] {
+    let mut out = [(0u16, 0u8); 256];
+    let mut code = 0u16;
+    let mut k = 0usize;
+    for (len_minus_1, &n) in bits.iter().enumerate() {
+        for _ in 0..n {
+            out[values[k] as usize] = (code, (len_minus_1 + 1) as u8);
+            code += 1;
+            k += 1;
+        }
+        code <<= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        // Spot-check the start and end of the scan.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn quality_50_is_identity() {
+        assert_eq!(scale_quant_table(&BASE_LUMA_QUANT, 50), BASE_LUMA_QUANT);
+    }
+
+    #[test]
+    fn quality_extremes() {
+        let q100 = scale_quant_table(&BASE_LUMA_QUANT, 100);
+        assert!(q100.iter().all(|&v| v == 1)); // scale = 0 -> all clamp to 1
+        let q1 = scale_quant_table(&BASE_LUMA_QUANT, 1);
+        assert!(q1.iter().all(|&v| v == 255 || v >= BASE_LUMA_QUANT[0]));
+        let q25 = scale_quant_table(&BASE_LUMA_QUANT, 25);
+        assert_eq!(q25[0], 32); // 16 * 200/100
+    }
+
+    #[test]
+    fn huffman_specs_are_consistent() {
+        for spec in [&DC_LUMA, &DC_CHROMA, &AC_LUMA, &AC_CHROMA] {
+            let total: usize = spec.bits.iter().map(|&b| b as usize).sum();
+            assert_eq!(total, spec.values.len());
+        }
+        assert_eq!(AC_LUMA.values.len(), 162);
+        assert_eq!(AC_CHROMA.values.len(), 162);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let codes = build_codes(&AC_LUMA.bits, AC_LUMA.values);
+        let used: Vec<(u16, u8)> =
+            AC_LUMA.values.iter().map(|&s| codes[s as usize]).collect();
+        for (i, &(ca, la)) in used.iter().enumerate() {
+            for &(cb, lb) in &used[i + 1..] {
+                let (short, slen, long, llen) =
+                    if la <= lb { (ca, la, cb, lb) } else { (cb, lb, ca, la) };
+                assert!(
+                    slen == llen && short != long || (long >> (llen - slen)) != short,
+                    "prefix violation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_luma_known_codes() {
+        // With BITS = [0,1,5,...]: symbol 0 gets the single 2-bit code 00,
+        // symbols 1..5 get 3-bit codes 010..110.
+        let codes = build_codes(&DC_LUMA.bits, DC_LUMA.values);
+        assert_eq!(codes[0], (0b00, 2));
+        assert_eq!(codes[1], (0b010, 3));
+        assert_eq!(codes[5], (0b110, 3));
+        assert_eq!(codes[6], (0b1110, 4));
+    }
+}

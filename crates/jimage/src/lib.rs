@@ -1,0 +1,37 @@
+//! # jimage — image buffers, colormaps, and a baseline JPEG codec
+//!
+//! The paper's second use case renders 2-D CFD fields through a
+//! blue-white-red colormap and stores the frames "as a compressed JPEG
+//! image" instead of raw floats, reporting ≥ 99.38 % output-size reduction
+//! (Table IV). This crate supplies that substrate from scratch:
+//!
+//! * [`RgbImage`] — 8-bit RGB buffers,
+//! * [`Colormap`] — the paper's blue-white-red diverging map plus grayscale
+//!   and a warm "tooth" transfer ramp for volume rendering,
+//! * [`pnm`] — PPM/PGM for loss-free debugging output,
+//! * [`jpeg`] — a baseline JFIF **encoder and decoder** (sequential DCT,
+//!   Huffman, 4:4:4 or 4:2:0 chroma subsampling) with the standard Annex-K
+//!   quantization/Huffman tables and IJG-style quality scaling.
+//!
+//! ```
+//! use jimage::{Colormap, RgbImage, jpeg};
+//! // Render a small field through the paper's colormap and compress it.
+//! let field: Vec<f32> = (0..64 * 64).map(|i| (i % 64) as f32 / 63.0 - 0.5).collect();
+//! let img = RgbImage::from_scalar_field(64, 64, &field, -0.5, 0.5, &Colormap::blue_white_red());
+//! let bytes = jpeg::encode(&img, 75).unwrap();
+//! let back = jpeg::decode(&bytes).unwrap();
+//! assert_eq!((back.width, back.height), (64, 64));
+//! assert!(bytes.len() < 64 * 64 * 3 / 4); // at least 4x smaller than raw RGB
+//! ```
+
+#![warn(missing_docs)]
+
+mod colormap;
+mod error;
+pub mod jpeg;
+pub mod pnm;
+mod rgb;
+
+pub use colormap::Colormap;
+pub use error::{ImageError, Result};
+pub use rgb::RgbImage;

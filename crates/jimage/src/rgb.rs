@@ -1,0 +1,141 @@
+//! 8-bit RGB image buffers.
+
+use crate::colormap::Colormap;
+use crate::error::{ImageError, Result};
+
+/// An 8-bit RGB image, rows top-to-bottom, pixels left-to-right,
+/// channels interleaved (`R G B R G B …`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Interleaved channel data of length `3 * width * height`.
+    pub data: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Create an image from existing interleaved data.
+    pub fn new(width: usize, height: usize, data: Vec<u8>) -> Result<Self> {
+        let expected = 3 * width * height;
+        if data.len() != expected {
+            return Err(ImageError::DimensionMismatch { expected, got: data.len() });
+        }
+        Ok(RgbImage { width, height, data })
+    }
+
+    /// Solid-color image.
+    pub fn filled(width: usize, height: usize, rgb: [u8; 3]) -> Self {
+        let mut data = Vec::with_capacity(3 * width * height);
+        for _ in 0..width * height {
+            data.extend_from_slice(&rgb);
+        }
+        RgbImage { width, height, data }
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when the coordinate is out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        let i = 3 * (y * self.width + x);
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Set pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when the coordinate is out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        let i = 3 * (y * self.width + x);
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Render a scalar field through a colormap: values are normalized from
+    /// `[vmin, vmax]` to `[0, 1]` (clamped) and mapped to colors — the
+    /// paper's visualization step ("apply a colormap in order to create an
+    /// image").
+    pub fn from_scalar_field(
+        width: usize,
+        height: usize,
+        field: &[f32],
+        vmin: f32,
+        vmax: f32,
+        cmap: &Colormap,
+    ) -> Self {
+        assert_eq!(field.len(), width * height, "field length must match dimensions");
+        let span = if vmax > vmin { vmax - vmin } else { 1.0 };
+        let mut data = Vec::with_capacity(3 * field.len());
+        for &v in field {
+            let t = ((v - vmin) / span).clamp(0.0, 1.0);
+            data.extend_from_slice(&cmap.map(t));
+        }
+        RgbImage { width, height, data }
+    }
+
+    /// Mean absolute per-channel difference to another image of the same
+    /// size — a cheap distortion metric for codec tests.
+    pub fn mean_abs_diff(&self, other: &RgbImage) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "images must have identical dimensions"
+        );
+        let total: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs() as u64)
+            .sum();
+        total as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = RgbImage::filled(4, 3, [10, 20, 30]);
+        assert_eq!(img.get(3, 2), [10, 20, 30]);
+        img.set(1, 1, [1, 2, 3]);
+        assert_eq!(img.get(1, 1), [1, 2, 3]);
+        assert_eq!(img.get(1, 0), [10, 20, 30]);
+    }
+
+    #[test]
+    fn new_rejects_wrong_length() {
+        assert!(matches!(
+            RgbImage::new(2, 2, vec![0; 11]),
+            Err(ImageError::DimensionMismatch { expected: 12, got: 11 })
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        RgbImage::filled(2, 2, [0; 3]).get(2, 0);
+    }
+
+    #[test]
+    fn scalar_field_clamps_and_maps_extremes() {
+        let cmap = Colormap::blue_white_red();
+        let img = RgbImage::from_scalar_field(3, 1, &[-10.0, 0.0, 10.0], -1.0, 1.0, &cmap);
+        assert_eq!(img.get(0, 0), cmap.map(0.0)); // clamped low -> blue end
+        assert_eq!(img.get(1, 0), cmap.map(0.5)); // middle -> white
+        assert_eq!(img.get(2, 0), cmap.map(1.0)); // clamped high -> red end
+    }
+
+    #[test]
+    fn mean_abs_diff_zero_for_identical() {
+        let img = RgbImage::filled(8, 8, [5, 6, 7]);
+        assert_eq!(img.mean_abs_diff(&img.clone()), 0.0);
+        let other = RgbImage::filled(8, 8, [6, 6, 7]);
+        let d = img.mean_abs_diff(&other);
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

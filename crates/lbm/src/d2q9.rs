@@ -1,0 +1,80 @@
+//! D2Q9 lattice constants.
+
+/// Discrete velocity set: direction `d` moves by `E[d] = [ex, ey]` per step.
+/// Order: rest, the four axis directions, then the four diagonals.
+pub const E: [[i32; 2]; 9] = [
+    [0, 0],
+    [1, 0],
+    [0, 1],
+    [-1, 0],
+    [0, -1],
+    [1, 1],
+    [-1, 1],
+    [-1, -1],
+    [1, -1],
+];
+
+/// Lattice weights for each direction (sum to 1).
+pub const W: [f64; 9] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Opposite direction of each direction (for bounce-back).
+pub const OPP: [usize; 9] = [0, 3, 4, 1, 2, 7, 8, 5, 6];
+
+/// BGK equilibrium distribution for direction `d` at density `rho` and
+/// velocity `(ux, uy)` (second-order expansion, lattice units, c_s² = 1/3).
+#[inline]
+pub fn equilibrium(d: usize, rho: f64, ux: f64, uy: f64) -> f64 {
+    let eu = E[d][0] as f64 * ux + E[d][1] as f64 * uy;
+    let usq = ux * ux + uy * uy;
+    W[d] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let s: f64 = W.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn opposites_are_involutive_and_reverse_velocity() {
+        for d in 0..9 {
+            assert_eq!(OPP[OPP[d]], d);
+            assert_eq!(E[OPP[d]][0], -E[d][0]);
+            assert_eq!(E[OPP[d]][1], -E[d][1]);
+        }
+    }
+
+    #[test]
+    fn equilibrium_moments_match_inputs() {
+        // Zeroth moment = rho, first moment = rho * u.
+        let (rho, ux, uy) = (1.2, 0.08, -0.03);
+        let f: Vec<f64> = (0..9).map(|d| equilibrium(d, rho, ux, uy)).collect();
+        let m0: f64 = f.iter().sum();
+        let mx: f64 = f.iter().enumerate().map(|(d, v)| E[d][0] as f64 * v).sum();
+        let my: f64 = f.iter().enumerate().map(|(d, v)| E[d][1] as f64 * v).sum();
+        assert!((m0 - rho).abs() < 1e-12);
+        assert!((mx - rho * ux).abs() < 1e-12);
+        assert!((my - rho * uy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_at_rest_equals_weights() {
+        for d in 0..9 {
+            assert!((equilibrium(d, 1.0, 0.0, 0.0) - W[d]).abs() < 1e-15);
+        }
+    }
+}

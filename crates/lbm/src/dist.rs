@@ -1,0 +1,131 @@
+//! Slab-decomposed LBM over a `minimpi` communicator.
+
+use crate::config::Config;
+use crate::lattice::{Edge, Lattice};
+use minimpi::{Comm, Result as MpiResult};
+
+/// Halo-exchange tag namespace (user tags; one per direction per purpose).
+const TAG_F_UP: u32 = 0x4C42_0001; // post-collision rows moving upward
+const TAG_F_DOWN: u32 = 0x4C42_0002;
+const TAG_V_UP: u32 = 0x4C42_0003; // velocity rows for vorticity stencils
+const TAG_V_DOWN: u32 = 0x4C42_0004;
+
+/// The paper's simulation-side decomposition: "the simulation application
+/// splits the data into slices … each rank only needs to communicate with
+/// two other ranks at most, the neighbors with data directly above and
+/// below".
+pub struct DistributedLbm {
+    lattice: Lattice,
+    rank: usize,
+    nprocs: usize,
+}
+
+impl DistributedLbm {
+    /// Create the slab for `comm.rank()` of a balanced slice decomposition
+    /// over `comm.size()` ranks.
+    pub fn new<F: Fn(usize, usize) -> bool + ?Sized>(cfg: Config, comm: &Comm, barrier: &F) -> Self {
+        let nprocs = comm.size();
+        let rank = comm.rank();
+        let (y0, rows) = split_rows(cfg.ny, nprocs, rank);
+        DistributedLbm { lattice: Lattice::new(cfg, y0, rows, barrier), rank, nprocs }
+    }
+
+    /// The underlying slab.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Global row range `(y0, rows)` of this rank's slab.
+    pub fn slab(&self) -> (usize, usize) {
+        (self.lattice.y0(), self.lattice.rows())
+    }
+
+    /// Advance one time step: collide, exchange halo rows with the (at most
+    /// two) neighbors, stream.
+    pub fn step(&mut self, comm: &Comm) -> MpiResult<()> {
+        self.lattice.collide();
+        let below = self.rank.checked_sub(1);
+        let above = if self.rank + 1 < self.nprocs { Some(self.rank + 1) } else { None };
+
+        // Send both edges first (buffered), then receive: no deadlock.
+        if let Some(b) = below {
+            comm.send(b, TAG_F_DOWN, &self.lattice.edge_row(Edge::Below))?;
+        }
+        if let Some(a) = above {
+            comm.send(a, TAG_F_UP, &self.lattice.edge_row(Edge::Above))?;
+        }
+        match below {
+            Some(b) => {
+                let ghost: Vec<f64> = comm.recv_vec(b, TAG_F_UP)?;
+                self.lattice.set_ghost(Edge::Below, &ghost);
+            }
+            None => self.lattice.set_ghost_boundary(Edge::Below),
+        }
+        match above {
+            Some(a) => {
+                let ghost: Vec<f64> = comm.recv_vec(a, TAG_F_DOWN)?;
+                self.lattice.set_ghost(Edge::Above, &ghost);
+            }
+            None => self.lattice.set_ghost_boundary(Edge::Above),
+        }
+        self.lattice.stream();
+        Ok(())
+    }
+
+    /// Vorticity of this slab, with velocity halos exchanged so the stencil
+    /// matches the serial solver exactly.
+    pub fn vorticity(&self, comm: &Comm) -> MpiResult<Vec<f32>> {
+        let below = self.rank.checked_sub(1);
+        let above = if self.rank + 1 < self.nprocs { Some(self.rank + 1) } else { None };
+        let pack = |row: Vec<(f64, f64)>| -> Vec<f64> {
+            row.into_iter().flat_map(|(a, b)| [a, b]).collect()
+        };
+        let unpack = |flat: Vec<f64>| -> Vec<(f64, f64)> {
+            flat.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+        };
+        if let Some(b) = below {
+            comm.send(b, TAG_V_DOWN, &pack(self.lattice.velocity_row(0)))?;
+        }
+        if let Some(a) = above {
+            comm.send(a, TAG_V_UP, &pack(self.lattice.velocity_row(self.lattice.rows() - 1)))?;
+        }
+        let ghost_below = match below {
+            Some(b) => Some(unpack(comm.recv_vec(b, TAG_V_UP)?)),
+            None => None,
+        };
+        let ghost_above = match above {
+            Some(a) => Some(unpack(comm.recv_vec(a, TAG_V_DOWN)?)),
+            None => None,
+        };
+        Ok(self.lattice.vorticity(ghost_below.as_deref(), ghost_above.as_deref()))
+    }
+}
+
+/// Balanced row split (first `ny % n` ranks get one extra row).
+pub fn split_rows(ny: usize, nprocs: usize, rank: usize) -> (usize, usize) {
+    let base = ny / nprocs;
+    let extra = ny % nprocs;
+    let rows = base + usize::from(rank < extra);
+    let y0 = rank * base + rank.min(extra);
+    (y0, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rows_covers_domain() {
+        for ny in [7usize, 32, 100] {
+            for n in [1usize, 3, 7] {
+                let mut next = 0;
+                for r in 0..n {
+                    let (y0, rows) = split_rows(ny, n, r);
+                    assert_eq!(y0, next);
+                    next += rows;
+                }
+                assert_eq!(next, ny);
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! One rank's slab of the LBM domain.
+
+use crate::config::Config;
+use crate::d2q9::{equilibrium, E, OPP};
+
+/// Which slab edge a halo operation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// The row below the slab (global y = y0 - 1).
+    Below,
+    /// The row above the slab (global y = y0 + rows).
+    Above,
+}
+
+/// A horizontal slab of the global lattice: `rows` interior rows starting at
+/// global row `y0`, plus one ghost row on each side. A lattice spanning the
+/// whole domain (`y0 = 0`, `rows = ny`) is the serial reference solver.
+pub struct Lattice {
+    cfg: Config,
+    y0: usize,
+    rows: usize,
+    /// Distributions: `f[d * stride + (y + 1) * nx + x]`, y ∈ -1..=rows.
+    f: Vec<f64>,
+    /// Streaming scratch buffer.
+    tmp: Vec<f64>,
+    /// Solid mask over interior + ghost rows.
+    solid: Vec<bool>,
+}
+
+impl Lattice {
+    /// Create a slab initialized to uniform inflow equilibrium.
+    pub fn new<F: Fn(usize, usize) -> bool + ?Sized>(
+        cfg: Config,
+        y0: usize,
+        rows: usize,
+        barrier: &F,
+    ) -> Self {
+        assert!(rows >= 1, "a slab needs at least one interior row");
+        assert!(y0 + rows <= cfg.ny, "slab exceeds the domain");
+        let nx = cfg.nx;
+        let cells = nx * (rows + 2);
+        let mut f = vec![0f64; 9 * cells];
+        for d in 0..9 {
+            let feq = equilibrium(d, 1.0, cfg.u0, 0.0);
+            f[d * cells..(d + 1) * cells].fill(feq);
+        }
+        let mut solid = vec![false; cells];
+        for ly in 0..rows + 2 {
+            // Ghost rows take the barrier mask of their global row when it
+            // exists (so bounce-back across slab edges matches the serial
+            // solver); out-of-domain ghosts stay fluid.
+            let gy = (y0 + ly).checked_sub(1);
+            if let Some(gy) = gy {
+                if gy < cfg.ny {
+                    for x in 0..nx {
+                        solid[ly * nx + x] = barrier(x, gy);
+                    }
+                }
+            }
+        }
+        Lattice { cfg, y0, rows, tmp: f.clone(), f, solid }
+    }
+
+    /// Simulation configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Global row of the first interior row.
+    pub fn y0(&self) -> usize {
+        self.y0
+    }
+
+    /// Number of interior rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    fn cells(&self) -> usize {
+        self.cfg.nx * (self.rows + 2)
+    }
+
+    #[inline]
+    fn idx(&self, d: usize, x: usize, ly: i64) -> usize {
+        d * self.cells() + ((ly + 1) as usize) * self.cfg.nx + x
+    }
+
+    /// Density and velocity at interior cell `(x, ly)` (slab-local row).
+    pub fn macroscopic(&self, x: usize, ly: usize) -> (f64, f64, f64) {
+        if self.solid[(ly + 1) * self.cfg.nx + x] {
+            return (1.0, 0.0, 0.0);
+        }
+        let mut rho = 0.0;
+        let mut ux = 0.0;
+        let mut uy = 0.0;
+        for d in 0..9 {
+            let v = self.f[self.idx(d, x, ly as i64)];
+            rho += v;
+            ux += E[d][0] as f64 * v;
+            uy += E[d][1] as f64 * v;
+        }
+        if rho > 0.0 {
+            ux /= rho;
+            uy /= rho;
+        }
+        (rho, ux, uy)
+    }
+
+    /// BGK collision on all interior fluid cells.
+    pub fn collide(&mut self) {
+        let nx = self.cfg.nx;
+        let omega = self.cfg.omega;
+        for ly in 0..self.rows {
+            for x in 0..nx {
+                if self.solid[(ly + 1) * nx + x] {
+                    continue;
+                }
+                let (rho, ux, uy) = self.macroscopic(x, ly);
+                for d in 0..9 {
+                    let i = self.idx(d, x, ly as i64);
+                    let feq = equilibrium(d, rho, ux, uy);
+                    self.f[i] += omega * (feq - self.f[i]);
+                }
+            }
+        }
+    }
+
+    /// Post-collision distributions of an interior edge row, packed as
+    /// `[d][x]` (length `9 * nx`) — the halo payload for a neighbor.
+    pub fn edge_row(&self, edge: Edge) -> Vec<f64> {
+        let ly = match edge {
+            Edge::Below => 0i64,
+            Edge::Above => self.rows as i64 - 1,
+        };
+        let nx = self.cfg.nx;
+        let mut out = Vec::with_capacity(9 * nx);
+        for d in 0..9 {
+            for x in 0..nx {
+                out.push(self.f[self.idx(d, x, ly)]);
+            }
+        }
+        out
+    }
+
+    /// Install a neighbor's post-collision edge row into a ghost row.
+    ///
+    /// # Panics
+    /// Panics when the payload length is not `9 * nx`.
+    pub fn set_ghost(&mut self, edge: Edge, data: &[f64]) {
+        let nx = self.cfg.nx;
+        assert_eq!(data.len(), 9 * nx, "ghost payload must be 9*nx values");
+        let ly = match edge {
+            Edge::Below => -1i64,
+            Edge::Above => self.rows as i64,
+        };
+        for d in 0..9 {
+            for x in 0..nx {
+                let i = self.idx(d, x, ly);
+                self.f[i] = data[d * nx + x];
+            }
+        }
+    }
+
+    /// Fill a ghost row with inflow equilibrium (used at global boundaries,
+    /// where the paper keeps edge cells at fixed values).
+    pub fn set_ghost_boundary(&mut self, edge: Edge) {
+        let nx = self.cfg.nx;
+        let ly = match edge {
+            Edge::Below => -1i64,
+            Edge::Above => self.rows as i64,
+        };
+        for d in 0..9 {
+            let feq = equilibrium(d, 1.0, self.cfg.u0, 0.0);
+            for x in 0..nx {
+                let i = self.idx(d, x, ly);
+                self.f[i] = feq;
+            }
+        }
+    }
+
+    /// Streaming with half-way bounce-back, then fixed-value boundaries.
+    ///
+    /// Pull scheme: each interior cell takes direction `d` from its upstream
+    /// neighbor; if the upstream cell is solid, the opposite distribution of
+    /// the cell itself is taken instead (bounce-back). After streaming, the
+    /// domain edge cells (x = 0, x = nx−1, and the global top/bottom rows)
+    /// are reset to inflow equilibrium.
+    pub fn stream(&mut self) {
+        let nx = self.cfg.nx;
+        for d in 0..9 {
+            let (ex, ey) = (E[d][0] as i64, E[d][1] as i64);
+            for ly in 0..self.rows as i64 {
+                for x in 0..nx {
+                    let dst = self.idx(d, x, ly);
+                    let sx = x as i64 - ex;
+                    let sy = ly - ey;
+                    self.tmp[dst] = if sx < 0 || sx >= nx as i64 {
+                        // Upstream outside the x extent: inflow equilibrium.
+                        equilibrium(d, 1.0, self.cfg.u0, 0.0)
+                    } else if self.solid[((sy + 1) as usize) * nx + sx as usize] {
+                        // Bounce back off the solid upstream cell.
+                        self.f[self.idx(OPP[d], x, ly)]
+                    } else {
+                        self.f[self.idx(d, sx as usize, sy)]
+                    };
+                }
+            }
+        }
+        // Copy streamed interior rows back (ghosts keep their old content;
+        // they are refreshed before the next stream anyway).
+        let cells = self.cells();
+        for d in 0..9 {
+            let base = d * cells + nx;
+            self.f[base..base + nx * self.rows]
+                .copy_from_slice(&self.tmp[base..base + nx * self.rows]);
+        }
+        self.apply_fixed_edges();
+    }
+
+    /// Reset the global domain edges to inflow equilibrium ("certain cells,
+    /// including the edges, are kept at fixed values").
+    fn apply_fixed_edges(&mut self) {
+        let nx = self.cfg.nx;
+        let fix_cell = |this: &mut Self, x: usize, ly: i64| {
+            for d in 0..9 {
+                let i = this.idx(d, x, ly);
+                this.f[i] = equilibrium(d, 1.0, this.cfg.u0, 0.0);
+            }
+        };
+        for ly in 0..self.rows as i64 {
+            fix_cell(self, 0, ly);
+            fix_cell(self, nx - 1, ly);
+        }
+        if self.y0 == 0 {
+            for x in 0..nx {
+                fix_cell(self, x, 0);
+            }
+        }
+        if self.y0 + self.rows == self.cfg.ny {
+            for x in 0..nx {
+                fix_cell(self, x, self.rows as i64 - 1);
+            }
+        }
+    }
+
+    /// One serial time step: collide, refresh ghosts from boundary
+    /// conditions, stream. Only meaningful when the slab covers the whole
+    /// domain (otherwise use [`crate::DistributedLbm`]).
+    pub fn step_serial(&mut self) {
+        self.collide();
+        self.set_ghost_boundary(Edge::Below);
+        self.set_ghost_boundary(Edge::Above);
+        self.stream();
+    }
+
+    /// Density of the slab interior as `f32` (another of the paper's
+    /// streamable variables: "many other variables (e.g. velocity, density,
+    /// etc.) … could also be streamed and rendered").
+    pub fn density(&self) -> Vec<f32> {
+        (0..self.rows)
+            .flat_map(|ly| (0..self.cfg.nx).map(move |x| (x, ly)))
+            .map(|(x, ly)| self.macroscopic(x, ly).0 as f32)
+            .collect()
+    }
+
+    /// Flow speed |u| of the slab interior as `f32`.
+    pub fn speed(&self) -> Vec<f32> {
+        (0..self.rows)
+            .flat_map(|ly| (0..self.cfg.nx).map(move |x| (x, ly)))
+            .map(|(x, ly)| {
+                let (_, ux, uy) = self.macroscopic(x, ly);
+                ((ux * ux + uy * uy).sqrt()) as f32
+            })
+            .collect()
+    }
+
+    /// Whether the interior cell at `(x, ly)` is solid.
+    pub fn is_solid(&self, x: usize, ly: usize) -> bool {
+        self.solid[(ly + 1) * self.cfg.nx + x]
+    }
+
+    /// Velocity of every cell of interior row `ly`, as `(ux, uy)` pairs.
+    pub fn velocity_row(&self, ly: usize) -> Vec<(f64, f64)> {
+        (0..self.cfg.nx)
+            .map(|x| {
+                let (_, ux, uy) = self.macroscopic(x, ly);
+                (ux, uy)
+            })
+            .collect()
+    }
+
+    /// Vorticity (∂uy/∂x − ∂ux/∂y) of the slab interior as `f32` values —
+    /// the 4-byte float field streamed to the analysis application.
+    ///
+    /// `below` / `above` supply neighbor velocity rows for central
+    /// differences across slab edges; when absent (global domain edge) a
+    /// one-sided difference is used, so the distributed result equals the
+    /// serial one exactly.
+    pub fn vorticity(
+        &self,
+        below: Option<&[(f64, f64)]>,
+        above: Option<&[(f64, f64)]>,
+    ) -> Vec<f32> {
+        let nx = self.cfg.nx;
+        let rows = self.rows;
+        // Cache interior velocities once: O(cells) instead of O(4·cells).
+        let vel: Vec<(f64, f64)> =
+            (0..rows).flat_map(|ly| self.velocity_row(ly)).collect();
+        let at = |x: usize, ly: i64| -> (f64, f64) {
+            if ly < 0 {
+                match below {
+                    Some(row) => row[x],
+                    None => vel[x], // one-sided: reuse row 0
+                }
+            } else if ly >= rows as i64 {
+                match above {
+                    Some(row) => row[x],
+                    None => vel[(rows - 1) * nx + x],
+                }
+            } else {
+                vel[ly as usize * nx + x]
+            }
+        };
+        let mut out = Vec::with_capacity(nx * rows);
+        for ly in 0..rows as i64 {
+            for x in 0..nx {
+                let xm = x.saturating_sub(1);
+                let xp = (x + 1).min(nx - 1);
+                let duy_dx = (at(xp, ly).1 - at(xm, ly).1) / (xp - xm).max(1) as f64;
+                let (ym, yp) = (ly - 1, ly + 1);
+                let dy_span = if below.is_none() && ly == 0 {
+                    1.0
+                } else if above.is_none() && ly == rows as i64 - 1 {
+                    1.0
+                } else {
+                    2.0
+                };
+                let lo = if below.is_none() && ly == 0 { ly } else { ym };
+                let hi = if above.is_none() && ly == rows as i64 - 1 { ly } else { yp };
+                let dux_dy = (at(x, hi).0 - at(x, lo).0) / dy_span;
+                out.push((duy_dx - dux_dy) as f32);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{barrier_line, barrier_none};
+
+    #[test]
+    fn uniform_flow_is_a_fixed_point() {
+        let cfg = Config::wind_tunnel(32, 16);
+        let none = barrier_none();
+        let mut lat = Lattice::new(cfg, 0, 16, &none);
+        let before: Vec<f64> = (0..16)
+            .flat_map(|ly| (0..32).map(move |x| (x, ly)))
+            .map(|(x, ly)| lat.macroscopic(x, ly).1)
+            .collect();
+        for _ in 0..10 {
+            lat.step_serial();
+        }
+        let after: Vec<f64> = (0..16)
+            .flat_map(|ly| (0..32).map(move |x| (x, ly)))
+            .map(|(x, ly)| lat.macroscopic(x, ly).1)
+            .collect();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((b - a).abs() < 1e-12, "{b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn uniform_flow_has_zero_vorticity() {
+        let cfg = Config::wind_tunnel(16, 16);
+        let none = barrier_none();
+        let mut lat = Lattice::new(cfg, 0, 16, &none);
+        lat.step_serial();
+        let vort = lat.vorticity(None, None);
+        assert!(vort.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn barrier_generates_vorticity_downstream() {
+        let cfg = Config::wind_tunnel(64, 32);
+        let bar = barrier_line(16, 12, 20);
+        let mut lat = Lattice::new(cfg, 0, 32, &bar);
+        for _ in 0..200 {
+            lat.step_serial();
+        }
+        let vort = lat.vorticity(None, None);
+        let max = vort.iter().fold(0f32, |m, v| m.max(v.abs()));
+        assert!(max > 1e-3, "no vorticity shed: max {max}");
+        // Both senses of rotation appear (a vortex street sheds pairs).
+        assert!(vort.iter().any(|&v| v > 1e-4) && vort.iter().any(|&v| v < -1e-4));
+    }
+
+    #[test]
+    fn simulation_stays_finite_and_positive() {
+        let cfg = Config::wind_tunnel(48, 24);
+        let bar = barrier_line(12, 8, 16);
+        let mut lat = Lattice::new(cfg, 0, 24, &bar);
+        for _ in 0..500 {
+            lat.step_serial();
+        }
+        for ly in 0..24 {
+            for x in 0..48 {
+                let (rho, ux, uy) = lat.macroscopic(x, ly);
+                assert!(rho.is_finite() && ux.is_finite() && uy.is_finite());
+                assert!(rho > 0.2 && rho < 5.0, "density blow-up: {rho}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_mass_is_conserved_by_collision() {
+        let cfg = Config::wind_tunnel(32, 16);
+        let bar = barrier_line(8, 4, 10);
+        let mut lat = Lattice::new(cfg, 0, 16, &bar);
+        for _ in 0..5 {
+            lat.step_serial();
+        }
+        let mass = |l: &Lattice| -> f64 {
+            let mut m = 0.0;
+            for ly in 0..16 {
+                for x in 0..32 {
+                    m += l.macroscopic(x, ly).0;
+                }
+            }
+            m
+        };
+        let m0 = mass(&lat);
+        lat.collide(); // collision alone must conserve mass exactly
+        let m1 = mass(&lat);
+        assert!((m0 - m1).abs() < 1e-9, "{m0} vs {m1}");
+    }
+
+    #[test]
+    fn edge_row_and_ghost_roundtrip() {
+        let cfg = Config::wind_tunnel(8, 8);
+        let none = barrier_none();
+        let mut a = Lattice::new(cfg, 0, 4, &none);
+        let b = Lattice::new(cfg, 4, 4, &none);
+        let payload = b.edge_row(Edge::Below);
+        assert_eq!(payload.len(), 9 * 8);
+        a.set_ghost(Edge::Above, &payload);
+        // Ghost row now mirrors b's bottom interior row.
+        for d in 0..9 {
+            for x in 0..8 {
+                assert_eq!(a.f[a.idx(d, x, 4)], b.f[b.idx(d, x, 0)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn slab_outside_domain_rejected() {
+        let cfg = Config::wind_tunnel(8, 8);
+        let none = barrier_none();
+        let _ = Lattice::new(cfg, 6, 4, &none);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cartesian process topologies (the `MPI_Cart_*` family).
+//!
+//! Block and brick decompositions name peers by grid coordinates, not raw
+//! ranks; this module provides that mapping: build a [`CartComm`] over a
+//! communicator, then translate between ranks and coordinates and find
+//! shifted neighbors (the halo-exchange partner query).
+
+use crate::comm::Comm;
+use crate::error::{Error, Result};
+
+/// A communicator arranged as an N-dimensional (≤ 3) grid of processes.
+///
+/// Rank 0 sits at coordinate (0, 0, 0); coordinate 0 varies fastest (the
+/// same convention as DDR's memory layout).
+pub struct CartComm {
+    comm: Comm,
+    dims: [usize; 3],
+    ndims: usize,
+    periodic: [bool; 3],
+}
+
+impl CartComm {
+    /// Arrange `comm` as a grid with the given extents (their product must
+    /// equal the communicator size). `periodic[d]` wraps neighbors on axis
+    /// `d`.
+    pub fn new(comm: Comm, dims: &[usize], periodic: &[bool]) -> Result<Self> {
+        if dims.is_empty() || dims.len() > 3 || periodic.len() != dims.len() {
+            return Err(Error::CollectiveMismatch {
+                detail: format!("cartesian topology supports 1-3 dims, got {}", dims.len()),
+            });
+        }
+        let total: usize = dims.iter().product();
+        if total != comm.size() {
+            return Err(Error::CollectiveMismatch {
+                detail: format!(
+                    "grid {dims:?} holds {total} ranks but communicator has {}",
+                    comm.size()
+                ),
+            });
+        }
+        let mut d3 = [1usize; 3];
+        let mut p3 = [false; 3];
+        d3[..dims.len()].copy_from_slice(dims);
+        p3[..periodic.len()].copy_from_slice(periodic);
+        Ok(CartComm { comm, dims: d3, ndims: dims.len(), periodic: p3 })
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Number of meaningful dimensions.
+    pub fn ndims(&self) -> usize {
+        self.ndims
+    }
+
+    /// Grid extents (trailing dims are 1).
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// This rank's grid coordinates.
+    pub fn coords(&self) -> [usize; 3] {
+        self.coords_of(self.comm.rank())
+    }
+
+    /// Coordinates of an arbitrary rank.
+    pub fn coords_of(&self, rank: usize) -> [usize; 3] {
+        [
+            rank % self.dims[0],
+            (rank / self.dims[0]) % self.dims[1],
+            rank / (self.dims[0] * self.dims[1]),
+        ]
+    }
+
+    /// Rank at the given coordinates, or `None` when outside the grid.
+    pub fn rank_of(&self, coords: [usize; 3]) -> Option<usize> {
+        for d in 0..3 {
+            if coords[d] >= self.dims[d] {
+                return None;
+            }
+        }
+        Some(coords[0] + self.dims[0] * (coords[1] + self.dims[1] * coords[2]))
+    }
+
+    /// The ranks `displacement` steps down/up axis `axis` from this rank:
+    /// `(source, dest)` as in `MPI_Cart_shift`. `None` entries fall off a
+    /// non-periodic boundary.
+    pub fn shift(&self, axis: usize, displacement: i64) -> (Option<usize>, Option<usize>) {
+        assert!(axis < self.ndims, "axis {axis} out of {} dims", self.ndims);
+        let me = self.coords();
+        let step = |dir: i64| -> Option<usize> {
+            let extent = self.dims[axis] as i64;
+            let raw = me[axis] as i64 + dir * displacement;
+            let wrapped = if self.periodic[axis] {
+                raw.rem_euclid(extent)
+            } else if (0..extent).contains(&raw) {
+                raw
+            } else {
+                return None;
+            };
+            let mut c = me;
+            c[axis] = wrapped as usize;
+            self.rank_of(c)
+        };
+        (step(-1), step(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn coords_roundtrip_2d() {
+        Universe::run(6, |comm| {
+            let cart = CartComm::new(comm.duplicate().unwrap(), &[3, 2], &[false, false])
+                .unwrap();
+            let c = cart.coords();
+            assert_eq!(cart.rank_of(c), Some(comm.rank()));
+            assert_eq!(c[0], comm.rank() % 3);
+            assert_eq!(c[1], comm.rank() / 3);
+            assert_eq!(cart.rank_of([3, 0, 0]), None);
+        });
+    }
+
+    #[test]
+    fn shift_non_periodic_drops_at_edges() {
+        Universe::run(4, |comm| {
+            let cart =
+                CartComm::new(comm.duplicate().unwrap(), &[4], &[false]).unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            let r = comm.rank();
+            assert_eq!(src, r.checked_sub(1));
+            assert_eq!(dst, if r + 1 < 4 { Some(r + 1) } else { None });
+        });
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        Universe::run(4, |comm| {
+            let cart = CartComm::new(comm.duplicate().unwrap(), &[4], &[true]).unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            let r = comm.rank();
+            assert_eq!(src, Some((r + 3) % 4));
+            assert_eq!(dst, Some((r + 1) % 4));
+        });
+    }
+
+    #[test]
+    fn halo_ring_exchange_through_topology() {
+        // Periodic 1-D ring: send to +1 neighbor, value rotates.
+        let out = Universe::run(5, |comm| {
+            let rank = comm.rank();
+            let cart = CartComm::new(comm.duplicate().unwrap(), &[5], &[true]).unwrap();
+            let (src, dst) = cart.shift(0, 1);
+            cart.comm().send(dst.unwrap(), 0, &[rank as u32]).unwrap();
+            cart.comm().recv_vec::<u32>(src.unwrap(), 0).unwrap()[0]
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_grids_rejected() {
+        Universe::run(4, |comm| {
+            assert!(CartComm::new(comm.duplicate().unwrap(), &[3], &[false]).is_err());
+            assert!(CartComm::new(comm.duplicate().unwrap(), &[], &[]).is_err());
+            assert!(
+                CartComm::new(comm.duplicate().unwrap(), &[2, 2], &[false]).is_err(),
+                "periodic length mismatch"
+            );
+        });
+    }
+
+    #[test]
+    fn grid_3d_coordinates() {
+        Universe::run(8, |comm| {
+            let cart = CartComm::new(
+                comm.duplicate().unwrap(),
+                &[2, 2, 2],
+                &[false, false, false],
+            )
+            .unwrap();
+            let c = cart.coords();
+            let r = comm.rank();
+            assert_eq!(c, [r % 2, (r / 2) % 2, r / 4]);
+            assert_eq!(cart.dims(), [2, 2, 2]);
+            assert_eq!(cart.ndims(), 3);
+        });
+    }
+}

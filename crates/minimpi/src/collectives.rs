@@ -1,0 +1,504 @@
+//! Collective operations over a [`Comm`].
+//!
+//! All collectives are built on point-to-point messages in a private tag
+//! namespace keyed by a per-communicator sequence number, so user traffic and
+//! concurrent collectives on *different* communicators can never interfere.
+//! Every member of a communicator must call each collective in the same
+//! order — the standard MPI contract.
+
+use crate::comm::{coll_key_tag, Comm};
+use crate::datatype::Datatype;
+use crate::error::{Error, Result};
+use crate::pod::{bytes_of, vec_from_bytes, Pod};
+
+/// Encode a list of byte buffers into one buffer (u64 count + u64 lengths +
+/// concatenated payloads). Used to ship gathered results through broadcast.
+fn encode_multi(parts: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(8 + 8 * parts.len() + total);
+    out.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+    }
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+fn decode_multi(buf: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let fail = || Error::SizeMismatch { expected: 8, got: buf.len() };
+    if buf.len() < 8 {
+        return Err(fail());
+    }
+    let n = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
+    let header = 8 + 8 * n;
+    if buf.len() < header {
+        return Err(fail());
+    }
+    let mut lens = Vec::with_capacity(n);
+    for i in 0..n {
+        let o = 8 + 8 * i;
+        lens.push(u64::from_le_bytes(buf[o..o + 8].try_into().unwrap()) as usize);
+    }
+    let mut parts = Vec::with_capacity(n);
+    let mut cursor = header;
+    for len in lens {
+        if cursor + len > buf.len() {
+            return Err(fail());
+        }
+        parts.push(buf[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    Ok(parts)
+}
+
+impl Comm {
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// Block until every rank in the communicator has entered the barrier.
+    /// Dissemination algorithm: `ceil(log2 n)` rounds.
+    pub fn barrier(&self) -> Result<()> {
+        let n = self.size();
+        if n == 1 {
+            return Ok(());
+        }
+        let seq = self.next_coll_seq();
+        let mut dist = 1usize;
+        let mut phase = 0u64;
+        while dist < n {
+            let to = (self.rank() + dist) % n;
+            let from = (self.rank() + n - dist) % n;
+            self.deposit_to(to, coll_key_tag(seq, phase), Vec::new());
+            self.take_from(from, coll_key_tag(seq, phase))?;
+            dist <<= 1;
+            phase += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast
+    // ------------------------------------------------------------------
+
+    /// Broadcast bytes from `root` to all ranks. On non-root ranks the
+    /// returned vector is the received payload; on the root it is a copy of
+    /// `data`. Binomial tree, `O(log n)` depth.
+    pub fn broadcast_bytes(&self, root: usize, data: &[u8]) -> Result<Vec<u8>> {
+        let n = self.size();
+        if root >= n {
+            return Err(Error::RankOutOfRange { rank: root, size: n });
+        }
+        let seq = self.next_coll_seq();
+        let relative = (self.rank() + n - root) % n;
+
+        let mut payload: Option<Vec<u8>> = if relative == 0 { Some(data.to_vec()) } else { None };
+
+        // Receive phase: find the bit that identifies our parent.
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src = (self.rank() + n - mask) % n;
+                payload = Some(self.take_from(src, coll_key_tag(seq, 0))?);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children below our identifying bit.
+        let payload = payload.expect("bcast: payload must be set after receive phase");
+        let mut mask = mask >> 1;
+        while mask > 0 {
+            if relative + mask < n {
+                let dst = (self.rank() + mask) % n;
+                self.deposit_to(dst, coll_key_tag(seq, 0), payload.clone());
+            }
+            mask >>= 1;
+        }
+        Ok(payload)
+    }
+
+    /// Broadcast a typed slice from `root`; all ranks receive the root's data.
+    pub fn broadcast<T: Pod>(&self, root: usize, data: &[T]) -> Result<Vec<T>> {
+        let bytes = self.broadcast_bytes(root, bytes_of(data))?;
+        vec_from_bytes(&bytes)
+            .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: bytes.len() })
+    }
+
+    // ------------------------------------------------------------------
+    // Gather / Allgather
+    // ------------------------------------------------------------------
+
+    /// Gather each rank's (variable-length) bytes at `root`. Returns
+    /// `Some(parts)` on the root (indexed by rank) and `None` elsewhere.
+    pub fn gather_bytes(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        let n = self.size();
+        if root >= n {
+            return Err(Error::RankOutOfRange { rank: root, size: n });
+        }
+        let seq = self.next_coll_seq();
+        if self.rank() == root {
+            let mut parts = vec![Vec::new(); n];
+            parts[root] = data.to_vec();
+            for src in 0..n {
+                if src != root {
+                    parts[src] = self.take_from(src, coll_key_tag(seq, 0))?;
+                }
+            }
+            Ok(Some(parts))
+        } else {
+            self.deposit_to(root, coll_key_tag(seq, 0), data.to_vec());
+            Ok(None)
+        }
+    }
+
+    /// Typed gather at `root`.
+    pub fn gather<T: Pod>(&self, root: usize, data: &[T]) -> Result<Option<Vec<Vec<T>>>> {
+        match self.gather_bytes(root, bytes_of(data))? {
+            None => Ok(None),
+            Some(parts) => parts
+                .iter()
+                .map(|p| {
+                    vec_from_bytes(p).ok_or(Error::SizeMismatch {
+                        expected: std::mem::size_of::<T>(),
+                        got: p.len(),
+                    })
+                })
+                .collect::<Result<Vec<_>>>()
+                .map(Some),
+        }
+    }
+
+    /// Allgather of variable-length byte buffers: every rank receives every
+    /// rank's contribution, indexed by rank. Gather-to-0 + broadcast.
+    pub fn allgather_bytes(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let gathered = self.gather_bytes(0, data)?;
+        let encoded = match gathered {
+            Some(parts) => encode_multi(&parts),
+            None => Vec::new(),
+        };
+        let all = self.broadcast_bytes(0, &encoded)?;
+        decode_multi(&all)
+    }
+
+    /// Typed allgather: every rank receives every rank's slice.
+    pub fn allgather<T: Pod>(&self, data: &[T]) -> Result<Vec<Vec<T>>> {
+        self.allgather_bytes(bytes_of(data))?
+            .iter()
+            .map(|p| {
+                vec_from_bytes(p).ok_or(Error::SizeMismatch {
+                    expected: std::mem::size_of::<T>(),
+                    got: p.len(),
+                })
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Scatter
+    // ------------------------------------------------------------------
+
+    /// Scatter variable-length byte buffers from `root`: rank `i` receives
+    /// `parts[i]`. Non-root ranks pass `None`.
+    pub fn scatterv_bytes(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+        let n = self.size();
+        if root >= n {
+            return Err(Error::RankOutOfRange { rank: root, size: n });
+        }
+        let seq = self.next_coll_seq();
+        if self.rank() == root {
+            let parts = parts.ok_or_else(|| Error::CollectiveMismatch {
+                detail: "scatterv: root must supply parts".into(),
+            })?;
+            if parts.len() != n {
+                return Err(Error::CollectiveMismatch {
+                    detail: format!("scatterv: expected {n} parts, got {}", parts.len()),
+                });
+            }
+            for (dest, part) in parts.iter().enumerate() {
+                if dest != root {
+                    self.deposit_to(dest, coll_key_tag(seq, 0), part.clone());
+                }
+            }
+            Ok(parts[root].clone())
+        } else {
+            self.take_from(root, coll_key_tag(seq, 0))
+        }
+    }
+
+    /// Typed equal-size scatter: the root's slice is split into
+    /// `size` equal chunks, rank `i` receiving the `i`-th.
+    pub fn scatter<T: Pod>(&self, root: usize, data: Option<&[T]>) -> Result<Vec<T>> {
+        let n = self.size();
+        let parts: Option<Vec<Vec<u8>>> = match (self.rank() == root, data) {
+            (true, Some(d)) => {
+                if d.len() % n != 0 {
+                    return Err(Error::CollectiveMismatch {
+                        detail: format!(
+                            "scatter: {} elements do not divide evenly over {n} ranks",
+                            d.len()
+                        ),
+                    });
+                }
+                let chunk = d.len() / n;
+                Some((0..n).map(|i| bytes_of(&d[i * chunk..(i + 1) * chunk]).to_vec()).collect())
+            }
+            (true, None) => {
+                return Err(Error::CollectiveMismatch {
+                    detail: "scatter: root must supply data".into(),
+                })
+            }
+            _ => None,
+        };
+        let mine = self.scatterv_bytes(root, parts.as_deref())?;
+        vec_from_bytes(&mine)
+            .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: mine.len() })
+    }
+
+    // ------------------------------------------------------------------
+    // Reduce / Allreduce
+    // ------------------------------------------------------------------
+
+    /// Element-wise reduction at `root` with operator `op`, folding in rank
+    /// order (deterministic for non-associative float ops). All ranks must
+    /// contribute slices of the same length.
+    pub fn reduce<T: Pod>(
+        &self,
+        root: usize,
+        data: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> Result<Option<Vec<T>>> {
+        match self.gather(root, data)? {
+            None => Ok(None),
+            Some(parts) => {
+                let len = parts[0].len();
+                if parts.iter().any(|p| p.len() != len) {
+                    return Err(Error::CollectiveMismatch {
+                        detail: "reduce: contribution lengths differ across ranks".into(),
+                    });
+                }
+                let mut acc = parts[0].clone();
+                for part in &parts[1..] {
+                    for (a, &b) in acc.iter_mut().zip(part.iter()) {
+                        *a = op(*a, b);
+                    }
+                }
+                Ok(Some(acc))
+            }
+        }
+    }
+
+    /// Element-wise reduction delivered to all ranks.
+    ///
+    /// # Panics
+    /// Panics if the underlying communication fails (see [`Comm::try_allreduce`]
+    /// for the fallible variant).
+    pub fn allreduce<T: Pod>(&self, data: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
+        self.try_allreduce(data, op).expect("allreduce failed")
+    }
+
+    /// Fallible element-wise reduction delivered to all ranks.
+    pub fn try_allreduce<T: Pod>(
+        &self,
+        data: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> Result<Vec<T>> {
+        let reduced = self.reduce(0, data, op)?;
+        let bytes = match reduced {
+            Some(v) => bytes_of(&v).to_vec(),
+            None => Vec::new(),
+        };
+        let all = self.broadcast_bytes(0, &bytes)?;
+        vec_from_bytes(&all)
+            .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: all.len() })
+    }
+
+    // ------------------------------------------------------------------
+    // Alltoall family
+    // ------------------------------------------------------------------
+
+    /// Personalized all-to-all of variable-length byte buffers. `msgs[d]` is
+    /// sent to rank `d`; the result's index `s` holds rank `s`'s message to
+    /// this rank. The self-message is moved, not copied through a mailbox.
+    pub fn alltoall_bytes(&self, mut msgs: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
+        let n = self.size();
+        if msgs.len() != n {
+            return Err(Error::CollectiveMismatch {
+                detail: format!("alltoall: expected {n} messages, got {}", msgs.len()),
+            });
+        }
+        let seq = self.next_coll_seq();
+        let me = self.rank();
+        let self_msg = std::mem::take(&mut msgs[me]);
+        for (d, m) in msgs.into_iter().enumerate() {
+            if d != me {
+                self.deposit_to(d, coll_key_tag(seq, 0), m);
+            }
+        }
+        let mut out = vec![Vec::new(); n];
+        out[me] = self_msg;
+        for s in 0..n {
+            if s != me {
+                out[s] = self.take_from(s, coll_key_tag(seq, 0))?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Typed personalized all-to-all with per-destination counts.
+    pub fn alltoallv<T: Pod>(&self, msgs: &[Vec<T>]) -> Result<Vec<Vec<T>>> {
+        let bytes: Vec<Vec<u8>> = msgs.iter().map(|m| bytes_of(m).to_vec()).collect();
+        self.alltoall_bytes(bytes)?
+            .iter()
+            .map(|p| {
+                vec_from_bytes(p).ok_or(Error::SizeMismatch {
+                    expected: std::mem::size_of::<T>(),
+                    got: p.len(),
+                })
+            })
+            .collect()
+    }
+
+    /// `MPI_Alltoallw` over derived datatypes: for every destination `d`,
+    /// `send_types[d]` selects the part of `send_buf` to ship; for every
+    /// source `s`, `recv_types[s]` places the incoming bytes into `recv_buf`.
+    ///
+    /// Unlike MPI, zero-length transfers are elided entirely — the contract
+    /// is that `send_types[d]` on rank `r` is non-empty **iff** `recv_types[r]`
+    /// on rank `d` is non-empty (DDR's mapping guarantees this by
+    /// construction). The self-transfer is a direct pack/unpack copy.
+    pub fn alltoallw(
+        &self,
+        send_buf: &[u8],
+        send_types: &[Datatype],
+        recv_buf: &mut [u8],
+        recv_types: &[Datatype],
+    ) -> Result<()> {
+        let n = self.size();
+        if send_types.len() != n || recv_types.len() != n {
+            return Err(Error::CollectiveMismatch {
+                detail: format!(
+                    "alltoallw: expected {n} send and recv types, got {} and {}",
+                    send_types.len(),
+                    recv_types.len()
+                ),
+            });
+        }
+        let seq = self.next_coll_seq();
+        let me = self.rank();
+
+        // Send phase (buffered, never blocks).
+        for d in 0..n {
+            if d == me {
+                continue;
+            }
+            let dt = &send_types[d];
+            if dt.packed_len() == 0 {
+                continue;
+            }
+            let mut packed = Vec::with_capacity(dt.packed_len());
+            dt.pack_into(send_buf, &mut packed)?;
+            self.deposit_to(d, coll_key_tag(seq, 0), packed);
+        }
+
+        // Self-transfer.
+        if send_types[me].packed_len() > 0 || recv_types[me].packed_len() > 0 {
+            let mut packed = Vec::with_capacity(send_types[me].packed_len());
+            send_types[me].pack_into(send_buf, &mut packed)?;
+            recv_types[me].unpack(&packed, recv_buf)?;
+        }
+
+        // Receive phase.
+        for s in 0..n {
+            if s == me {
+                continue;
+            }
+            let dt = &recv_types[s];
+            if dt.packed_len() == 0 {
+                continue;
+            }
+            let packed = self.take_from(s, coll_key_tag(seq, 0))?;
+            dt.unpack(&packed, recv_buf)?;
+        }
+        Ok(())
+    }
+
+    /// Sparse personalized exchange: send each `(dest, payload)` pair and
+    /// receive exactly one message from each rank in `recv_srcs`. Runs in the
+    /// private collective namespace, so it composes with user-tag traffic.
+    ///
+    /// This is the "direct send/receive instead of `MPI_Alltoallw`" pattern
+    /// the DDR paper proposes as future work for mappings that only touch a
+    /// few neighbors. Every rank of the communicator must call it in the same
+    /// collective order (ranks with nothing to send or receive pass empty
+    /// arguments). Returns `(src, payload)` pairs ordered by `recv_srcs`.
+    pub fn sparse_exchange(
+        &self,
+        sends: Vec<(usize, Vec<u8>)>,
+        recv_srcs: &[usize],
+    ) -> Result<Vec<(usize, Vec<u8>)>> {
+        let seq = self.next_coll_seq();
+        let me = self.rank();
+        // Self messages stay local; several per call are allowed (a plan may
+        // move multiple rectangles from a rank to itself) and are consumed
+        // in send order.
+        let mut self_payloads = std::collections::VecDeque::new();
+        for (dest, payload) in sends {
+            self.check_rank_pub(dest)?;
+            if dest == me {
+                self_payloads.push_back(payload);
+            } else {
+                self.deposit_to(dest, coll_key_tag(seq, 0), payload);
+            }
+        }
+        let mut out = Vec::with_capacity(recv_srcs.len());
+        for &src in recv_srcs {
+            self.check_rank_pub(src)?;
+            if src == me {
+                let payload = self_payloads.pop_front().ok_or_else(|| {
+                    Error::CollectiveMismatch {
+                        detail: "sparse_exchange: self receive without matching self send"
+                            .into(),
+                    }
+                })?;
+                out.push((src, payload));
+            } else {
+                out.push((src, self.take_from(src, coll_key_tag(seq, 0))?));
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Scan
+    // ------------------------------------------------------------------
+
+    /// Inclusive prefix reduction: rank `r` receives `op` folded over the
+    /// contributions of ranks `0..=r`, in rank order.
+    pub fn scan<T: Pod>(&self, data: &[T], op: impl Fn(T, T) -> T) -> Result<Vec<T>> {
+        // Linear chain: rank r waits for the prefix of r-1, folds, forwards.
+        let seq = self.next_coll_seq();
+        let me = self.rank();
+        let mut acc: Vec<T> = data.to_vec();
+        if me > 0 {
+            let prev_bytes = self.take_from(me - 1, coll_key_tag(seq, 0))?;
+            let prev: Vec<T> = vec_from_bytes(&prev_bytes).ok_or(Error::SizeMismatch {
+                expected: std::mem::size_of::<T>(),
+                got: prev_bytes.len(),
+            })?;
+            if prev.len() != acc.len() {
+                return Err(Error::CollectiveMismatch {
+                    detail: "scan: contribution lengths differ across ranks".into(),
+                });
+            }
+            for (a, &p) in acc.iter_mut().zip(prev.iter()) {
+                *a = op(p, *a);
+            }
+        }
+        if me + 1 < self.size() {
+            self.deposit_to(me + 1, coll_key_tag(seq, 0), bytes_of(&acc).to_vec());
+        }
+        Ok(acc)
+    }
+}

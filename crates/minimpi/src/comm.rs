@@ -1,0 +1,290 @@
+//! Communicators and point-to-point messaging.
+
+use crate::error::{Error, Result};
+use crate::mailbox::{Envelope, Mailbox, MsgKey};
+use crate::pod::{bytes_of, vec_from_bytes, Pod};
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// User message tag. The full `u32` range is available to applications;
+/// collective traffic lives in a disjoint internal namespace.
+pub type Tag = u32;
+
+/// Pseudo-rank accepted by [`Comm::recv_bytes_any`]-style operations.
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Result metadata for receives that report their matched source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvStatus {
+    /// Communicator-local rank the message came from.
+    pub src: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Shared state of one [`crate::Universe`] run: a mailbox per world rank.
+pub(crate) struct WorldState {
+    pub mailboxes: Vec<Mailbox>,
+}
+
+impl WorldState {
+    pub fn new(n: usize) -> Self {
+        WorldState { mailboxes: (0..n).map(|_| Mailbox::default()).collect() }
+    }
+}
+
+// Internal key-tag namespace: user tags and collective sequence numbers must
+// never collide. User tag t  -> key tag = t (< 2^32).
+// Collective (seq, phase)    -> key tag = COLL_BIT | seq << PHASE_BITS | phase.
+const COLL_BIT: u64 = 1 << 63;
+const PHASE_BITS: u32 = 12;
+const PHASE_MASK: u64 = (1 << PHASE_BITS) - 1;
+
+fn user_key_tag(tag: Tag) -> u64 {
+    tag as u64
+}
+
+pub(crate) fn coll_key_tag(seq: u64, phase: u64) -> u64 {
+    debug_assert!(phase <= PHASE_MASK);
+    COLL_BIT | (seq << PHASE_BITS) | phase
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer) used to derive child
+/// communicator ids identically on every member rank.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A communicator: a rank's handle onto an ordered group of ranks.
+///
+/// Each rank-thread owns its `Comm` (it is `Send` but deliberately not
+/// `Sync`); cloning is not provided — use [`Comm::duplicate`], which is a
+/// collective, mirroring `MPI_Comm_dup`.
+pub struct Comm {
+    pub(crate) world: Arc<WorldState>,
+    pub(crate) comm_id: u64,
+    /// This rank's index within the communicator.
+    pub(crate) rank: usize,
+    /// World rank of each communicator member, indexed by communicator rank.
+    pub(crate) members: Arc<Vec<usize>>,
+    /// Per-rank collective sequence number; identical across members because
+    /// collectives are called in the same order by all of them.
+    pub(crate) coll_seq: Cell<u64>,
+    split_seq: Cell<u64>,
+    timeout: Cell<Duration>,
+}
+
+impl Comm {
+    pub(crate) fn world_comm(world: Arc<WorldState>, rank: usize) -> Self {
+        let n = world.mailboxes.len();
+        Comm {
+            world,
+            comm_id: 0,
+            rank,
+            members: Arc::new((0..n).collect()),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+            timeout: Cell::new(default_timeout()),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index within the original world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.members[self.rank]
+    }
+
+    /// Watchdog timeout applied to blocking receives.
+    pub fn timeout(&self) -> Duration {
+        self.timeout.get()
+    }
+
+    /// Set the watchdog timeout for blocking receives on this handle.
+    pub fn set_timeout(&self, t: Duration) {
+        self.timeout.set(t);
+    }
+
+    pub(crate) fn check_rank_pub(&self, r: usize) -> Result<()> {
+        self.check_rank(r)
+    }
+
+    fn check_rank(&self, r: usize) -> Result<()> {
+        if r >= self.size() {
+            return Err(Error::RankOutOfRange { rank: r, size: self.size() });
+        }
+        Ok(())
+    }
+
+    fn my_mailbox(&self) -> &Mailbox {
+        &self.world.mailboxes[self.members[self.rank]]
+    }
+
+    pub(crate) fn deposit_to(&self, dest: usize, key_tag: u64, payload: Vec<u8>) {
+        let key: MsgKey = (self.comm_id, self.rank, key_tag);
+        self.world.mailboxes[self.members[dest]].deposit(key, Envelope { src: self.rank, payload });
+    }
+
+    pub(crate) fn take_from(&self, src: usize, key_tag: u64) -> Result<Vec<u8>> {
+        let key: MsgKey = (self.comm_id, src, key_tag);
+        match self.my_mailbox().take(key, self.timeout.get()) {
+            Some(env) => Ok(env.payload),
+            None => Err(Error::Timeout { rank: self.rank, src: Some(src), tag: key_tag }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send raw bytes to `dest` with `tag`. Buffered: returns immediately.
+    pub fn send_bytes(&self, dest: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        self.check_rank(dest)?;
+        self.deposit_to(dest, user_key_tag(tag), data.to_vec());
+        Ok(())
+    }
+
+    /// Send a slice of POD values to `dest` with `tag`.
+    pub fn send<T: Pod>(&self, dest: usize, tag: Tag, data: &[T]) -> Result<()> {
+        self.send_bytes(dest, tag, bytes_of(data))
+    }
+
+    /// Send an owned byte buffer without copying it.
+    pub fn send_bytes_owned(&self, dest: usize, tag: Tag, data: Vec<u8>) -> Result<()> {
+        self.check_rank(dest)?;
+        self.deposit_to(dest, user_key_tag(tag), data);
+        Ok(())
+    }
+
+    /// Receive raw bytes from `src` with `tag`, blocking until available.
+    pub fn recv_bytes(&self, src: usize, tag: Tag) -> Result<Vec<u8>> {
+        self.check_rank(src)?;
+        self.take_from(src, user_key_tag(tag))
+    }
+
+    /// Receive from any source; returns the payload and its origin.
+    pub fn recv_bytes_any(&self, tag: Tag) -> Result<(RecvStatus, Vec<u8>)> {
+        match self.my_mailbox().take_any(
+            self.comm_id,
+            user_key_tag(tag),
+            self.size(),
+            self.timeout.get(),
+        ) {
+            Some(env) => {
+                Ok((RecvStatus { src: env.src, len: env.payload.len() }, env.payload))
+            }
+            None => Err(Error::Timeout { rank: self.rank, src: None, tag: user_key_tag(tag) }),
+        }
+    }
+
+    /// Receive a `Vec<T>` of POD values from `src` with `tag`.
+    pub fn recv_vec<T: Pod>(&self, src: usize, tag: Tag) -> Result<Vec<T>> {
+        let bytes = self.recv_bytes(src, tag)?;
+        vec_from_bytes(&bytes).ok_or(Error::SizeMismatch {
+            expected: std::mem::size_of::<T>(),
+            got: bytes.len(),
+        })
+    }
+
+    /// Receive into a caller-provided buffer; the message length must equal
+    /// the buffer length exactly.
+    pub fn recv_into<T: Pod>(&self, src: usize, tag: Tag, buf: &mut [T]) -> Result<()> {
+        let bytes = self.recv_bytes(src, tag)?;
+        let want = std::mem::size_of_val(buf);
+        if bytes.len() != want {
+            return Err(Error::SizeMismatch { expected: want, got: bytes.len() });
+        }
+        crate::pod::bytes_of_mut(buf).copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Non-blocking receive attempt.
+    pub fn try_recv_bytes(&self, src: usize, tag: Tag) -> Result<Option<Vec<u8>>> {
+        self.check_rank(src)?;
+        Ok(self
+            .my_mailbox()
+            .try_take((self.comm_id, src, user_key_tag(tag)))
+            .map(|env| env.payload))
+    }
+
+    /// Combined send+receive, safe against head-of-line blocking because
+    /// sends are buffered (as in `MPI_Sendrecv` with eager protocol).
+    pub fn sendrecv<T: Pod>(
+        &self,
+        dest: usize,
+        send_data: &[T],
+        src: usize,
+        tag: Tag,
+    ) -> Result<Vec<T>> {
+        self.send(dest, tag, send_data)?;
+        self.recv_vec(src, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Collective: split this communicator into disjoint sub-communicators,
+    /// one per distinct `color`. Members of each child are ordered by their
+    /// rank in the parent (MPI's `key` is fixed to the parent rank).
+    pub fn split(&self, color: u64) -> Result<Comm> {
+        let all: Vec<(u64, usize)> = self
+            .allgather(&[color])?
+            .into_iter()
+            .enumerate()
+            .map(|(r, c)| (c[0], r))
+            .collect();
+        let members: Vec<usize> = all
+            .iter()
+            .filter(|(c, _)| *c == color)
+            .map(|(_, r)| self.members[*r])
+            .collect();
+        let new_rank = members
+            .iter()
+            .position(|&w| w == self.world_rank())
+            .expect("split: calling rank missing from its own color group");
+        let seq = self.split_seq.get();
+        self.split_seq.set(seq + 1);
+        let child_id = mix64(mix64(self.comm_id ^ seq.wrapping_mul(0x9e37)) ^ color);
+        Ok(Comm {
+            world: Arc::clone(&self.world),
+            comm_id: child_id,
+            rank: new_rank,
+            members: Arc::new(members),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+            timeout: Cell::new(self.timeout.get()),
+        })
+    }
+
+    /// Collective: duplicate this communicator into an independent one with
+    /// the same group but a private message namespace.
+    pub fn duplicate(&self) -> Result<Comm> {
+        self.split(0)
+    }
+
+    pub(crate) fn next_coll_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+}
+
+fn default_timeout() -> Duration {
+    match std::env::var("MINIMPI_TIMEOUT_SECS").ok().and_then(|v| v.parse::<u64>().ok()) {
+        Some(s) => Duration::from_secs(s),
+        None => Duration::from_secs(120),
+    }
+}

@@ -1,0 +1,402 @@
+//! MPI-style derived datatypes.
+//!
+//! The DDR paper's redistribution step relies on `MPI_Alltoallw` with
+//! **subarray** datatypes: each rank describes, for every peer, a
+//! multidimensional rectangular subset of a larger array to send from (or
+//! receive into). This module implements that subset of MPI's datatype
+//! machinery: a [`Subarray`] describes the rectangle, and [`Datatype`] is the
+//! wire-facing enum used by [`crate::Comm::alltoallw`].
+//!
+//! Memory layout convention (matching the paper's `[i, j, k]` parameter
+//! order): **coordinate 0 varies fastest**. For a 2-D array of size
+//! `[sx, sy]`, element `(x, y)` lives at linear index `x + sx * y`; for 3-D
+//! `[sx, sy, sz]`, element `(x, y, z)` lives at `x + sx * (y + sy * z)`.
+
+use crate::error::{Error, Result};
+
+/// Maximum dimensionality supported (the paper supports 1-D, 2-D and 3-D).
+pub const MAX_DIMS: usize = 3;
+
+/// A rectangular subset of a multidimensional array, equivalent to the
+/// datatype produced by `MPI_Type_create_subarray`.
+///
+/// Unused trailing dimensions must be set to size 1 (for `sizes` and
+/// `subsizes`) and 0 (for `starts`); the convenience constructors do this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subarray {
+    /// Number of meaningful dimensions (1..=3).
+    pub ndims: usize,
+    /// Full extents of the underlying array, fastest-varying first.
+    pub sizes: [usize; MAX_DIMS],
+    /// Extents of the selected rectangle.
+    pub subsizes: [usize; MAX_DIMS],
+    /// Offset of the rectangle inside the underlying array.
+    pub starts: [usize; MAX_DIMS],
+    /// Size in bytes of one array element.
+    pub elem_size: usize,
+}
+
+impl Subarray {
+    /// Create a subarray datatype, validating that the rectangle lies inside
+    /// the full array.
+    pub fn new(
+        ndims: usize,
+        sizes: [usize; MAX_DIMS],
+        subsizes: [usize; MAX_DIMS],
+        starts: [usize; MAX_DIMS],
+        elem_size: usize,
+    ) -> Result<Self> {
+        if ndims == 0 || ndims > MAX_DIMS {
+            return Err(Error::DatatypeMismatch {
+                detail: format!("ndims must be 1..=3, got {ndims}"),
+            });
+        }
+        if elem_size == 0 {
+            return Err(Error::DatatypeMismatch { detail: "elem_size must be > 0".into() });
+        }
+        let mut sizes = sizes;
+        let mut subsizes = subsizes;
+        let mut starts = starts;
+        for d in ndims..MAX_DIMS {
+            sizes[d] = 1;
+            subsizes[d] = 1;
+            starts[d] = 0;
+        }
+        for d in 0..ndims {
+            if subsizes[d] == 0 || starts[d] + subsizes[d] > sizes[d] {
+                return Err(Error::DatatypeMismatch {
+                    detail: format!(
+                        "dim {d}: start {} + subsize {} exceeds size {} (or subsize is 0)",
+                        starts[d], subsizes[d], sizes[d]
+                    ),
+                });
+            }
+        }
+        Ok(Subarray { ndims, sizes, subsizes, starts, elem_size })
+    }
+
+    /// 1-D convenience constructor.
+    pub fn d1(size: usize, subsize: usize, start: usize, elem_size: usize) -> Result<Self> {
+        Self::new(1, [size, 1, 1], [subsize, 1, 1], [start, 0, 0], elem_size)
+    }
+
+    /// 2-D convenience constructor (`x` fastest-varying).
+    pub fn d2(
+        sizes: [usize; 2],
+        subsizes: [usize; 2],
+        starts: [usize; 2],
+        elem_size: usize,
+    ) -> Result<Self> {
+        Self::new(
+            2,
+            [sizes[0], sizes[1], 1],
+            [subsizes[0], subsizes[1], 1],
+            [starts[0], starts[1], 0],
+            elem_size,
+        )
+    }
+
+    /// 3-D convenience constructor (`x` fastest-varying).
+    pub fn d3(
+        sizes: [usize; 3],
+        subsizes: [usize; 3],
+        starts: [usize; 3],
+        elem_size: usize,
+    ) -> Result<Self> {
+        Self::new(3, sizes, subsizes, starts, elem_size)
+    }
+
+    /// Number of elements selected by the rectangle.
+    pub fn count(&self) -> usize {
+        self.subsizes[0] * self.subsizes[1] * self.subsizes[2]
+    }
+
+    /// Number of bytes the rectangle packs into.
+    pub fn packed_len(&self) -> usize {
+        self.count() * self.elem_size
+    }
+
+    /// Number of bytes the *full* underlying array occupies.
+    pub fn full_len(&self) -> usize {
+        self.sizes[0] * self.sizes[1] * self.sizes[2] * self.elem_size
+    }
+
+    fn check_buf(&self, buf_len: usize) -> Result<()> {
+        if buf_len < self.full_len() {
+            return Err(Error::DatatypeMismatch {
+                detail: format!(
+                    "buffer of {} bytes too small for array of {} bytes ({}x{}x{} elems of {}B)",
+                    buf_len,
+                    self.full_len(),
+                    self.sizes[0],
+                    self.sizes[1],
+                    self.sizes[2],
+                    self.elem_size
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Pack the selected rectangle out of `src` (the full array, as bytes)
+    /// and append it to `out`. Rows contiguous in dimension 0 are copied with
+    /// single `copy_from_slice` calls.
+    pub fn pack_into(&self, src: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        self.check_buf(src.len())?;
+        let es = self.elem_size;
+        let row_bytes = self.subsizes[0] * es;
+        let sx = self.sizes[0];
+        let sy = self.sizes[1];
+        out.reserve(self.packed_len());
+        for z in 0..self.subsizes[2] {
+            let zoff = (self.starts[2] + z) * sx * sy;
+            for y in 0..self.subsizes[1] {
+                let base = (zoff + (self.starts[1] + y) * sx + self.starts[0]) * es;
+                out.extend_from_slice(&src[base..base + row_bytes]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pack the selected rectangle into a fresh buffer.
+    pub fn pack(&self, src: &[u8]) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.packed_len());
+        self.pack_into(src, &mut out)?;
+        Ok(out)
+    }
+
+    /// Unpack `packed` bytes (as produced by [`Subarray::pack`]) into the
+    /// selected rectangle of `dst` (the full array, as bytes).
+    pub fn unpack(&self, packed: &[u8], dst: &mut [u8]) -> Result<()> {
+        self.check_buf(dst.len())?;
+        if packed.len() != self.packed_len() {
+            return Err(Error::SizeMismatch { expected: self.packed_len(), got: packed.len() });
+        }
+        let es = self.elem_size;
+        let row_bytes = self.subsizes[0] * es;
+        let sx = self.sizes[0];
+        let sy = self.sizes[1];
+        let mut cursor = 0usize;
+        for z in 0..self.subsizes[2] {
+            let zoff = (self.starts[2] + z) * sx * sy;
+            for y in 0..self.subsizes[1] {
+                let base = (zoff + (self.starts[1] + y) * sx + self.starts[0]) * es;
+                dst[base..base + row_bytes].copy_from_slice(&packed[cursor..cursor + row_bytes]);
+                cursor += row_bytes;
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy the rectangle directly from `src` into the rectangle described by
+    /// `dst_type` in `dst`, without an intermediate packed buffer where
+    /// possible. Used for self-sends inside collectives.
+    pub fn copy_to(&self, src: &[u8], dst_type: &Subarray, dst: &mut [u8]) -> Result<()> {
+        if self.count() != dst_type.count() || self.elem_size != dst_type.elem_size {
+            return Err(Error::DatatypeMismatch {
+                detail: format!(
+                    "self-copy shape mismatch: {} elems of {}B vs {} elems of {}B",
+                    self.count(),
+                    self.elem_size,
+                    dst_type.count(),
+                    dst_type.elem_size
+                ),
+            });
+        }
+        let packed = self.pack(src)?;
+        dst_type.unpack(&packed, dst)
+    }
+}
+
+/// Wire-facing datatype used by [`crate::Comm::alltoallw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Datatype {
+    /// No data exchanged with this peer.
+    Empty,
+    /// `len_bytes` contiguous bytes starting at the beginning of the buffer.
+    Contiguous {
+        /// Number of bytes.
+        len_bytes: usize,
+        /// Byte offset into the buffer.
+        offset: usize,
+    },
+    /// A rectangular subset of a multidimensional array.
+    Subarray(Subarray),
+}
+
+impl Datatype {
+    /// Bytes this datatype packs to.
+    pub fn packed_len(&self) -> usize {
+        match self {
+            Datatype::Empty => 0,
+            Datatype::Contiguous { len_bytes, .. } => *len_bytes,
+            Datatype::Subarray(s) => s.packed_len(),
+        }
+    }
+
+    /// Pack this datatype's selection out of `src`, appending to `out`.
+    pub fn pack_into(&self, src: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        match self {
+            Datatype::Empty => Ok(()),
+            Datatype::Contiguous { len_bytes, offset } => {
+                let end = offset + len_bytes;
+                if end > src.len() {
+                    return Err(Error::DatatypeMismatch {
+                        detail: format!(
+                            "contiguous range {offset}..{end} exceeds buffer of {} bytes",
+                            src.len()
+                        ),
+                    });
+                }
+                out.extend_from_slice(&src[*offset..end]);
+                Ok(())
+            }
+            Datatype::Subarray(s) => s.pack_into(src, out),
+        }
+    }
+
+    /// Unpack `packed` into this datatype's selection of `dst`.
+    pub fn unpack(&self, packed: &[u8], dst: &mut [u8]) -> Result<()> {
+        match self {
+            Datatype::Empty => {
+                if packed.is_empty() {
+                    Ok(())
+                } else {
+                    Err(Error::SizeMismatch { expected: 0, got: packed.len() })
+                }
+            }
+            Datatype::Contiguous { len_bytes, offset } => {
+                if packed.len() != *len_bytes {
+                    return Err(Error::SizeMismatch { expected: *len_bytes, got: packed.len() });
+                }
+                let end = offset + len_bytes;
+                if end > dst.len() {
+                    return Err(Error::DatatypeMismatch {
+                        detail: format!(
+                            "contiguous range {offset}..{end} exceeds buffer of {} bytes",
+                            dst.len()
+                        ),
+                    });
+                }
+                dst[*offset..end].copy_from_slice(packed);
+                Ok(())
+            }
+            Datatype::Subarray(s) => s.unpack(packed, dst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr2d(w: usize, h: usize) -> Vec<u8> {
+        (0..w * h).map(|i| i as u8).collect()
+    }
+
+    #[test]
+    fn pack_2d_interior_rect() {
+        // 4x4 array, pack the central 2x2 (starts [1,1]).
+        let a = arr2d(4, 4);
+        let s = Subarray::d2([4, 4], [2, 2], [1, 1], 1).unwrap();
+        assert_eq!(s.pack(&a).unwrap(), vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn unpack_restores_exact_region() {
+        let a = arr2d(4, 4);
+        let s = Subarray::d2([4, 4], [2, 2], [1, 1], 1).unwrap();
+        let packed = s.pack(&a).unwrap();
+        let mut b = vec![0u8; 16];
+        s.unpack(&packed, &mut b).unwrap();
+        let expect: Vec<u8> =
+            (0..16).map(|i| if [5, 6, 9, 10].contains(&i) { i as u8 } else { 0 }).collect();
+        assert_eq!(b, expect);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_3d_multibyte_elems() {
+        // 3x2x2 array of u32, pack a 2x1x2 corner.
+        let w = 3;
+        let h = 2;
+        let d = 2;
+        let vals: Vec<u32> = (0..(w * h * d) as u32).collect();
+        let bytes = crate::pod::bytes_of(&vals);
+        let s = Subarray::d3([3, 2, 2], [2, 1, 2], [1, 1, 0], 4).unwrap();
+        let packed = s.pack(bytes).unwrap();
+        // Selected elements: (x,y,z) with x in 1..3, y == 1, z in 0..2.
+        // Linear index = x + 3*(y + 2*z).
+        let expect: Vec<u32> = vec![1 + 3, 2 + 3, 1 + 3 * (1 + 2), 2 + 3 * (1 + 2)];
+        let got: Vec<u32> = crate::pod::vec_from_bytes(&packed).unwrap();
+        assert_eq!(got, expect);
+
+        let mut dst = vec![0u32; w * h * d];
+        s.unpack(&packed, crate::pod::bytes_of_mut(&mut dst)).unwrap();
+        for (i, v) in dst.iter().enumerate() {
+            if expect.contains(&(i as u32)) {
+                assert_eq!(*v, i as u32);
+            } else {
+                assert_eq!(*v, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn full_array_pack_is_identity() {
+        let a = arr2d(5, 3);
+        let s = Subarray::d2([5, 3], [5, 3], [0, 0], 1).unwrap();
+        assert_eq!(s.pack(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_rect() {
+        assert!(Subarray::d2([4, 4], [2, 2], [3, 0], 1).is_err());
+        assert!(Subarray::d2([4, 4], [0, 2], [0, 0], 1).is_err());
+        assert!(Subarray::new(4, [1; 3], [1; 3], [0; 3], 1).is_err());
+        assert!(Subarray::d1(4, 2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_short_buffers() {
+        let s = Subarray::d2([4, 4], [2, 2], [1, 1], 1).unwrap();
+        assert!(s.pack(&[0u8; 15]).is_err());
+        let mut small = [0u8; 15];
+        assert!(s.unpack(&[0u8; 4], &mut small).is_err());
+        let mut ok = [0u8; 16];
+        assert!(s.unpack(&[0u8; 3], &mut ok).is_err()); // wrong packed len
+    }
+
+    #[test]
+    fn contiguous_datatype_roundtrip() {
+        let src = [1u8, 2, 3, 4, 5, 6];
+        let dt = Datatype::Contiguous { len_bytes: 3, offset: 2 };
+        let mut out = Vec::new();
+        dt.pack_into(&src, &mut out).unwrap();
+        assert_eq!(out, vec![3, 4, 5]);
+        let mut dst = [0u8; 6];
+        dt.unpack(&out, &mut dst).unwrap();
+        assert_eq!(dst, [0, 0, 3, 4, 5, 0]);
+    }
+
+    #[test]
+    fn empty_datatype() {
+        let dt = Datatype::Empty;
+        assert_eq!(dt.packed_len(), 0);
+        let mut out = Vec::new();
+        dt.pack_into(&[], &mut out).unwrap();
+        assert!(out.is_empty());
+        assert!(dt.unpack(&[1], &mut []).is_err());
+    }
+
+    #[test]
+    fn copy_to_between_different_geometries() {
+        // Pack a 4x1 row out of an 8-wide array, deposit as a 2x2 square.
+        let src: Vec<u8> = (0..8).collect();
+        let s_src = Subarray::d2([8, 1], [4, 1], [2, 0], 1).unwrap();
+        let s_dst = Subarray::d2([4, 4], [2, 2], [0, 0], 1).unwrap();
+        let mut dst = vec![0u8; 16];
+        s_src.copy_to(&src, &s_dst, &mut dst).unwrap();
+        assert_eq!(&dst[0..2], &[2, 3]);
+        assert_eq!(&dst[4..6], &[4, 5]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for runtime failures.
+
+use std::fmt;
+
+/// Errors surfaced by the minimpi runtime.
+///
+/// Programming errors (rank out of range, datatype/buffer mismatch) are
+/// reported as dedicated variants rather than panics so that library layers
+/// above (e.g. `ddr-core`) can translate them into their own error domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A destination or source rank is outside `0..size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A receive did not complete within the watchdog timeout — almost
+    /// always a deadlock or a mismatched send/recv pair.
+    Timeout {
+        /// Receiving rank (communicator-local).
+        rank: usize,
+        /// Expected source rank, or `None` for any-source receives.
+        src: Option<usize>,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A typed receive found a message whose byte length is not a multiple
+    /// of the element size, or that does not fit the caller's buffer.
+    SizeMismatch {
+        /// What the receiver expected, in bytes.
+        expected: usize,
+        /// What actually arrived, in bytes.
+        got: usize,
+    },
+    /// A datatype does not fit the buffer it is applied to.
+    DatatypeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Collective called with inconsistent arguments across ranks
+    /// (detected where cheaply possible).
+    CollectiveMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            Error::Timeout { rank, src, tag } => match src {
+                Some(s) => write!(
+                    f,
+                    "rank {rank}: receive from rank {s} (tag {tag}) timed out — likely deadlock"
+                ),
+                None => write!(
+                    f,
+                    "rank {rank}: any-source receive (tag {tag}) timed out — likely deadlock"
+                ),
+            },
+            Error::SizeMismatch { expected, got } => {
+                write!(f, "message size mismatch: expected {expected} bytes, got {got}")
+            }
+            Error::DatatypeMismatch { detail } => write!(f, "datatype mismatch: {detail}"),
+            Error::CollectiveMismatch { detail } => write!(f, "collective mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,185 @@
+//! Per-rank message stores with blocking, tag-matched retrieval.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Key identifying a message stream: (communicator id, sender's rank within
+/// that communicator, tag). The tag space is split between user tags and
+/// internal collective sequence numbers by [`crate::comm`].
+pub(crate) type MsgKey = (u64, usize, u64);
+
+/// A message queued for delivery. `src` is re-recorded so any-source
+/// receives can report where a message came from.
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub payload: Vec<u8>,
+}
+
+#[derive(Default)]
+struct Queues {
+    by_key: HashMap<MsgKey, VecDeque<Envelope>>,
+}
+
+/// One rank's incoming message store.
+///
+/// Senders deposit into the receiving rank's mailbox and notify the condvar;
+/// receivers block until a matching key has a queued message. FIFO order is
+/// preserved per key, matching MPI's non-overtaking rule for messages with
+/// the same (source, tag, communicator).
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queues: Mutex<Queues>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    pub fn deposit(&self, key: MsgKey, env: Envelope) {
+        let mut q = self.queues.lock();
+        q.by_key.entry(key).or_default().push_back(env);
+        // Receivers may be waiting on any key; notify them all. Contention is
+        // bounded: only the owning rank ever blocks on this mailbox.
+        self.cv.notify_all();
+    }
+
+    /// Block until a message with `key` is available, or `deadline` passes.
+    /// Returns `None` on timeout.
+    pub fn take(&self, key: MsgKey, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(dq) = q.by_key.get_mut(&key) {
+                if let Some(env) = dq.pop_front() {
+                    if dq.is_empty() {
+                        q.by_key.remove(&key);
+                    }
+                    return Some(env);
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.cv.wait_until(&mut q, deadline) .timed_out() {
+                // Re-check once after timeout in case of a race with deposit.
+                if let Some(dq) = q.by_key.get_mut(&key) {
+                    if let Some(env) = dq.pop_front() {
+                        if dq.is_empty() {
+                            q.by_key.remove(&key);
+                        }
+                        return Some(env);
+                    }
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Non-blocking probe-and-take.
+    pub fn try_take(&self, key: MsgKey) -> Option<Envelope> {
+        let mut q = self.queues.lock();
+        let dq = q.by_key.get_mut(&key)?;
+        let env = dq.pop_front();
+        if dq.is_empty() {
+            q.by_key.remove(&key);
+        }
+        env
+    }
+
+    /// Block until a message with communicator `comm_id` and tag `tag` from
+    /// *any* source is available. Scans in ascending source order for
+    /// determinism when several are ready.
+    pub fn take_any(
+        &self,
+        comm_id: u64,
+        tag: u64,
+        size: usize,
+        timeout: Duration,
+    ) -> Option<Envelope> {
+        fn scan(q: &mut Queues, comm_id: u64, tag: u64, size: usize) -> Option<Envelope> {
+            for src in 0..size {
+                let key = (comm_id, src, tag);
+                if let Some(dq) = q.by_key.get_mut(&key) {
+                    if let Some(env) = dq.pop_front() {
+                        if dq.is_empty() {
+                            q.by_key.remove(&key);
+                        }
+                        return Some(env);
+                    }
+                }
+            }
+            None
+        }
+
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(env) = scan(&mut q, comm_id, tag, size) {
+                return Some(env);
+            }
+            if self.cv.wait_until(&mut q, deadline).timed_out() {
+                // One last scan after the final wakeup, in case a deposit
+                // raced with the timeout.
+                return scan(&mut q, comm_id, tag, size);
+            }
+        }
+    }
+
+    /// Number of queued messages (diagnostics only).
+    #[cfg(test)]
+    pub fn pending(&self) -> usize {
+        self.queues.lock().by_key.values().map(|d| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn deposit_take_fifo() {
+        let mb = Mailbox::default();
+        let key = (1, 0, 7);
+        mb.deposit(key, Envelope { src: 0, payload: vec![1] });
+        mb.deposit(key, Envelope { src: 0, payload: vec![2] });
+        assert_eq!(mb.take(key, Duration::from_secs(1)).unwrap().payload, vec![1]);
+        assert_eq!(mb.take(key, Duration::from_secs(1)).unwrap().payload, vec![2]);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn take_blocks_until_deposit() {
+        let mb = Arc::new(Mailbox::default());
+        let key = (9, 3, 0);
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.take(key, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        mb.deposit(key, Envelope { src: 3, payload: vec![42] });
+        assert_eq!(h.join().unwrap().unwrap().payload, vec![42]);
+    }
+
+    #[test]
+    fn take_times_out() {
+        let mb = Mailbox::default();
+        assert!(mb.take((0, 0, 0), Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn try_take_nonblocking() {
+        let mb = Mailbox::default();
+        let key = (1, 1, 1);
+        assert!(mb.try_take(key).is_none());
+        mb.deposit(key, Envelope { src: 1, payload: vec![5] });
+        assert_eq!(mb.try_take(key).unwrap().payload, vec![5]);
+    }
+
+    #[test]
+    fn take_any_prefers_lowest_source() {
+        let mb = Mailbox::default();
+        mb.deposit((2, 4, 8), Envelope { src: 4, payload: vec![4] });
+        mb.deposit((2, 1, 8), Envelope { src: 1, payload: vec![1] });
+        let env = mb.take_any(2, 8, 8, Duration::from_secs(1)).unwrap();
+        assert_eq!(env.src, 1);
+    }
+}

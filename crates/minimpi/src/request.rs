@@ -1,0 +1,168 @@
+//! Nonblocking point-to-point operations.
+//!
+//! Sends in minimpi are always buffered and complete immediately, so
+//! `isend` is trivially nonblocking. `irecv` returns a [`RecvRequest`] that
+//! can be polled ([`RecvRequest::test`]) or completed ([`RecvRequest::wait`])
+//! later, letting applications overlap communication with computation —
+//! e.g. an LBM rank can post halo receives, compute its interior, then wait.
+
+use crate::comm::{Comm, Tag};
+use crate::error::{Error, Result};
+use crate::pod::{vec_from_bytes, Pod};
+
+/// A pending receive posted with [`Comm::irecv`].
+///
+/// Holds a borrow of the communicator; complete it with
+/// [`RecvRequest::wait`] or poll with [`RecvRequest::test`]. Dropping an
+/// incomplete request is allowed — the message (if it ever arrives) stays
+/// queued for a later matching receive.
+#[must_use = "a receive request does nothing until waited on"]
+pub struct RecvRequest<'a> {
+    comm: &'a Comm,
+    src: usize,
+    tag: Tag,
+    done: Option<Vec<u8>>,
+}
+
+impl<'a> RecvRequest<'a> {
+    pub(crate) fn new(comm: &'a Comm, src: usize, tag: Tag) -> Self {
+        RecvRequest { comm, src, tag, done: None }
+    }
+
+    /// Nonblocking completion check; returns `true` once the message has
+    /// been matched (after which [`RecvRequest::wait`] returns immediately).
+    pub fn test(&mut self) -> Result<bool> {
+        if self.done.is_some() {
+            return Ok(true);
+        }
+        if let Some(bytes) = self.comm.try_recv_bytes(self.src, self.tag)? {
+            self.done = Some(bytes);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Block until the message arrives and return its payload.
+    pub fn wait(mut self) -> Result<Vec<u8>> {
+        match self.done.take() {
+            Some(bytes) => Ok(bytes),
+            None => self.comm.recv_bytes(self.src, self.tag),
+        }
+    }
+
+    /// Block until the message arrives and reinterpret it as POD values.
+    pub fn wait_vec<T: Pod>(self) -> Result<Vec<T>> {
+        let bytes = self.wait()?;
+        vec_from_bytes(&bytes).ok_or(Error::SizeMismatch {
+            expected: std::mem::size_of::<T>(),
+            got: bytes.len(),
+        })
+    }
+}
+
+impl Comm {
+    /// Nonblocking send: identical to [`Comm::send`] (sends are always
+    /// buffered), provided for MPI-style symmetry with [`Comm::irecv`].
+    pub fn isend<T: Pod>(&self, dest: usize, tag: Tag, data: &[T]) -> Result<()> {
+        self.send(dest, tag, data)
+    }
+
+    /// Post a nonblocking receive; complete it with [`RecvRequest::wait`].
+    pub fn irecv(&self, src: usize, tag: Tag) -> Result<RecvRequest<'_>> {
+        // Validate the source now so errors surface at post time.
+        if src >= self.size() {
+            return Err(Error::RankOutOfRange { rank: src, size: self.size() });
+        }
+        Ok(RecvRequest::new(self, src, tag))
+    }
+
+    /// Wait on several receive requests, returning payloads in post order.
+    pub fn wait_all<'a>(requests: Vec<RecvRequest<'a>>) -> Result<Vec<Vec<u8>>> {
+        requests.into_iter().map(|r| r.wait()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn irecv_overlaps_with_computation() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 3, &[41u64, 1]).unwrap();
+                0
+            } else {
+                let req = comm.irecv(0, 3).unwrap();
+                // "Compute" before waiting.
+                let local: u64 = (0..100u64).sum();
+                let halo = req.wait_vec::<u64>().unwrap();
+                local - 4950 + halo[0] + halo[1]
+            }
+        });
+        assert_eq!(out[1], 42);
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 1 {
+                let mut req = comm.irecv(0, 9).unwrap();
+                // Nothing sent yet — test() must return false, not block.
+                assert!(!req.test().unwrap());
+                comm.send(0, 8, &[1u8]).unwrap(); // tell rank 0 to go
+                // Poll until the payload lands.
+                while !req.test().unwrap() {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(req.wait().unwrap(), vec![7u8]);
+            } else {
+                comm.recv_bytes(1, 8).unwrap();
+                comm.send_bytes(1, 9, &[7]).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn wait_all_in_post_order() {
+        let out = Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let reqs = vec![comm.irecv(1, 0).unwrap(), comm.irecv(2, 0).unwrap()];
+                minimpi_wait_all(reqs)
+            } else {
+                comm.send_bytes(0, 0, &[comm.rank() as u8]).unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![vec![1u8], vec![2u8]]);
+
+        fn minimpi_wait_all(
+            reqs: Vec<crate::request::RecvRequest<'_>>,
+        ) -> Vec<Vec<u8>> {
+            crate::Comm::wait_all(reqs).unwrap()
+        }
+    }
+
+    #[test]
+    fn irecv_rejects_bad_source() {
+        Universe::run(1, |comm| {
+            assert!(comm.irecv(5, 0).is_err());
+        });
+    }
+
+    #[test]
+    fn dropped_request_leaves_message_queued() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_bytes(1, 4, &[9]).unwrap();
+            } else {
+                {
+                    let _req = comm.irecv(0, 4).unwrap();
+                    // Dropped without waiting.
+                }
+                // The message is still retrievable by a blocking receive.
+                assert_eq!(comm.recv_bytes(0, 4).unwrap(), vec![9]);
+            }
+        });
+    }
+}

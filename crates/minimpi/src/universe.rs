@@ -1,0 +1,97 @@
+//! Launching a set of ranks.
+
+use crate::comm::{Comm, WorldState};
+use std::sync::Arc;
+
+/// Entry point: runs an "MPI job" as `n` rank-threads inside this process.
+pub struct Universe;
+
+/// Stack size given to rank threads. Simulation kernels keep their state on
+/// the heap, but deep recursion in user closures should still have room.
+const RANK_STACK_BYTES: usize = 8 * 1024 * 1024;
+
+impl Universe {
+    /// Run `f` on `n` ranks, each on its own thread with a world [`Comm`].
+    /// Returns the per-rank results in rank order.
+    ///
+    /// A panic on any rank propagates to the caller after all ranks have
+    /// been joined (other ranks may first hit [`crate::Error::Timeout`] if
+    /// they were waiting on the panicked rank).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or if a rank thread cannot be spawned.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
+        assert!(n > 0, "Universe::run requires at least one rank");
+        let world = Arc::new(WorldState::new(n));
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let world = Arc::clone(&world);
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(RANK_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        let comm = Comm::world_comm(world, rank);
+                        f(&comm)
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+
+    /// Like [`Universe::run`] but for fallible rank bodies: returns the
+    /// first error (by rank order) or all results.
+    pub fn try_run<R, E, F>(n: usize, f: F) -> Result<Vec<R>, E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(&Comm) -> Result<R, E> + Sync,
+    {
+        Self::run(n, f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_ranks_and_orders_results() {
+        let out = Universe::run(5, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = Universe::run(1, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn try_run_propagates_errors() {
+        let r: Result<Vec<()>, String> = Universe::try_run(3, |comm| {
+            if comm.rank() == 1 {
+                Err("boom".to_string())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = Universe::run(0, |_| ());
+    }
+}

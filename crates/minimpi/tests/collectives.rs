@@ -1,0 +1,335 @@
+//! Integration tests for minimpi collectives across real rank threads.
+
+use minimpi::{Datatype, Subarray, Universe};
+
+#[test]
+fn barrier_many_times() {
+    Universe::run(7, |comm| {
+        for _ in 0..50 {
+            comm.barrier().unwrap();
+        }
+    });
+}
+
+#[test]
+fn barrier_orders_side_effects() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static BEFORE: AtomicUsize = AtomicUsize::new(0);
+    let seen = Universe::run(6, |comm| {
+        BEFORE.fetch_add(1, Ordering::SeqCst);
+        comm.barrier().unwrap();
+        BEFORE.load(Ordering::SeqCst)
+    });
+    // After the barrier, every rank must observe all 6 increments.
+    assert!(seen.into_iter().all(|s| s == 6));
+}
+
+#[test]
+fn broadcast_from_each_root() {
+    for root in 0..5 {
+        let out = Universe::run(5, |comm| {
+            let data: Vec<u32> =
+                if comm.rank() == root { vec![root as u32, 99, 7] } else { vec![] };
+            comm.broadcast(root, &data).unwrap()
+        });
+        for got in out {
+            assert_eq!(got, vec![root as u32, 99, 7]);
+        }
+    }
+}
+
+#[test]
+fn broadcast_large_payload() {
+    let out = Universe::run(9, |comm| {
+        let data: Vec<u64> =
+            if comm.rank() == 3 { (0..100_000).collect() } else { vec![] };
+        let got = comm.broadcast(3, &data).unwrap();
+        (got.len(), got[12_345])
+    });
+    for (len, v) in out {
+        assert_eq!(len, 100_000);
+        assert_eq!(v, 12_345);
+    }
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    let out = Universe::run(6, |comm| {
+        let mine = vec![comm.rank() as i64; comm.rank() + 1];
+        comm.gather(2, &mine).unwrap()
+    });
+    for (rank, res) in out.into_iter().enumerate() {
+        if rank == 2 {
+            let parts = res.unwrap();
+            for (r, p) in parts.iter().enumerate() {
+                assert_eq!(p, &vec![r as i64; r + 1]);
+            }
+        } else {
+            assert!(res.is_none());
+        }
+    }
+}
+
+#[test]
+fn allgather_variable_lengths() {
+    let out = Universe::run(5, |comm| {
+        let mine: Vec<u16> = (0..comm.rank() as u16 * 2).collect();
+        comm.allgather(&mine).unwrap()
+    });
+    for parts in out {
+        assert_eq!(parts.len(), 5);
+        for (r, p) in parts.iter().enumerate() {
+            assert_eq!(p, &(0..r as u16 * 2).collect::<Vec<_>>());
+        }
+    }
+}
+
+#[test]
+fn reduce_and_allreduce_sum() {
+    let out = Universe::run(8, |comm| {
+        let mine = vec![comm.rank() as u64, 1];
+        comm.allreduce(&mine, |a, b| a + b)
+    });
+    for got in out {
+        assert_eq!(got, vec![28, 8]); // 0+..+7 = 28
+    }
+}
+
+#[test]
+fn reduce_is_rank_ordered_for_nonassociative_ops() {
+    // Subtraction is order-sensitive: ((0 - 1) - 2) - 3 = -6.
+    let out = Universe::run(4, |comm| {
+        let mine = vec![comm.rank() as i64];
+        comm.reduce(0, &mine, |a, b| a - b).unwrap()
+    });
+    assert_eq!(out[0].as_ref().unwrap(), &vec![-6]);
+}
+
+#[test]
+fn scan_prefix_sums() {
+    let out = Universe::run(6, |comm| {
+        let mine = vec![comm.rank() as u32 + 1];
+        comm.scan(&mine, |a, b| a + b).unwrap()[0]
+    });
+    assert_eq!(out, vec![1, 3, 6, 10, 15, 21]);
+}
+
+#[test]
+fn alltoallv_exchanges_personalized_payloads() {
+    let n = 6;
+    let out = Universe::run(n, |comm| {
+        let me = comm.rank();
+        // Rank s sends to rank d a payload [s, d] repeated (s + d) times.
+        let msgs: Vec<Vec<u32>> = (0..n)
+            .map(|d| {
+                std::iter::repeat([me as u32, d as u32])
+                    .take(me + d)
+                    .flatten()
+                    .collect()
+            })
+            .collect();
+        comm.alltoallv(&msgs).unwrap()
+    });
+    for (d, received) in out.into_iter().enumerate() {
+        for (s, msg) in received.into_iter().enumerate() {
+            let expect: Vec<u32> = std::iter::repeat([s as u32, d as u32])
+                .take(s + d)
+                .flatten()
+                .collect();
+            assert_eq!(msg, expect, "payload from {s} to {d}");
+        }
+    }
+}
+
+#[test]
+fn alltoallw_transposes_a_block_distributed_matrix() {
+    // An 8x8 u32 matrix distributed as 2 rows per rank (4 ranks) is
+    // redistributed to 2 columns per rank using subarray datatypes.
+    let n = 4;
+    let out = Universe::run(n, |comm| {
+        let me = comm.rank();
+        // Global element (x, y) has value y * 8 + x. I own rows 2*me..2*me+2,
+        // stored as an 8x2 local array.
+        let own: Vec<u32> = (0..16).map(|i| ((2 * me + i / 8) * 8 + i % 8) as u32).collect();
+        // I need columns 2*me..2*me+2, stored as a 2x8 local array.
+        let mut need = vec![0u32; 16];
+
+        let send_types: Vec<Datatype> = (0..n)
+            .map(|d| {
+                // To rank d: the 2-wide column band [2d..2d+2) of my 8x2 rows.
+                Datatype::Subarray(
+                    Subarray::d2([8, 2], [2, 2], [2 * d, 0], 4).unwrap(),
+                )
+            })
+            .collect();
+        let recv_types: Vec<Datatype> = (0..n)
+            .map(|s| {
+                // From rank s: its 2 rows of my 2-wide column band, placed at
+                // row offset 2*s of my 2x8 local array.
+                Datatype::Subarray(
+                    Subarray::d2([2, 8], [2, 2], [0, 2 * s], 4).unwrap(),
+                )
+            })
+            .collect();
+
+        comm.alltoallw(
+            minimpi::bytes_of(&own),
+            &send_types,
+            minimpi::bytes_of_mut(&mut need),
+            &recv_types,
+        )
+        .unwrap();
+        need
+    });
+
+    for (me, need) in out.into_iter().enumerate() {
+        for (i, v) in need.into_iter().enumerate() {
+            let x = 2 * me + i % 2;
+            let y = i / 2;
+            assert_eq!(v as usize, y * 8 + x, "rank {me} element {i}");
+        }
+    }
+}
+
+#[test]
+fn split_into_two_groups_with_independent_collectives() {
+    let out = Universe::run(10, |comm| {
+        let color = if comm.rank() < 6 { 0u64 } else { 1u64 };
+        let sub = comm.split(color).unwrap();
+        let sum = sub.allreduce(&[comm.rank() as u64], |a, b| a + b)[0];
+        (color, sub.rank(), sub.size(), sum)
+    });
+    for (rank, (color, sub_rank, sub_size, sum)) in out.into_iter().enumerate() {
+        if rank < 6 {
+            assert_eq!((color, sub_rank, sub_size, sum), (0, rank, 6, 15));
+        } else {
+            assert_eq!((color, sub_rank, sub_size, sum), (1, rank - 6, 4, 30)); // 6+7+8+9
+        }
+    }
+}
+
+#[test]
+fn split_then_cross_group_p2p_on_parent() {
+    // Groups do internal collectives while cross-group messages flow on the
+    // parent communicator — the in-transit streaming pattern.
+    let out = Universe::run(6, |comm| {
+        let color = (comm.rank() % 2) as u64;
+        let sub = comm.split(color).unwrap();
+        sub.barrier().unwrap();
+        if color == 0 {
+            comm.send(comm.rank() + 1, 9, &[comm.rank() as u32]).unwrap();
+            0
+        } else {
+            comm.recv_vec::<u32>(comm.rank() - 1, 9).unwrap()[0]
+        }
+    });
+    assert_eq!(out, vec![0, 0, 0, 2, 0, 4]);
+}
+
+#[test]
+fn duplicate_gives_isolated_namespace() {
+    Universe::run(4, |comm| {
+        let dup = comm.duplicate().unwrap();
+        // Send on parent, then a collective on the duplicate, then receive on
+        // parent: traffic must not cross namespaces.
+        let peer = (comm.rank() + 1) % 4;
+        let from = (comm.rank() + 3) % 4;
+        comm.send(peer, 1, &[comm.rank() as u32]).unwrap();
+        let s = dup.allreduce(&[1u64], |a, b| a + b)[0];
+        assert_eq!(s, 4);
+        let got = comm.recv_vec::<u32>(from, 1).unwrap();
+        assert_eq!(got, vec![from as u32]);
+    });
+}
+
+#[test]
+fn sendrecv_ring_rotation() {
+    let n = 5;
+    let out = Universe::run(n, |comm| {
+        let right = (comm.rank() + 1) % n;
+        let left = (comm.rank() + n - 1) % n;
+        comm.sendrecv(right, &[comm.rank() as u64], left, 3).unwrap()[0]
+    });
+    assert_eq!(out, vec![4, 0, 1, 2, 3]);
+}
+
+#[test]
+fn any_source_receive_collects_all() {
+    let out = Universe::run(5, |comm| {
+        if comm.rank() == 0 {
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                let (status, bytes) = comm.recv_bytes_any(7).unwrap();
+                assert_eq!(bytes, vec![status.src as u8]);
+                got.push(status.src);
+            }
+            got.sort_unstable();
+            got
+        } else {
+            comm.send_bytes(0, 7, &[comm.rank() as u8]).unwrap();
+            vec![]
+        }
+    });
+    assert_eq!(out[0], vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn message_order_preserved_per_sender_and_tag() {
+    let out = Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            for i in 0..100u32 {
+                comm.send(1, 5, &[i]).unwrap();
+            }
+            vec![]
+        } else {
+            (0..100).map(|_| comm.recv_vec::<u32>(0, 5).unwrap()[0]).collect()
+        }
+    });
+    assert_eq!(out[1], (0..100).collect::<Vec<u32>>());
+}
+
+#[test]
+fn recv_timeout_reports_deadlock() {
+    use std::time::Duration;
+    let out = Universe::run(2, |comm| {
+        if comm.rank() == 1 {
+            comm.set_timeout(Duration::from_millis(50));
+            comm.recv_bytes(0, 42).err()
+        } else {
+            None
+        }
+    });
+    assert!(matches!(out[1], Some(minimpi::Error::Timeout { rank: 1, src: Some(0), tag: 42 })));
+}
+
+#[test]
+fn typed_recv_rejects_misaligned_length() {
+    let out = Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send_bytes(1, 0, &[1, 2, 3]).unwrap(); // 3 bytes, not a u32 multiple
+            None
+        } else {
+            comm.recv_vec::<u32>(0, 0).err()
+        }
+    });
+    assert!(matches!(out[1], Some(minimpi::Error::SizeMismatch { .. })));
+}
+
+#[test]
+fn collectives_compose_in_sequence() {
+    // A realistic mixed workload: allgather layouts, alltoallw exchange,
+    // allreduce a checksum — repeated, on the same communicator.
+    let n = 4;
+    Universe::run(n, |comm| {
+        for iter in 0..10u64 {
+            let layouts = comm.allgather(&[comm.rank() as u64 * 100 + iter]).unwrap();
+            assert_eq!(layouts.len(), n);
+            for (r, l) in layouts.iter().enumerate() {
+                assert_eq!(l[0], r as u64 * 100 + iter);
+            }
+            let sum = comm.allreduce(&[iter], |a, b| a + b)[0];
+            assert_eq!(sum, iter * n as u64);
+            comm.barrier().unwrap();
+        }
+    });
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of minimpi collectives with randomized payloads,
+//! sizes, and rank counts.
+
+use minimpi::Universe;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn alltoallv_random_payloads(
+        nprocs in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic per-pair lengths derived from the seed.
+        let len = |s: usize, d: usize| -> usize {
+            ((seed >> ((s * 5 + d) % 48)) % 40) as usize
+        };
+        let outs = Universe::run(nprocs, |comm| {
+            let me = comm.rank();
+            let msgs: Vec<Vec<u64>> = (0..nprocs)
+                .map(|d| (0..len(me, d)).map(|i| (me * 1000 + d * 10 + i) as u64).collect())
+                .collect();
+            comm.alltoallv(&msgs).unwrap()
+        });
+        for (d, recvd) in outs.into_iter().enumerate() {
+            for (s, msg) in recvd.into_iter().enumerate() {
+                let expect: Vec<u64> =
+                    (0..len(s, d)).map(|i| (s * 1000 + d * 10 + i) as u64).collect();
+                prop_assert_eq!(msg, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_bytes_arbitrary_content(
+        nprocs in 1usize..6,
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 6),
+    ) {
+        let payloads_ref = &payloads;
+        let outs = Universe::run(nprocs, move |comm| {
+            comm.allgather_bytes(&payloads_ref[comm.rank()]).unwrap()
+        });
+        for all in outs {
+            prop_assert_eq!(all.len(), nprocs);
+            for (r, part) in all.iter().enumerate() {
+                prop_assert_eq!(part, &payloads[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_inverse(
+        nprocs in 1usize..6,
+        chunk in 1usize..20,
+        root_pick in any::<u8>(),
+    ) {
+        let root = root_pick as usize % nprocs;
+        let data: Vec<u32> = (0..nprocs * chunk).map(|i| i as u32 * 3).collect();
+        let data_ref = &data;
+        let outs = Universe::run(nprocs, move |comm| {
+            let mine = comm
+                .scatter(root, (comm.rank() == root).then_some(data_ref.as_slice()))
+                .unwrap();
+            comm.gather(root, &mine).unwrap()
+        });
+        let gathered = outs[root].as_ref().unwrap();
+        let flat: Vec<u32> = gathered.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, data);
+    }
+
+    #[test]
+    fn allreduce_max_and_min(
+        nprocs in 1usize..7,
+        values in prop::collection::vec(any::<i64>(), 7),
+    ) {
+        let values_ref = &values;
+        let outs = Universe::run(nprocs, move |comm| {
+            let mine = [values_ref[comm.rank()]];
+            let mx = comm.allreduce(&mine, i64::max)[0];
+            let mn = comm.allreduce(&mine, i64::min)[0];
+            (mx, mn)
+        });
+        let expect_max = values[..nprocs].iter().copied().max().unwrap();
+        let expect_min = values[..nprocs].iter().copied().min().unwrap();
+        for (mx, mn) in outs {
+            prop_assert_eq!(mx, expect_max);
+            prop_assert_eq!(mn, expect_min);
+        }
+    }
+
+    #[test]
+    fn interleaved_collectives_never_cross_talk(
+        nprocs in 2usize..6,
+        rounds in 1usize..5,
+    ) {
+        // Alternate different collectives; sequence numbers must keep every
+        // round's traffic separate.
+        Universe::run(nprocs, |comm| {
+            for round in 0..rounds {
+                let tag = (round * nprocs + comm.rank()) as u64;
+                let all = comm.allgather(&[tag]).unwrap();
+                for (r, v) in all.iter().enumerate() {
+                    assert_eq!(v[0], (round * nprocs + r) as u64);
+                }
+                comm.barrier().unwrap();
+                let sum = comm.allreduce(&[1u64], |a, b| a + b)[0];
+                assert_eq!(sum, nprocs as u64);
+                let bc = comm.broadcast(round % nprocs, &[round as u32]).unwrap();
+                assert_eq!(bc, vec![round as u32]);
+            }
+        });
+    }
+}
+
+#[test]
+fn scatterv_variable_parts() {
+    let outs = Universe::run(4, |comm| {
+        let parts: Option<Vec<Vec<u8>>> = (comm.rank() == 2)
+            .then(|| (0..4).map(|i| vec![i as u8; i + 1]).collect());
+        comm.scatterv_bytes(2, parts.as_deref()).unwrap()
+    });
+    for (r, got) in outs.into_iter().enumerate() {
+        assert_eq!(got, vec![r as u8; r + 1]);
+    }
+}
+
+#[test]
+fn scatter_rejects_uneven_division() {
+    let outs = Universe::run(3, |comm| {
+        // Root fails fast; other ranks would block for data that never
+        // comes, so keep their watchdog short.
+        comm.set_timeout(std::time::Duration::from_millis(50));
+        let data: Vec<u16> = (0..7).collect();
+        comm.scatter(0, (comm.rank() == 0).then_some(data.as_slice()))
+    });
+    // Every rank reports an error (mismatch at root, timeout elsewhere).
+    assert!(outs.iter().all(|o| o.is_err()));
+}

@@ -1,0 +1,240 @@
+//! Flow-level network simulation: an independent estimate of `alltoallw`
+//! round times to cross-check the analytic [`crate::NetModel`].
+//!
+//! Each node owns a full-duplex link (separate egress and ingress
+//! capacity). A round is a set of flows (node → node, bytes); rates follow
+//! **max-min fair progressive filling** — the classic fluid model of a
+//! congestion-controlled fabric — recomputed at every flow completion.
+//!
+//! Compared to the analytic model this captures *which* flows share *which*
+//! links over time instead of a single per-node aggregate with a fitted
+//! contention factor. It has no tuned parameters beyond the link bandwidth,
+//! so it brackets the analytic estimate from below (ideal fair sharing, no
+//! switch-level contention).
+
+/// One flow of a round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Bytes to move.
+    pub bytes: f64,
+}
+
+/// Completion time (seconds) of `flows` over `nnodes` full-duplex links of
+/// `bandwidth` bytes/s per direction, under max-min fair sharing.
+///
+/// Flows with `src == dst` are ignored (intra-node traffic does not use the
+/// link). Complexity: `O(completions × links × flows)` — fine for the round
+/// sizes DDR produces (thousands of flows).
+pub fn completion_time(nnodes: usize, flows: &[Flow], bandwidth: f64) -> f64 {
+    assert!(bandwidth > 0.0, "bandwidth must be positive");
+    let mut remaining: Vec<(usize, usize, f64)> = flows
+        .iter()
+        .filter(|f| f.src != f.dst && f.bytes > 0.0)
+        .map(|f| {
+            assert!(f.src < nnodes && f.dst < nnodes, "flow endpoint outside node range");
+            (f.src, f.dst, f.bytes)
+        })
+        .collect();
+
+    let mut t = 0.0f64;
+    while !remaining.is_empty() {
+        let rates = max_min_rates(nnodes, &remaining, bandwidth);
+        // Advance to the earliest completion at these rates.
+        let dt = remaining
+            .iter()
+            .zip(&rates)
+            .map(|(&(_, _, b), &r)| b / r)
+            .fold(f64::INFINITY, f64::min);
+        t += dt;
+        let mut next = Vec::with_capacity(remaining.len());
+        for (&(s, d, b), &r) in remaining.iter().zip(&rates) {
+            let left = b - r * dt;
+            if left > 1e-6 {
+                next.push((s, d, left));
+            }
+        }
+        remaining = next;
+    }
+    t
+}
+
+/// Max-min fair rates: iteratively saturate the most-constrained link and
+/// freeze its flows at the fair share.
+fn max_min_rates(nnodes: usize, flows: &[(usize, usize, f64)], bandwidth: f64) -> Vec<f64> {
+    let nlinks = 2 * nnodes; // egress then ingress
+    let mut cap = vec![bandwidth; nlinks];
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut fixed = vec![false; flows.len()];
+    let mut unfixed_left = flows.len();
+
+    while unfixed_left > 0 {
+        // Count unfixed flows per link.
+        let mut counts = vec![0usize; nlinks];
+        for (i, &(s, d, _)) in flows.iter().enumerate() {
+            if !fixed[i] {
+                counts[s] += 1;
+                counts[nnodes + d] += 1;
+            }
+        }
+        // Most-constrained link: minimal fair share among links in use.
+        let mut best_share = f64::INFINITY;
+        let mut best_link = usize::MAX;
+        for l in 0..nlinks {
+            if counts[l] > 0 {
+                let share = cap[l] / counts[l] as f64;
+                if share < best_share {
+                    best_share = share;
+                    best_link = l;
+                }
+            }
+        }
+        if best_link == usize::MAX {
+            break; // no unfixed flow uses any link (unreachable)
+        }
+        // Freeze every unfixed flow crossing that link.
+        for (i, &(s, d, _)) in flows.iter().enumerate() {
+            if !fixed[i] && (s == best_link || nnodes + d == best_link) {
+                fixed[i] = true;
+                unfixed_left -= 1;
+                rates[i] = best_share;
+                cap[s] -= best_share;
+                cap[nnodes + d] -= best_share;
+            }
+        }
+        // Numerical floor.
+        for c in cap.iter_mut() {
+            if *c < 0.0 {
+                *c = 0.0;
+            }
+        }
+    }
+    rates
+}
+
+/// Flow-simulated time of one `alltoallw` round: per-node-pair flows from
+/// the exact rank-pair byte matrix plus the model's software overhead and
+/// intra-node memory time.
+pub fn alltoallw_round_time(
+    net: &crate::NetModel,
+    nprocs: usize,
+    pair_bytes: &[u64],
+    node_of: &[usize],
+) -> f64 {
+    assert_eq!(pair_bytes.len(), nprocs * nprocs);
+    assert_eq!(node_of.len(), nprocs);
+    let nnodes = node_of.iter().copied().max().map_or(1, |m| m + 1);
+    // Merge rank pairs into node pairs (one congestion-controlled stream
+    // per node pair).
+    let mut by_pair = std::collections::HashMap::<(usize, usize), f64>::new();
+    let mut intra = vec![0f64; nnodes];
+    for s in 0..nprocs {
+        for d in 0..nprocs {
+            let b = pair_bytes[s * nprocs + d] as f64;
+            if b == 0.0 {
+                continue;
+            }
+            let (ns, nd) = (node_of[s], node_of[d]);
+            if ns == nd {
+                intra[ns] += b;
+            } else {
+                *by_pair.entry((ns, nd)).or_default() += b;
+            }
+        }
+    }
+    let flows: Vec<Flow> =
+        by_pair.into_iter().map(|((src, dst), bytes)| Flow { src, dst, bytes }).collect();
+    let link_time = completion_time(nnodes, &flows, net.link_bandwidth);
+    let mem_time = intra.iter().map(|&v| v / net.mem_bandwidth).fold(0f64, f64::max);
+    net.alpha(nprocs) + link_time + mem_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_runs_at_line_rate() {
+        let t = completion_time(2, &[Flow { src: 0, dst: 1, bytes: 1e9 }], 1e9);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_an_egress_link() {
+        let flows = [
+            Flow { src: 0, dst: 1, bytes: 1e9 },
+            Flow { src: 0, dst: 2, bytes: 1e9 },
+        ];
+        // Both limited by node 0's egress: each runs at 0.5 GB/s → 2 s.
+        let t = completion_time(3, &flows, 1e9);
+        assert!((t - 2.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn incast_limited_by_receiver_ingress() {
+        let flows: Vec<Flow> =
+            (1..5).map(|s| Flow { src: s, dst: 0, bytes: 1e9 }).collect();
+        let t = completion_time(5, &flows, 1e9);
+        assert!((t - 4.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn short_flow_finishes_then_long_flow_speeds_up() {
+        // Two flows share node 0's egress; after the short one drains, the
+        // long one gets the full link: 0.5 GB for 1 s at 0.5 GB/s, then
+        // 1.5 GB at 1 GB/s: total 2.5 s.
+        let flows = [
+            Flow { src: 0, dst: 1, bytes: 0.5e9 },
+            Flow { src: 0, dst: 2, bytes: 2e9 },
+        ];
+        let t = completion_time(3, &flows, 1e9);
+        assert!((t - 2.5).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn disjoint_flows_run_concurrently() {
+        let flows = [
+            Flow { src: 0, dst: 1, bytes: 1e9 },
+            Flow { src: 2, dst: 3, bytes: 1e9 },
+        ];
+        let t = completion_time(4, &flows, 1e9);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_node_flows_are_free_on_the_link() {
+        let t = completion_time(2, &[Flow { src: 1, dst: 1, bytes: 1e12 }], 1e9);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn flowsim_bounds_the_analytic_model_from_below() {
+        // For the same round, ideal max-min sharing can't be slower than the
+        // analytic estimate with its contention penalty (equal alpha/mem).
+        let net = crate::NetModel {
+            link_bandwidth: 7e9,
+            contention_half_volume: 0.65e9,
+            alpha_base: 0.0,
+            alpha_per_rank: 0.0,
+            mem_bandwidth: 30e9,
+        };
+        // 4 ranks on 2 nodes, all-to-all of 1 GB per pair.
+        let nprocs = 4;
+        let node_of = [0usize, 0, 1, 1];
+        let mut pair = vec![0u64; 16];
+        for s in 0..4 {
+            for d in 0..4 {
+                if s != d {
+                    pair[s * 4 + d] = 1_000_000_000;
+                }
+            }
+        }
+        let flow = alltoallw_round_time(&net, nprocs, &pair, &node_of);
+        let analytic = net.alltoallw_round_time(nprocs, &pair, &node_of);
+        assert!(flow <= analytic + 1e-9, "flow {flow} vs analytic {analytic}");
+        assert!(flow > 0.0);
+    }
+}

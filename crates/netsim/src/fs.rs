@@ -1,0 +1,102 @@
+//! Shared parallel-filesystem model.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order model of a shared parallel filesystem (GPFS-like) plus the
+/// CPU-side decode work of turning file bytes into pixels.
+///
+/// The per-client streaming rate degrades gently with the number of
+/// concurrent clients (`base_rate / (1 + clients / degradation_clients)`) and
+/// is additionally capped by `aggregate_bandwidth / clients`. Decode runs at
+/// `decode_bandwidth` per client, serialized after the read of each file (as
+/// in the paper's loader, which reads and then decodes each TIFF).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FsModel {
+    /// Per-client streaming read bandwidth with a single client, bytes/s.
+    pub base_client_bandwidth: f64,
+    /// Client count at which per-client bandwidth halves.
+    pub degradation_clients: f64,
+    /// Filesystem-wide bandwidth cap, bytes/s.
+    pub aggregate_bandwidth: f64,
+    /// Open + first-byte latency per file, seconds.
+    pub open_latency: f64,
+    /// Per-client decode (decompress/extract) rate, bytes/s.
+    pub decode_bandwidth: f64,
+}
+
+impl FsModel {
+    /// Effective streaming rate seen by each of `clients` concurrent readers.
+    pub fn effective_client_rate(&self, clients: usize) -> f64 {
+        assert!(clients > 0, "effective_client_rate needs at least one client");
+        let degraded = self.base_client_bandwidth / (1.0 + clients as f64 / self.degradation_clients);
+        degraded.min(self.aggregate_bandwidth / clients as f64)
+    }
+
+    /// Wall-clock seconds for each of `clients` readers to read
+    /// `bytes_per_client` spread over `files_per_client` files and then
+    /// decode them. All clients proceed concurrently; the slowest (equal
+    /// here) client defines the time.
+    pub fn read_decode_time(
+        &self,
+        clients: usize,
+        bytes_per_client: f64,
+        files_per_client: f64,
+    ) -> f64 {
+        let rate = self.effective_client_rate(clients);
+        files_per_client * self.open_latency
+            + bytes_per_client / rate
+            + bytes_per_client / self.decode_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> FsModel {
+        FsModel {
+            base_client_bandwidth: 283e6,
+            degradation_clients: 655.0,
+            aggregate_bandwidth: 100e9,
+            open_latency: 1e-3,
+            decode_bandwidth: 400e6,
+        }
+    }
+
+    #[test]
+    fn per_client_rate_degrades_with_clients() {
+        let f = fs();
+        let r1 = f.effective_client_rate(1);
+        let r27 = f.effective_client_rate(27);
+        let r216 = f.effective_client_rate(216);
+        assert!(r1 > r27 && r27 > r216);
+        // Calibration sanity: ~272 MB/s at 27 clients, ~213 at 216.
+        assert!((r27 / 1e6 - 272.0).abs() < 5.0, "{r27}");
+        assert!((r216 / 1e6 - 213.0).abs() < 5.0, "{r216}");
+    }
+
+    #[test]
+    fn aggregate_cap_kicks_in_for_many_clients() {
+        let mut f = fs();
+        f.aggregate_bandwidth = 1e9;
+        // 100 clients share 1 GB/s → at most 10 MB/s each.
+        assert!(f.effective_client_rate(100) <= 1e7 + 1.0);
+    }
+
+    #[test]
+    fn read_decode_time_combines_terms() {
+        let f = fs();
+        // 1 client, one 283 MB file: 1 s read + ~0.71 s decode + 1 ms open.
+        let t = f.read_decode_time(1, 283e6, 1.0);
+        let rate = f.effective_client_rate(1);
+        assert!((t - (1e-3 + 283e6 / rate + 283e6 / 400e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_files_cost_more_opens() {
+        let f = fs();
+        let few = f.read_decode_time(8, 1e9, 10.0);
+        let many = f.read_decode_time(8, 1e9, 1000.0);
+        assert!((many - few - 990.0 * 1e-3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Synthetic CT phantom: a stand-in for the paper's primate-tooth scan.
+
+/// Generate a tooth-like volume of normalized scalars in `[0, 1]`, stored
+/// x-fastest (matching the DDR memory convention).
+///
+/// The phantom is a crown-and-root shape built from radial shells:
+/// background air (~0), a soft outer halo, a dentine body (~0.6), an enamel
+/// cap (~0.9) on the upper third, and a low-density pulp chamber, with a
+/// gentle deterministic ripple so slices are not rotationally uniform.
+pub fn phantom_tooth(dims: [usize; 3]) -> Vec<f32> {
+    let [nx, ny, nz] = dims;
+    assert!(nx > 1 && ny > 1 && nz > 1, "phantom needs at least 2 voxels per axis");
+    let mut out = Vec::with_capacity(nx * ny * nz);
+    for z in 0..nz {
+        let w = z as f32 / (nz - 1) as f32; // 0 = root tip, 1 = crown top
+        // Tooth radius profile: narrow root widening into a bulbous crown.
+        let radius = 0.16 + 0.24 * w.powf(1.5) + 0.05 * (w * 9.0).sin().abs();
+        for y in 0..ny {
+            let fy = y as f32 / (ny - 1) as f32 - 0.5;
+            for x in 0..nx {
+                let fx = x as f32 / (nx - 1) as f32 - 0.5;
+                // Slightly elliptical cross-section with a ripple.
+                let ang = fy.atan2(fx);
+                let r = (fx * fx + 1.3 * fy * fy).sqrt() * (1.0 + 0.06 * (3.0 * ang).cos());
+                let v = if r > radius {
+                    // Air with a faint soft-tissue halo near the surface.
+                    (0.15 * (1.0 - (r - radius) / 0.05)).max(0.0)
+                } else if w > 0.62 && r > radius * 0.55 {
+                    // Enamel cap on the crown.
+                    0.9 + 0.08 * (1.0 - r / radius)
+                } else if r < radius * 0.28 && w > 0.25 && w < 0.85 {
+                    // Pulp chamber.
+                    0.25
+                } else {
+                    // Dentine with slight radial density gradient.
+                    0.55 + 0.1 * (1.0 - r / radius)
+                };
+                out.push(v.clamp(0.0, 1.0));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_normalized() {
+        let v = phantom_tooth([16, 16, 16]);
+        assert_eq!(v.len(), 4096);
+        assert!(v.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn corners_are_air_center_is_tissue() {
+        let dims = [32, 32, 32];
+        let v = phantom_tooth(dims);
+        let at = |x: usize, y: usize, z: usize| v[x + 32 * (y + 32 * z)];
+        assert!(at(0, 0, 16) < 0.2, "corner should be air");
+        assert!(at(16, 16, 16) > 0.2, "center should be tissue");
+    }
+
+    #[test]
+    fn crown_contains_enamel() {
+        let dims = [32, 32, 32];
+        let v = phantom_tooth(dims);
+        let crown_slice = &v[32 * 32 * 28..32 * 32 * 29];
+        assert!(crown_slice.iter().any(|&s| s > 0.85), "no enamel found in crown");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(phantom_tooth([8, 8, 8]), phantom_tooth([8, 8, 8]));
+    }
+}

@@ -1,0 +1,92 @@
+//! Transfer functions: scalar value → color and opacity.
+
+use jimage::Colormap;
+
+/// A DVR transfer function: a colormap for chromaticity plus a
+/// piecewise-linear opacity ramp over the normalized scalar range.
+#[derive(Debug, Clone)]
+pub struct TransferFunction {
+    cmap: Colormap,
+    /// `(scalar, alpha)` control points, sorted by scalar.
+    opacity: Vec<(f32, f32)>,
+}
+
+impl TransferFunction {
+    /// Build from a colormap and opacity control points.
+    ///
+    /// # Panics
+    /// Panics with fewer than two opacity stops.
+    pub fn new(cmap: Colormap, mut opacity: Vec<(f32, f32)>) -> Self {
+        assert!(opacity.len() >= 2, "need at least two opacity stops");
+        opacity.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite stops"));
+        TransferFunction { cmap, opacity }
+    }
+
+    /// The tooth preset of Figure 2: air fully transparent, soft tissue
+    /// faint, dentine and enamel increasingly opaque and warm.
+    pub fn tooth() -> Self {
+        TransferFunction::new(
+            Colormap::tooth(),
+            vec![(0.0, 0.0), (0.25, 0.0), (0.45, 0.02), (0.7, 0.25), (1.0, 0.9)],
+        )
+    }
+
+    /// Opacity at a normalized scalar (clamped).
+    pub fn alpha(&self, s: f32) -> f32 {
+        let s = if s.is_nan() { 0.0 } else { s };
+        let first = self.opacity.first().expect("nonempty");
+        let last = self.opacity.last().expect("nonempty");
+        if s <= first.0 {
+            return first.1;
+        }
+        if s >= last.0 {
+            return last.1;
+        }
+        let hi = self.opacity.iter().position(|&(p, _)| p >= s).expect("in range");
+        let (p0, a0) = self.opacity[hi - 1];
+        let (p1, a1) = self.opacity[hi];
+        let f = if p1 > p0 { (s - p0) / (p1 - p0) } else { 0.0 };
+        a0 + f * (a1 - a0)
+    }
+
+    /// Classify a scalar into linear-light RGB (0..1) and opacity.
+    pub fn classify(&self, s: f32) -> ([f32; 3], f32) {
+        let rgb8 = self.cmap.map(s);
+        let rgb = [rgb8[0] as f32 / 255.0, rgb8[1] as f32 / 255.0, rgb8[2] as f32 / 255.0];
+        (rgb, self.alpha(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opacity_interpolates_and_clamps() {
+        let tf = TransferFunction::new(
+            Colormap::grayscale(),
+            vec![(0.0, 0.0), (0.5, 0.0), (1.0, 1.0)],
+        );
+        assert_eq!(tf.alpha(-1.0), 0.0);
+        assert_eq!(tf.alpha(0.25), 0.0);
+        assert!((tf.alpha(0.75) - 0.5).abs() < 1e-6);
+        assert_eq!(tf.alpha(2.0), 1.0);
+        assert_eq!(tf.alpha(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn tooth_preset_hides_air_shows_enamel() {
+        let tf = TransferFunction::tooth();
+        assert_eq!(tf.alpha(0.05), 0.0);
+        assert!(tf.alpha(0.95) > 0.5);
+        let (rgb, a) = tf.classify(0.9);
+        assert!(a > 0.3);
+        assert!(rgb[0] > 0.8, "enamel should be bright: {rgb:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_stop_rejected() {
+        TransferFunction::new(Colormap::grayscale(), vec![(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Dynamic data: one mapping, many redistributions — and what changing the
+//! wire strategy does.
+//!
+//! A 3-D field evolves over 50 time steps on 6 ranks that own z-slabs; a
+//! consumer layout of near-cubic bricks needs the data every step. The
+//! mapping is set up **once**; `reorganize` runs per step (the paper's
+//! §III-C "when dealing with dynamic data, DDR_ReorganizeData can be called
+//! each time processes own new data without needing to initialize the
+//! library or set up the data mapping again"). The same workload is then
+//! run with the sparse point-to-point strategy the paper proposes as future
+//! work, and with a deliberately sparse mapping where it shines.
+//!
+//! Run with: `cargo run --release --example dynamic_remap`
+
+use ddr::core::decompose::{brick, slab};
+use ddr::core::{Block, DataKind, Descriptor, Strategy};
+use ddr::minimpi::Universe;
+use std::time::Instant;
+
+const NPROCS: usize = 6;
+const DOMAIN: [usize; 3] = [64, 64, 48];
+const STEPS: usize = 50;
+
+fn field(c: [usize; 3], step: usize) -> f32 {
+    ((c[0] * 7 + c[1] * 13 + c[2] * 29) % 101) as f32 + step as f32 * 1000.0
+}
+
+fn run(strategy: Strategy, sparse: bool) -> (f64, usize, usize) {
+    let domain = Block::d3([0, 0, 0], DOMAIN).unwrap();
+    // Split x and y only, so every brick spans the full z range and must
+    // gather pieces from every slab owner — a genuinely dense mapping.
+    let counts = [3usize, 2, 1];
+    let t0 = Instant::now();
+    let meta = Universe::run(NPROCS, |comm| {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 2, NPROCS, r).unwrap()];
+        // Sparse consumer: each rank wants (almost) its own slab back, so it
+        // only talks to at most two neighbors; dense consumer: bricks.
+        let need = if sparse {
+            let s = slab(&domain, 2, NPROCS, (r + 1) % NPROCS).unwrap();
+            s
+        } else {
+            brick(&domain, counts, r).unwrap()
+        };
+        let desc = Descriptor::for_type::<f32>(NPROCS, DataKind::D3).unwrap();
+        // Mapping once…
+        let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+        let mut out = vec![0f32; need.count() as usize];
+        // …reorganize every step with fresh data.
+        for step in 0..STEPS {
+            let data: Vec<f32> = owned[0].coords().map(|c| field(c, step)).collect();
+            plan.reorganize_with(comm, &[&data], &mut out, strategy).unwrap();
+            // Spot-check one element.
+            let first = need.coords().next().unwrap();
+            assert_eq!(out[0], field(first, step));
+        }
+        (plan.num_rounds(), plan.neighbor_count())
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    (dt, meta[0].0, meta.iter().map(|m| m.1).max().unwrap())
+}
+
+fn main() {
+    println!(
+        "dynamic remap: {STEPS} steps of a {}x{}x{} field on {NPROCS} ranks\n",
+        DOMAIN[0], DOMAIN[1], DOMAIN[2]
+    );
+    println!(
+        "{:<34} {:>10} {:>8} {:>14}",
+        "configuration", "time", "rounds", "max neighbors"
+    );
+    for (label, strategy, sparse) in [
+        ("slabs -> bricks, alltoallw", Strategy::Alltoallw, false),
+        ("slabs -> bricks, point-to-point", Strategy::PointToPoint, false),
+        ("slabs -> shifted slabs, alltoallw", Strategy::Alltoallw, true),
+        ("slabs -> shifted slabs, p2p", Strategy::PointToPoint, true),
+    ] {
+        let (dt, rounds, neighbors) = run(strategy, sparse);
+        println!(
+            "{label:<34} {:>8.1}ms {rounds:>8} {neighbors:>14}",
+            dt * 1e3
+        );
+    }
+    println!(
+        "\nThe sparse consumer layout touches at most a couple of peers, where the\n\
+         paper's proposed direct send/receive optimization avoids the all-to-all\n\
+         coordination cost; the dense brick layout talks to most ranks either way."
+    );
+}

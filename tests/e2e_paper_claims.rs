@@ -1,0 +1,93 @@
+//! Tests pinning the quantitative claims of the paper that this
+//! reproduction derives exactly (not modelled): Table III's communication
+//! schedule, the E1 example, and the qualitative claims of Tables II/IV.
+
+use ddr_bench::tiffcase::{
+    images_read_per_rank, project, schedule, Method, PAPER_ELEM, PAPER_SCALES, PAPER_VOLUME,
+};
+use ddr_netsim::ClusterSpec;
+
+#[test]
+fn table3_round_counts_are_exact() {
+    // Rounds = ceil(4096 images / P) for round-robin, 1 for consecutive.
+    let expected = [(27usize, 152usize), (64, 64), (125, 33), (216, 19)];
+    for (p, rr_rounds) in expected {
+        assert_eq!(schedule(PAPER_VOLUME, PAPER_ELEM, p, Method::RoundRobin).rounds, rr_rounds);
+        assert_eq!(schedule(PAPER_VOLUME, PAPER_ELEM, p, Method::Consecutive).rounds, 1);
+    }
+}
+
+#[test]
+fn table3_round_robin_data_size_is_flat_about_32mb() {
+    // "the data size per process per round remains constant" — one image
+    // minus what stays local, ~31-32 MB at every scale.
+    for &p in &PAPER_SCALES {
+        let s = schedule(PAPER_VOLUME, PAPER_ELEM, p, Method::RoundRobin);
+        assert!(
+            (s.mean_mb_per_rank_per_round - 32.0).abs() < 2.0,
+            "at {p}: {}",
+            s.mean_mb_per_rank_per_round
+        );
+    }
+}
+
+#[test]
+fn table3_consecutive_data_size_shrinks_with_scale() {
+    // 4315 MB at 27 ranks down to ~590 MB at 216 — a 7.3x drop.
+    let m27 = schedule(PAPER_VOLUME, PAPER_ELEM, 27, Method::Consecutive)
+        .mean_mb_per_rank_per_round;
+    let m216 = schedule(PAPER_VOLUME, PAPER_ELEM, 216, Method::Consecutive)
+        .mean_mb_per_rank_per_round;
+    assert!(m27 > 4000.0 && m27 < 4700.0, "{m27}");
+    assert!(m216 > 550.0 && m216 < 680.0, "{m216}");
+    assert!((m27 / m216 - 7.3).abs() < 0.7);
+}
+
+#[test]
+fn table2_headline_speedup_reproduced() {
+    // "nearly a 25X I/O speed-up" at 216 ranks.
+    let cluster = ClusterSpec::cooley();
+    let base = project(PAPER_VOLUME, PAPER_ELEM, 216, Method::NoDdr, &cluster).total();
+    let best = project(PAPER_VOLUME, PAPER_ELEM, 216, Method::Consecutive, &cluster).total();
+    let speedup = base / best;
+    assert!(speedup > 15.0, "speedup only {speedup:.1}x");
+}
+
+#[test]
+fn table2_crossover_between_round_robin_and_consecutive() {
+    // "At small scale, the round-robin method outperforms the consecutive
+    // method … this trend reverses at larger scales."
+    let cluster = ClusterSpec::cooley();
+    let rr = |p| project(PAPER_VOLUME, PAPER_ELEM, p, Method::RoundRobin, &cluster).total();
+    let cons = |p| project(PAPER_VOLUME, PAPER_ELEM, p, Method::Consecutive, &cluster).total();
+    assert!(rr(27) < cons(27));
+    assert!(cons(216) < rr(216));
+}
+
+#[test]
+fn ddr_eliminates_redundant_reads_at_every_scale() {
+    // Without DDR the total number of image decodes is c^2 times larger
+    // (every image is decoded by one full xy-layer of bricks).
+    for &p in &PAPER_SCALES {
+        let c = (p as f64).cbrt().round() as usize;
+        let no_ddr: usize =
+            (0..p).map(|r| images_read_per_rank(PAPER_VOLUME, p, Method::NoDdr, r)).sum();
+        let ddr: usize =
+            (0..p).map(|r| images_read_per_rank(PAPER_VOLUME, p, Method::Consecutive, r)).sum();
+        assert_eq!(ddr, 4096);
+        assert_eq!(no_ddr, c * c * 4096, "no-ddr reads at {p}");
+    }
+}
+
+#[test]
+fn no_ddr_strong_scales_poorly() {
+    // Figure 3: the No-DDR curve is nearly flat (165-283 s) while DDR drops
+    // by ~7x over the same range.
+    let cluster = ClusterSpec::cooley();
+    let nd = |p| project(PAPER_VOLUME, PAPER_ELEM, p, Method::NoDdr, &cluster).total();
+    let cons = |p| project(PAPER_VOLUME, PAPER_ELEM, p, Method::Consecutive, &cluster).total();
+    let no_ddr_ratio = nd(27) / nd(216);
+    let ddr_ratio = cons(27) / cons(216);
+    assert!(no_ddr_ratio < 2.0, "no-ddr scaled {no_ddr_ratio:.1}x over 8x ranks");
+    assert!(ddr_ratio > 4.0, "ddr scaled only {ddr_ratio:.1}x over 8x ranks");
+}

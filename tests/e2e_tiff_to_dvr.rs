@@ -1,0 +1,73 @@
+//! Cross-crate end-to-end test of use case 1: a TIFF stack on disk is
+//! loaded with DDR on real rank threads, redistributed into bricks, each
+//! brick is volume-rendered, and the composite must equal a single-pass
+//! render of the original volume.
+
+use ddr::minimpi::Universe;
+use ddr_bench::loader::{load_stack, write_phantom_stack};
+use ddr_bench::tiffcase::Method;
+use volren::{composite, render_brick, render_volume, TransferFunction};
+
+const VOL: [usize; 3] = [32, 32, 24];
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ddr_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn stack_to_composited_dvr_matches_serial_render() {
+    let dir = tmpdir("dvr");
+    write_phantom_stack(&dir, VOL).unwrap();
+    let tf = TransferFunction::tooth();
+
+    // Serial reference: decode the stack directly and render in one pass.
+    let mut reference_vol = Vec::with_capacity(VOL[0] * VOL[1] * VOL[2]);
+    for z in 0..VOL[2] {
+        let img = ddr::dtiff::read_stack_slice(&dir, z).unwrap();
+        for i in 0..img.data.len() {
+            reference_vol.push((img.data.get_f64(i) / 65535.0) as f32);
+        }
+    }
+    let reference = render_volume(&reference_vol, VOL, &tf);
+
+    for (nprocs, method) in
+        [(8usize, Method::Consecutive), (6, Method::RoundRobin), (4, Method::NoDdr)]
+    {
+        let dir2 = dir.clone();
+        let tf_ref = &tf;
+        let bricks = Universe::run(nprocs, move |comm| {
+            let (block, data, _) = load_stack(comm, &dir2, VOL, method).unwrap();
+            render_brick(&data, block.dims, block.offset, tf_ref)
+        });
+        let image = composite(VOL[0], VOL[1], bricks);
+        let max_diff = image
+            .data
+            .iter()
+            .zip(&reference.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max);
+        assert!(
+            max_diff < 1e-4,
+            "{method:?} on {nprocs} ranks: composite differs by {max_diff}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dvr_output_survives_jpeg_roundtrip() {
+    // The full output path: composite -> RGB -> JPEG -> decode, with the
+    // phantom still recognizable (center bright, corners dark).
+    let data = volren::phantom_tooth(VOL);
+    let tf = TransferFunction::tooth();
+    let rgb = render_volume(&data, VOL, &tf).to_rgb([0, 0, 0]);
+    let jpeg = ddr::jimage::jpeg::encode(&rgb, 85).unwrap();
+    assert!(jpeg.len() < rgb.data.len() / 2);
+    let back = ddr::jimage::jpeg::decode(&jpeg).unwrap();
+    let center = back.get(VOL[0] / 2, VOL[1] / 2);
+    let corner = back.get(0, 0);
+    assert!(center.iter().any(|&c| c > 40), "center {center:?}");
+    assert!(corner.iter().all(|&c| c < 40), "corner {corner:?}");
+}
