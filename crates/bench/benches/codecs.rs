@@ -33,7 +33,7 @@ fn bench_jpeg(c: &mut Criterion) {
         .map(|i| {
             let x = (i % w) as f32 / w as f32;
             let y = (i / w) as f32 / h as f32;
-            ((x * 14.0).sin() * (y * 10.0).cos()) as f32
+            (x * 14.0).sin() * (y * 10.0).cos()
         })
         .collect();
     let img = RgbImage::from_scalar_field(w, h, &field, -1.0, 1.0, &cmap);

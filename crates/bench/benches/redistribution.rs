@@ -33,18 +33,14 @@ fn run_cycle(
             let planes = domain.dims[2];
             round_robin_items(planes.min(nprocs * chunks_per_rank), nprocs, r, |z| {
                 let zlen = planes / (nprocs * chunks_per_rank).min(planes);
-                Block::d3(
-                    [0, 0, z * zlen],
-                    [domain.dims[0], domain.dims[1], zlen],
-                )
+                Block::d3([0, 0, z * zlen], [domain.dims[0], domain.dims[1], zlen])
             })
             .unwrap()
         };
         let need = brick(&domain, counts, r).unwrap();
         let desc = Descriptor::for_type::<f32>(nprocs, DataKind::D3).unwrap();
-        let plan = desc
-            .setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Skip)
-            .unwrap();
+        let plan =
+            desc.setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Skip).unwrap();
         let data: Vec<Vec<f32>> =
             owned.iter().map(|b| vec![comm.rank() as f32; b.count() as usize]).collect();
         let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
@@ -86,8 +82,7 @@ fn bench_strategy_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire_strategy");
     g.sample_size(10);
     let domain = Block::d3([0, 0, 0], [96, 96, 64]).unwrap();
-    for (name, strategy) in [("alltoallw", Strategy::Alltoallw), ("p2p", Strategy::PointToPoint)]
-    {
+    for (name, strategy) in [("alltoallw", Strategy::Alltoallw), ("p2p", Strategy::PointToPoint)] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(run_cycle(6, domain, 1, 1, strategy)));
         });

@@ -68,7 +68,7 @@ fn main() {
     println!("is why the paper sees the tie at 64 ranks and the fitted model slightly earlier.");
 
     // No-DDR column is placement-independent; print once for context.
-    println!("\n{:<14}{}", "", "No-DDR (any placement):");
+    println!("\n{:<14}No-DDR (any placement):", "");
     table::header(&[("Processes", 10), ("No DDR", 12)]);
     for &p in &PAPER_SCALES {
         let t = project(PAPER_VOLUME, PAPER_ELEM, p, Method::NoDdr, &base).total();

@@ -58,10 +58,7 @@ fn projected_section(cluster: &ClusterSpec) {
     }
     let best = project(PAPER_VOLUME, PAPER_ELEM, 216, Method::Consecutive, cluster).total();
     let base = project(PAPER_VOLUME, PAPER_ELEM, 216, Method::NoDdr, cluster).total();
-    println!(
-        "\nmax speed-up at 216 ranks: {:.1}x (paper: 24.9x)\n",
-        base / best
-    );
+    println!("\nmax speed-up at 216 ranks: {:.1}x (paper: 24.9x)\n", base / best);
 }
 
 fn flowsim_section(cluster: &ClusterSpec) {
@@ -96,7 +93,10 @@ fn flowsim_section(cluster: &ClusterSpec) {
 
 fn figure3_section(cluster: &ClusterSpec) {
     println!("== Figure 3 (strong scaling series; x axis is log3(processes^(1/3))) ==\n");
-    println!("{:>10} {:>14} {:>14} {:>14}", "processes", "No DDR [s]", "DDR RR [s]", "DDR Consec [s]");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "processes", "No DDR [s]", "DDR RR [s]", "DDR Consec [s]"
+    );
     for &p in &PAPER_SCALES {
         let no_ddr = project(PAPER_VOLUME, PAPER_ELEM, p, Method::NoDdr, cluster).total();
         let rr = project(PAPER_VOLUME, PAPER_ELEM, p, Method::RoundRobin, cluster).total();
@@ -154,7 +154,10 @@ fn main() {
     let cluster = ClusterSpec::cooley();
 
     projected_section(&cluster);
-    if args.iter().any(|a| a == "--figure3") || args.is_empty() || !args.contains(&"--no-figure3".into()) {
+    if args.iter().any(|a| a == "--figure3")
+        || args.is_empty()
+        || !args.contains(&"--no-figure3".into())
+    {
         figure3_section(&cluster);
     }
     if args.iter().any(|a| a == "--flowsim") {

@@ -19,8 +19,8 @@
 use ddr_core::Block;
 use ddr_lbm::{barrier_line, Config, DistributedLbm};
 use intransit::{
-    analysis_block, consumer_sources, producer_targets, recv_frames, send_frame,
-    split_resources, Repartitioner, Role,
+    analysis_block, consumer_sources, producer_targets, recv_frames, send_frame, split_resources,
+    Repartitioner, Role,
 };
 use jimage::{jpeg, Colormap, RgbImage};
 use minimpi::Universe;
@@ -89,9 +89,8 @@ fn measure_pipeline(nx: usize, ny: usize, frames: usize, every: usize) -> (Vec<u
         }
     });
     // Sum the per-rank tile sizes per frame.
-    let per_frame: Vec<usize> = (0..frames)
-        .map(|f| results.iter().skip(SIM_RANKS).map(|s| s[f]).sum())
-        .collect();
+    let per_frame: Vec<usize> =
+        (0..frames).map(|f| results.iter().skip(SIM_RANKS).map(|s| s[f]).sum()).collect();
     (per_frame, nx * ny * 4)
 }
 

@@ -72,7 +72,10 @@ fn cmd_info(args: &[String]) -> ExitCode {
         }
         println!("stack of {z} slices");
     } else {
-        match std::fs::read(p).map_err(dtiff::TiffError::from).and_then(|b| TiffImage::decode_all(&b)) {
+        match std::fs::read(p)
+            .map_err(dtiff::TiffError::from)
+            .and_then(|b| TiffImage::decode_all(&b))
+        {
             Ok(pages) => {
                 describe(&pages[0], "page 0");
                 println!("{} page(s)", pages.len());

@@ -102,10 +102,8 @@ pub fn load_stack(
                 for y in 0..need.dims[1] {
                     let gy = need.offset[1] + y;
                     let src = gy * vol[0] + need.offset[0];
-                    let dst = (z - need.offset[2]) * need.dims[0] * need.dims[1]
-                        + y * need.dims[0];
-                    out[dst..dst + need.dims[0]]
-                        .copy_from_slice(&slice[src..src + need.dims[0]]);
+                    let dst = (z - need.offset[2]) * need.dims[0] * need.dims[1] + y * need.dims[0];
+                    out[dst..dst + need.dims[0]].copy_from_slice(&slice[src..src + need.dims[0]]);
                 }
             }
             Ok((need, out, stats))
@@ -164,10 +162,8 @@ fn phantom_slices(vol: [usize; 3]) -> Vec<TiffImage> {
     let plane = vol[0] * vol[1];
     (0..vol[2])
         .map(|z| {
-            let pixels: Vec<u16> = data[z * plane..(z + 1) * plane]
-                .iter()
-                .map(|&v| (v * 65535.0) as u16)
-                .collect();
+            let pixels: Vec<u16> =
+                data[z * plane..(z + 1) * plane].iter().map(|&v| (v * 65535.0) as u16).collect();
             TiffImage::new(vol[0] as u32, vol[1] as u32, dtiff::PixelData::U16(pixels))
                 .expect("plane matches dims")
         })
@@ -264,9 +260,8 @@ mod tests {
             let mut per_method = Vec::new();
             for method in [Method::NoDdr, Method::RoundRobin, Method::Consecutive] {
                 let dir = dir.clone();
-                let results = Universe::run(nprocs, move |comm| {
-                    load_stack(comm, &dir, vol, method).unwrap()
-                });
+                let results =
+                    Universe::run(nprocs, move |comm| load_stack(comm, &dir, vol, method).unwrap());
                 // Stitch bricks and compare against the phantom (through the
                 // u16 quantization of the files).
                 let mut stitched = vec![0f32; vol[0] * vol[1] * vol[2]];
@@ -302,9 +297,7 @@ mod tests {
 
         for nprocs in [1usize, 8] {
             let f2 = file.clone();
-            let multi = Universe::run(nprocs, move |comm| {
-                load_multipage(comm, &f2, vol).unwrap()
-            });
+            let multi = Universe::run(nprocs, move |comm| load_multipage(comm, &f2, vol).unwrap());
             let s2 = stack_dir.clone();
             let stack = Universe::run(nprocs, move |comm| {
                 load_stack(comm, &s2, vol, Method::Consecutive).unwrap()

@@ -112,7 +112,13 @@ impl ProjectedTime {
 /// Read/decode uses the filesystem model with the *exact* per-rank image
 /// counts; redistribution uses the network model driven by the exact
 /// per-round pair-byte matrices of the real DDR mapping.
-pub fn project(vol: [usize; 3], elem: usize, nprocs: usize, method: Method, cluster: &ClusterSpec) -> ProjectedTime {
+pub fn project(
+    vol: [usize; 3],
+    elem: usize,
+    nprocs: usize,
+    method: Method,
+    cluster: &ClusterSpec,
+) -> ProjectedTime {
     let image_bytes = (vol[0] * vol[1] * elem) as f64;
     // The slowest reader bounds the read phase.
     let max_images = (0..nprocs)
@@ -205,8 +211,7 @@ mod tests {
         for &p in &PAPER_SCALES {
             for method in [Method::RoundRobin, Method::Consecutive] {
                 let ls = layouts(PAPER_VOLUME, p, method).unwrap();
-                let owned: u64 =
-                    ls.iter().flat_map(|l| l.owned.iter()).map(|b| b.count()).sum();
+                let owned: u64 = ls.iter().flat_map(|l| l.owned.iter()).map(|b| b.count()).sum();
                 assert_eq!(owned, (4096u64 * 2048 * 4096), "{method:?} at {p}");
             }
         }
@@ -234,10 +239,18 @@ mod tests {
         for ((&p, &ec), &er) in PAPER_SCALES.iter().zip(&expect_cons).zip(&expect_rr) {
             let c = schedule(PAPER_VOLUME, PAPER_ELEM, p, Method::Consecutive);
             let rel = (c.mean_mb_per_rank_per_round - ec).abs() / ec;
-            assert!(rel < 0.15, "consecutive at {p}: got {} expected {ec}", c.mean_mb_per_rank_per_round);
+            assert!(
+                rel < 0.15,
+                "consecutive at {p}: got {} expected {ec}",
+                c.mean_mb_per_rank_per_round
+            );
             let r = schedule(PAPER_VOLUME, PAPER_ELEM, p, Method::RoundRobin);
             let rel = (r.mean_mb_per_rank_per_round - er).abs() / er;
-            assert!(rel < 0.15, "round-robin at {p}: got {} expected {er}", r.mean_mb_per_rank_per_round);
+            assert!(
+                rel < 0.15,
+                "round-robin at {p}: got {} expected {er}",
+                r.mean_mb_per_rank_per_round
+            );
         }
     }
 
@@ -272,8 +285,7 @@ mod tests {
         for &p in &PAPER_SCALES {
             let no_ddr = project(PAPER_VOLUME, PAPER_ELEM, p, Method::NoDdr, &cluster).total();
             let rr = project(PAPER_VOLUME, PAPER_ELEM, p, Method::RoundRobin, &cluster).total();
-            let cons =
-                project(PAPER_VOLUME, PAPER_ELEM, p, Method::Consecutive, &cluster).total();
+            let cons = project(PAPER_VOLUME, PAPER_ELEM, p, Method::Consecutive, &cluster).total();
             // DDR beats No-DDR by a large margin everywhere.
             assert!(rr * 3.0 < no_ddr, "rr {rr} vs no-ddr {no_ddr} at {p}");
             assert!(cons * 3.0 < no_ddr, "cons {cons} vs no-ddr {no_ddr} at {p}");
@@ -286,8 +298,7 @@ mod tests {
         let c27 = project(PAPER_VOLUME, PAPER_ELEM, 27, Method::Consecutive, &cluster).total();
         assert!(rr27 < c27, "at 27 ranks round-robin should win: {rr27} vs {c27}");
         let rr216 = project(PAPER_VOLUME, PAPER_ELEM, 216, Method::RoundRobin, &cluster).total();
-        let c216 =
-            project(PAPER_VOLUME, PAPER_ELEM, 216, Method::Consecutive, &cluster).total();
+        let c216 = project(PAPER_VOLUME, PAPER_ELEM, 216, Method::Consecutive, &cluster).total();
         assert!(c216 < rr216, "at 216 ranks consecutive should win: {c216} vs {rr216}");
     }
 }

@@ -37,10 +37,8 @@ impl Block {
             offset[d] = 0;
             dims[d] = 1;
         }
-        for d in 0..ndims {
-            if dims[d] == 0 {
-                return Err(DdrError::InvalidBlock(format!("dimension {d} has zero extent")));
-            }
+        if let Some(d) = dims[..ndims].iter().position(|&ext| ext == 0) {
+            return Err(DdrError::InvalidBlock(format!("dimension {d} has zero extent")));
         }
         Ok(Block { ndims, offset, dims })
     }
@@ -89,8 +87,7 @@ impl Block {
 
     /// Whether `other` lies entirely inside this block.
     pub fn contains(&self, other: &Block) -> bool {
-        (0..MAX_DIMS)
-            .all(|d| other.offset[d] >= self.offset[d] && other.end(d) <= self.end(d))
+        (0..MAX_DIMS).all(|d| other.offset[d] >= self.offset[d] && other.end(d) <= self.end(d))
     }
 
     /// Smallest block covering both `self` and `other`.
@@ -121,8 +118,7 @@ impl Block {
             region.offset[1] - self.offset[1],
             region.offset[2] - self.offset[2],
         ];
-        Subarray::new(MAX_DIMS, self.dims, region.dims, starts, elem_size)
-            .map_err(DdrError::from)
+        Subarray::new(MAX_DIMS, self.dims, region.dims, starts, elem_size).map_err(DdrError::from)
     }
 
     /// Linear index of a global coordinate within this block's local buffer.
@@ -144,8 +140,7 @@ impl Block {
         let b = *self;
         (0..b.dims[2]).flat_map(move |z| {
             (0..b.dims[1]).flat_map(move |y| {
-                (0..b.dims[0])
-                    .map(move |x| [b.offset[0] + x, b.offset[1] + y, b.offset[2] + z])
+                (0..b.dims[0]).map(move |x| [b.offset[0] + x, b.offset[1] + y, b.offset[2] + z])
             })
         })
     }
@@ -252,8 +247,7 @@ mod tests {
 
     #[test]
     fn bounding_box_of_set() {
-        let blocks =
-            [Block::d1(0, 4).unwrap(), Block::d1(8, 4).unwrap(), Block::d1(4, 4).unwrap()];
+        let blocks = [Block::d1(0, 4).unwrap(), Block::d1(8, 4).unwrap(), Block::d1(4, 4).unwrap()];
         assert_eq!(bounding_box(blocks.iter()).unwrap(), Block::d1(0, 12).unwrap());
         assert!(bounding_box([].iter()).is_none());
     }

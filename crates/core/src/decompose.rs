@@ -158,8 +158,7 @@ pub fn coalesce(blocks: &[Block]) -> Vec<Block> {
             for b in blocks.drain(..) {
                 if let Some(last) = merged.last_mut() {
                     let same_cross = (0..3).all(|d| {
-                        d == axis
-                            || (last.offset[d] == b.offset[d] && last.dims[d] == b.dims[d])
+                        d == axis || (last.offset[d] == b.offset[d] && last.dims[d] == b.dims[d])
                     });
                     if same_cross && last.offset[axis] + last.dims[axis] == b.offset[axis] {
                         last.dims[axis] += b.dims[axis];
@@ -221,8 +220,7 @@ mod tests {
     fn bricks_tile_domain_exactly() {
         let domain = Block::d3([0, 0, 0], [10, 7, 5]).unwrap();
         let counts = [3, 2, 2];
-        let bricks: Vec<Block> =
-            (0..12).map(|i| brick(&domain, counts, i).unwrap()).collect();
+        let bricks: Vec<Block> = (0..12).map(|i| brick(&domain, counts, i).unwrap()).collect();
         let total: u64 = bricks.iter().map(|b| b.count()).sum();
         assert_eq!(total, domain.count());
         for (i, a) in bricks.iter().enumerate() {
@@ -256,11 +254,7 @@ mod tests {
         // Rank 1 of 4 with 10 items: items 1, 5, 9.
         assert_eq!(
             blocks,
-            vec![
-                Block::d1(5, 5).unwrap(),
-                Block::d1(25, 5).unwrap(),
-                Block::d1(45, 5).unwrap()
-            ]
+            vec![Block::d1(5, 5).unwrap(), Block::d1(25, 5).unwrap(), Block::d1(45, 5).unwrap()]
         );
     }
 
@@ -268,8 +262,7 @@ mod tests {
     fn coalesce_merges_consecutive_slices() {
         // The round-robin -> consecutive transformation: 4 adjacent z-planes
         // collapse into one chunk.
-        let planes: Vec<Block> =
-            (0..4).map(|z| Block::d3([0, 0, z], [8, 4, 1]).unwrap()).collect();
+        let planes: Vec<Block> = (0..4).map(|z| Block::d3([0, 0, z], [8, 4, 1]).unwrap()).collect();
         let merged = coalesce(&planes);
         assert_eq!(merged, vec![Block::d3([0, 0, 0], [8, 4, 4]).unwrap()]);
     }
@@ -299,10 +292,7 @@ mod tests {
     fn coalesce_is_conservative_on_ragged_shapes() {
         // An L-shape cannot merge into one rectangle; coverage must be
         // preserved exactly.
-        let l_shape = vec![
-            Block::d2([0, 0], [8, 2]).unwrap(),
-            Block::d2([0, 2], [2, 6]).unwrap(),
-        ];
+        let l_shape = vec![Block::d2([0, 0], [8, 2]).unwrap(), Block::d2([0, 2], [2, 6]).unwrap()];
         let merged = coalesce(&l_shape);
         let total: u64 = merged.iter().map(|b| b.count()).sum();
         assert_eq!(total, 16 + 12);

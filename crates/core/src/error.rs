@@ -1,5 +1,6 @@
 //! Error domain of the DDR library.
 
+use crate::recover::PartialCompletion;
 use std::fmt;
 
 /// Errors reported by DDR setup and redistribution.
@@ -48,6 +49,11 @@ pub enum DdrError {
     },
     /// Failure in the underlying message-passing runtime.
     Mpi(minimpi::Error),
+    /// A redistribution lost data to dead or unresponsive peers but drained
+    /// everything else; the report states exactly what arrived and what was
+    /// lost, per peer and per round. Recover with
+    /// [`crate::Descriptor::recover_mapping`].
+    Incomplete(Box<PartialCompletion>),
 }
 
 impl fmt::Display for DdrError {
@@ -71,6 +77,9 @@ impl fmt::Display for DdrError {
                 "process count mismatch: descriptor says {descriptor}, call site has {actual}"
             ),
             DdrError::Mpi(e) => write!(f, "mpi error: {e}"),
+            DdrError::Incomplete(report) => {
+                write!(f, "redistribution incomplete: {report}")
+            }
         }
     }
 }

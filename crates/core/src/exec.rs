@@ -2,6 +2,7 @@
 
 use crate::error::{DdrError, Result};
 use crate::plan::Plan;
+use crate::recover::PartialCompletion;
 use minimpi::{bytes_of, bytes_of_mut, Comm, Datatype, Pod};
 
 /// Marker trait for element types DDR can move: any plain-old-data type.
@@ -94,6 +95,12 @@ impl Plan {
     }
 
     /// [`Plan::reorganize`] with an explicit wire [`Strategy`].
+    ///
+    /// On peer failure (a rank died or dropped out mid-exchange) the
+    /// remaining rounds are still drained so every byte that can arrive
+    /// does, and the call returns [`DdrError::Incomplete`] carrying a
+    /// [`PartialCompletion`] report of exactly what was delivered and lost,
+    /// per peer and per round.
     pub fn reorganize_with<T: Element>(
         &self,
         comm: &Comm,
@@ -101,6 +108,25 @@ impl Plan {
         need: &mut [T],
         strategy: Strategy,
     ) -> Result<()> {
+        let report = self.reorganize_salvage_with(comm, owned, need, strategy)?;
+        if report.is_complete() {
+            Ok(())
+        } else {
+            Err(DdrError::Incomplete(Box::new(report)))
+        }
+    }
+
+    /// Degraded-mode redistribution: like [`Plan::reorganize_with`], but a
+    /// lossy exchange is an `Ok` outcome — the returned
+    /// [`PartialCompletion`] says what arrived. Hard errors (mismatched
+    /// buffers, this rank itself fault-killed) are still `Err`.
+    pub fn reorganize_salvage_with<T: Element>(
+        &self,
+        comm: &Comm,
+        owned: &[&[T]],
+        need: &mut [T],
+        strategy: Strategy,
+    ) -> Result<PartialCompletion> {
         if comm.size() != self.nprocs || comm.rank() != self.rank {
             return Err(DdrError::ProcessCountMismatch {
                 descriptor: self.nprocs,
@@ -108,11 +134,12 @@ impl Plan {
             });
         }
         self.check_buffers(owned, need)?;
-        match self.resolve_strategy(strategy) {
-            Strategy::Alltoallw => self.reorganize_alltoallw(comm, owned, need),
-            Strategy::PointToPoint => self.reorganize_p2p(comm, owned, need),
+        let failures = match self.resolve_strategy(strategy) {
+            Strategy::Alltoallw => self.reorganize_alltoallw(comm, owned, need)?,
+            Strategy::PointToPoint => self.reorganize_p2p(comm, owned, need)?,
             Strategy::Auto => unreachable!("resolved above"),
-        }
+        };
+        Ok(PartialCompletion::from_failures(self, &failures))
     }
 
     /// The concrete strategy [`Strategy::Auto`] resolves to for this plan.
@@ -134,16 +161,19 @@ impl Plan {
         }
     }
 
+    /// Returns `(round, peer)` receive failures; drains every round so the
+    /// maximum amount of data survives a peer death.
     fn reorganize_alltoallw<T: Pod>(
         &self,
         comm: &Comm,
         owned: &[&[T]],
         need: &mut [T],
-    ) -> Result<()> {
+    ) -> Result<Vec<(usize, usize)>> {
         let n = self.nprocs;
         let need_bytes = bytes_of_mut(need);
+        let mut failures = Vec::new();
         for (r, round) in self.rounds.iter().enumerate() {
-            let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(*b)).unwrap_or(&[]);
+            let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]);
             let mut send_types = vec![Datatype::Empty; n];
             let mut recv_types = vec![Datatype::Empty; n];
             for t in &round.sends {
@@ -152,9 +182,10 @@ impl Plan {
             for t in &round.recvs {
                 recv_types[t.peer] = Datatype::Subarray(t.subarray);
             }
-            comm.alltoallw(send_buf, &send_types, need_bytes, &recv_types)?;
+            let report = comm.alltoallw_salvage(send_buf, &send_types, need_bytes, &recv_types)?;
+            failures.extend(report.failed.into_iter().map(|(peer, _)| (r, peer)));
         }
-        Ok(())
+        Ok(failures)
     }
 
     fn reorganize_p2p<T: Pod>(
@@ -162,10 +193,11 @@ impl Plan {
         comm: &Comm,
         owned: &[&[T]],
         need: &mut [T],
-    ) -> Result<()> {
+    ) -> Result<Vec<(usize, usize)>> {
         let need_bytes = bytes_of_mut(need);
+        let mut failures = Vec::new();
         for (r, round) in self.rounds.iter().enumerate() {
-            let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(*b)).unwrap_or(&[]);
+            let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]);
             let mut sends = Vec::with_capacity(round.sends.len());
             for t in &round.sends {
                 let mut packed = Vec::with_capacity(t.subarray.packed_len());
@@ -173,12 +205,15 @@ impl Plan {
                 sends.push((t.peer, packed));
             }
             let recv_srcs: Vec<usize> = round.recvs.iter().map(|t| t.peer).collect();
-            let received = comm.sparse_exchange(sends, &recv_srcs)?;
+            let received = comm.sparse_exchange_salvage(sends, &recv_srcs)?;
             for (t, (src, payload)) in round.recvs.iter().zip(received) {
                 debug_assert_eq!(t.peer, src);
-                t.subarray.unpack(&payload, need_bytes)?;
+                match payload {
+                    Ok(p) => t.subarray.unpack(&p, need_bytes)?,
+                    Err(_) => failures.push((r, src)),
+                }
             }
         }
-        Ok(())
+        Ok(failures)
     }
 }

@@ -69,10 +69,7 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let l = Layout {
-            owned: vec![
-                Block::d2([0, 3], [8, 1]).unwrap(),
-                Block::d2([0, 7], [8, 1]).unwrap(),
-            ],
+            owned: vec![Block::d2([0, 3], [8, 1]).unwrap(), Block::d2([0, 7], [8, 1]).unwrap()],
             need: Block::d2([4, 4], [4, 4]).unwrap(),
         };
         let enc = l.encode();

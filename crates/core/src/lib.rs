@@ -62,6 +62,7 @@ mod mapping;
 mod multi;
 pub mod papi;
 mod plan;
+mod recover;
 mod serialize;
 mod stats;
 mod validate;
@@ -74,5 +75,6 @@ pub use layout::Layout;
 pub use mapping::compute_local_plan;
 pub use multi::{compute_multi_plan, MultiLayout, MultiPlan, MultiTransfer};
 pub use plan::{Plan, RoundPlan, Transfer};
+pub use recover::{PartialCompletion, RoundReport};
 pub use stats::GlobalStats;
 pub use validate::{validate, Domain, ValidationPolicy};

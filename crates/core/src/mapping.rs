@@ -104,10 +104,7 @@ fn global_max_neighbors(layouts: &[Layout]) -> usize {
             }
         }
     }
-    (0..n)
-        .map(|r| (0..n).filter(|&o| peer[r * n + o]).count())
-        .max()
-        .unwrap_or(0)
+    (0..n).map(|r| (0..n).filter(|&o| peer[r * n + o]).count()).max().unwrap_or(0)
 }
 
 impl Descriptor {
@@ -117,12 +114,7 @@ impl Descriptor {
     ///
     /// Every rank of `comm` must call this with its own layout. Internally
     /// the layouts are allgathered and each rank computes its plan locally.
-    pub fn setup_data_mapping(
-        &self,
-        comm: &Comm,
-        owned: &[Block],
-        need: Block,
-    ) -> Result<Plan> {
+    pub fn setup_data_mapping(&self, comm: &Comm, owned: &[Block], need: Block) -> Result<Plan> {
         self.setup_data_mapping_with(comm, owned, need, ValidationPolicy::Strict)
     }
 
@@ -188,19 +180,13 @@ mod tests {
             plan.rounds()[0].sends.iter().map(|t| (t.peer, t.region)).collect();
         assert_eq!(
             r0,
-            vec![
-                (0, Block::d2([0, 0], [4, 1]).unwrap()),
-                (1, Block::d2([4, 0], [4, 1]).unwrap()),
-            ]
+            vec![(0, Block::d2([0, 0], [4, 1]).unwrap()), (1, Block::d2([4, 0], [4, 1]).unwrap()),]
         );
         let r1: Vec<(usize, Block)> =
             plan.rounds()[1].sends.iter().map(|t| (t.peer, t.region)).collect();
         assert_eq!(
             r1,
-            vec![
-                (2, Block::d2([0, 4], [4, 1]).unwrap()),
-                (3, Block::d2([4, 4], [4, 1]).unwrap()),
-            ]
+            vec![(2, Block::d2([0, 4], [4, 1]).unwrap()), (3, Block::d2([4, 4], [4, 1]).unwrap()),]
         );
     }
 
@@ -212,12 +198,7 @@ mod tests {
         let plan = compute_local_plan(0, &e1_layouts(), &desc).unwrap();
         let r0: Vec<(usize, Block)> =
             plan.rounds()[0].recvs.iter().map(|t| (t.peer, t.region)).collect();
-        assert_eq!(
-            r0,
-            (0..4)
-                .map(|s| (s, Block::d2([0, s], [4, 1]).unwrap()))
-                .collect::<Vec<_>>()
-        );
+        assert_eq!(r0, (0..4).map(|s| (s, Block::d2([0, s], [4, 1]).unwrap())).collect::<Vec<_>>());
         // Second chunks are rows 4..8 — none touch rank 0's quadrant.
         assert!(plan.rounds()[1].recvs.is_empty());
     }
@@ -245,10 +226,7 @@ mod tests {
                 owned: vec![Block::d1(0, 2).unwrap(), Block::d1(4, 2).unwrap()],
                 need: Block::d1(0, 3).unwrap(),
             },
-            Layout {
-                owned: vec![Block::d1(2, 2).unwrap()],
-                need: Block::d1(3, 3).unwrap(),
-            },
+            Layout { owned: vec![Block::d1(2, 2).unwrap()], need: Block::d1(3, 3).unwrap() },
         ];
         let desc = Descriptor::new(2, DataKind::D1, 8).unwrap();
         let p0 = compute_local_plan(0, &layouts, &desc).unwrap();

@@ -178,7 +178,7 @@ impl MultiPlan {
         }
 
         for (r, round) in self.rounds.iter().enumerate() {
-            let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(*b)).unwrap_or(&[]);
+            let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]);
             let mut sends = Vec::with_capacity(round.sends.len());
             for t in &round.sends {
                 let mut packed = Vec::with_capacity(t.subarray.packed_len());
@@ -303,6 +303,7 @@ impl Descriptor {
             .collect();
         let relaxed = match policy {
             ValidationPolicy::Strict | ValidationPolicy::Relaxed => ValidationPolicy::Relaxed,
+            ValidationPolicy::Degraded => ValidationPolicy::Degraded,
             ValidationPolicy::Skip => ValidationPolicy::Skip,
         };
         validate(&ownership_view, relaxed)?;
@@ -319,10 +320,7 @@ mod tests {
     fn multilayout_roundtrip() {
         let l = MultiLayout {
             owned: vec![Block::d2([0, 0], [4, 2]).unwrap()],
-            needs: vec![
-                Block::d2([0, 0], [2, 2]).unwrap(),
-                Block::d2([2, 0], [2, 2]).unwrap(),
-            ],
+            needs: vec![Block::d2([0, 0], [2, 2]).unwrap(), Block::d2([2, 0], [2, 2]).unwrap()],
         };
         assert_eq!(MultiLayout::decode(&l.encode()).unwrap(), l);
         assert!(MultiLayout::decode(&l.encode()[..3]).is_err());
@@ -361,10 +359,8 @@ mod tests {
 
     #[test]
     fn rejects_dimension_mismatch_and_bad_rank() {
-        let layouts = vec![MultiLayout {
-            owned: vec![Block::d2([0, 0], [2, 2]).unwrap()],
-            needs: vec![],
-        }];
+        let layouts =
+            vec![MultiLayout { owned: vec![Block::d2([0, 0], [2, 2]).unwrap()], needs: vec![] }];
         let desc = Descriptor::new(1, DataKind::D3, 4).unwrap();
         assert!(compute_multi_plan(0, &layouts, &desc).is_err());
         let desc1 = Descriptor::new(1, DataKind::D2, 4).unwrap();

@@ -38,13 +38,8 @@ impl GlobalStats {
         let mut recv = vec![vec![0u64; nprocs]; num_rounds];
         let mut local = vec![vec![0u64; nprocs]; num_rounds];
         let mut messages = vec![vec![0u64; nprocs]; num_rounds];
-        for (r, (sent_r, recv_r, local_r, msgs_r)) in itertools_zip4(
-            &mut sent,
-            &mut recv,
-            &mut local,
-            &mut messages,
-        )
-        .enumerate()
+        for (r, (sent_r, recv_r, local_r, msgs_r)) in
+            itertools_zip4(&mut sent, &mut recv, &mut local, &mut messages).enumerate()
         {
             for (s, src) in layouts.iter().enumerate() {
                 let Some(chunk) = src.owned.get(r) else { continue };

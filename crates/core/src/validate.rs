@@ -17,6 +17,12 @@ pub enum ValidationPolicy {
     /// blocks to extend outside the domain (those elements are simply never
     /// written — useful for ghost-padded consumers).
     Relaxed,
+    /// Degraded-mode recovery: check only that owned chunks are pairwise
+    /// disjoint. Coverage may be incomplete (dead producers' chunks are
+    /// gone) and needs may reach outside the surviving domain — consumers
+    /// accept that the unmatched elements stay unfilled. Used by
+    /// shrink-and-remap recovery after a rank failure.
+    Degraded,
     /// Skip validation entirely. For very large chunk counts where the
     /// caller guarantees the contract by construction.
     Skip,
@@ -47,8 +53,8 @@ pub fn validate(layouts: &[Layout], policy: ValidationPolicy) -> Result<Domain> 
     if all.is_empty() {
         return Err(DdrError::InvalidBlock("no rank owns any data".into()));
     }
-    let bbox = bounding_box(all.iter().map(|(_, _, b)| *b))
-        .expect("non-empty set has a bounding box");
+    let bbox =
+        bounding_box(all.iter().map(|(_, _, b)| *b)).expect("non-empty set has a bounding box");
     let owned_elems: u64 = all.iter().map(|(_, _, b)| b.count()).sum();
 
     if matches!(policy, ValidationPolicy::Skip) {
@@ -86,13 +92,14 @@ pub fn validate(layouts: &[Layout], policy: ValidationPolicy) -> Result<Domain> 
         active.push(entry);
     }
 
+    if matches!(policy, ValidationPolicy::Degraded) {
+        return Ok(Domain { bbox, owned_elems });
+    }
+
     // Completeness: disjoint blocks inside the bbox cover it iff the volumes
     // sum to the bbox volume.
     if owned_elems != bbox.count() {
-        return Err(DdrError::OwnershipIncomplete {
-            domain_elems: bbox.count(),
-            owned_elems,
-        });
+        return Err(DdrError::OwnershipIncomplete { domain_elems: bbox.count(), owned_elems });
     }
 
     if matches!(policy, ValidationPolicy::Strict) {
@@ -166,10 +173,7 @@ mod tests {
         let mut ls = e1_layouts();
         ls[2].owned.pop(); // drop one row — hole in the domain
         let err = validate(&ls, ValidationPolicy::Strict).unwrap_err();
-        assert!(matches!(
-            err,
-            DdrError::OwnershipIncomplete { domain_elems: 64, owned_elems: 56 }
-        ));
+        assert!(matches!(err, DdrError::OwnershipIncomplete { domain_elems: 64, owned_elems: 56 }));
     }
 
     #[test]
@@ -191,6 +195,25 @@ mod tests {
             layout(vec![Block::d1(4, 6).unwrap()], Block::d1(4, 4).unwrap()),
         ];
         assert!(validate(&ls, ValidationPolicy::Skip).is_ok());
+    }
+
+    #[test]
+    fn degraded_allows_holes_but_rejects_overlap() {
+        // A survivor layout with rank 2's rows missing: incomplete coverage
+        // must pass under Degraded...
+        let mut ls = e1_layouts();
+        ls.remove(2);
+        assert!(matches!(
+            validate(&ls, ValidationPolicy::Strict).unwrap_err(),
+            DdrError::OwnershipIncomplete { .. }
+        ));
+        assert!(validate(&ls, ValidationPolicy::Degraded).is_ok());
+        // ...but overlapping ownership is still a hard error.
+        ls[1].owned[0] = Block::d2([0, 0], [8, 1]).unwrap();
+        assert!(matches!(
+            validate(&ls, ValidationPolicy::Degraded).unwrap_err(),
+            DdrError::OwnershipOverlap { .. }
+        ));
     }
 
     #[test]

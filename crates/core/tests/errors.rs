@@ -1,0 +1,105 @@
+//! Propagation of every [`minimpi::Error`] variant into ddr-core's
+//! [`DdrError`] domain, including through `reorganize`.
+
+use ddr_core::{Block, DataKind, DdrError, Descriptor};
+use minimpi::{Error as MpiError, FaultPlan, Universe};
+use std::time::Duration;
+
+fn all_mpi_variants() -> Vec<MpiError> {
+    vec![
+        MpiError::RankOutOfRange { rank: 9, size: 4 },
+        MpiError::Timeout { rank: 1, src: Some(2), tag: 77 },
+        MpiError::PeerDead { rank: 3 },
+        MpiError::SizeMismatch { expected: 16, got: 12 },
+        MpiError::DatatypeMismatch { detail: "d".into() },
+        MpiError::CollectiveMismatch { detail: "c".into() },
+    ]
+}
+
+#[test]
+fn every_mpi_variant_converts_and_displays_through_ddr_error() {
+    for e in all_mpi_variants() {
+        let ddr: DdrError = e.clone().into();
+        assert_eq!(ddr, DdrError::Mpi(e.clone()));
+        // Display wraps the runtime message verbatim…
+        assert_eq!(ddr.to_string(), format!("mpi error: {e}"));
+        // …and the source chain exposes the original error.
+        let src = std::error::Error::source(&ddr).expect("Mpi variant has a source");
+        assert_eq!(src.to_string(), e.to_string());
+    }
+}
+
+/// 2-rank row swap: rank r owns row r of a 2x2 grid, needs row 1-r.
+fn swap_scenario(comm: &minimpi::Comm) -> (Descriptor, [Block; 1], Block) {
+    let r = comm.rank();
+    let desc = Descriptor::for_type::<f32>(2, DataKind::D2).unwrap();
+    let owned = [Block::d2([0, r], [2, 1]).unwrap()];
+    let need = Block::d2([0, 1 - r], [2, 1]).unwrap();
+    (desc, owned, need)
+}
+
+#[test]
+fn self_death_mid_reorganize_propagates_peer_dead_and_peers_get_incomplete() {
+    // Probe the op count at the end of setup, then kill rank 1 exactly
+    // there: its first op *inside* reorganize.
+    let at = Universe::run(2, |comm| {
+        let (desc, owned, need) = swap_scenario(comm);
+        desc.setup_data_mapping(comm, &owned, need).unwrap();
+        comm.op_count()
+    })[1];
+
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .fault_plan(FaultPlan::new(1).kill_rank_at_op(1, at))
+        .run(2, |comm| {
+            let (desc, owned, need) = swap_scenario(comm);
+            let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+            let data = [comm.rank() as f32, 10.0];
+            let mut got = [0f32; 2];
+            plan.reorganize(comm, &[&data], &mut got)
+        });
+
+    // The casualty sees its own death as a hard MPI error…
+    assert_eq!(out[1], Err(DdrError::Mpi(MpiError::PeerDead { rank: 1 })));
+    // …while the survivor gets the structured partial-completion report.
+    match &out[0] {
+        Err(DdrError::Incomplete(report)) => {
+            assert_eq!(report.dead_peers, vec![1]);
+            assert!(report.missing_bytes() > 0);
+        }
+        other => panic!("survivor: expected Incomplete, got {other:?}"),
+    }
+}
+
+#[test]
+fn death_during_setup_propagates_peer_dead_from_setup_collectives() {
+    // Kill rank 0 at its very first op — inside setup's allgather — so the
+    // surviving rank's setup itself fails with a propagated PeerDead.
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .fault_plan(FaultPlan::new(2).kill_rank_at_op(0, 0))
+        .run(2, |comm| {
+            let (desc, owned, need) = swap_scenario(comm);
+            desc.setup_data_mapping(comm, &owned, need).err()
+        });
+    assert_eq!(out[0], Some(DdrError::Mpi(MpiError::PeerDead { rank: 0 })));
+    assert_eq!(out[1], Some(DdrError::Mpi(MpiError::PeerDead { rank: 0 })));
+}
+
+#[test]
+fn corrupted_mapping_traffic_propagates_a_runtime_error() {
+    // Corrupt the payload rank 0 sends rank 1 during setup's allgather; the
+    // garbled layout must surface as an error on some rank, not silently
+    // produce a wrong plan (layout decode validates counts and dims).
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .fault_plan(FaultPlan::new(3).corrupt_message(0, 1, None, 0))
+        .run(2, |comm| {
+            let (desc, owned, need) = swap_scenario(comm);
+            desc.setup_data_mapping(comm, &owned, need).err()
+        });
+    assert!(
+        out.iter().any(|e| e.is_some()),
+        "corrupted layout exchange must not pass validation: {out:?}"
+    );
+}

@@ -27,16 +27,14 @@ fn ghost_halo_exchange_via_multi_need() {
             needs.push(Block::d2([0, slab.offset[1] + slab.dims[1]], [nx, 1]).unwrap());
         }
         let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
-        let plan = desc
-            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
-            .unwrap();
+        let plan =
+            desc.setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict).unwrap();
 
         let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
         let mut bufs: Vec<Vec<u64>> =
             needs.iter().map(|b| vec![u64::MAX; b.count() as usize]).collect();
         {
-            let mut refs: Vec<&mut [u64]> =
-                bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let mut refs: Vec<&mut [u64]> = bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
             plan.reorganize(comm, &[&data], &mut refs).unwrap();
         }
         for (buf, blk) in bufs.iter().zip(&needs) {
@@ -67,12 +65,10 @@ fn scattered_multi_block_gather() {
             Vec::new()
         };
         let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
-        let plan = desc
-            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
-            .unwrap();
+        let plan =
+            desc.setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict).unwrap();
         let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
-        let mut bufs: Vec<Vec<u64>> =
-            needs.iter().map(|b| vec![0; b.count() as usize]).collect();
+        let mut bufs: Vec<Vec<u64>> = needs.iter().map(|b| vec![0; b.count() as usize]).collect();
         let mut refs: Vec<&mut [u64]> = bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
         plan.reorganize(comm, &[&data], &mut refs).unwrap();
         if r == 0 {
@@ -95,17 +91,12 @@ fn multi_plan_reused_across_steps_with_ragged_chunks() {
         let owned: Vec<Block> = if r == 0 {
             vec![Block::d1(0, 6).unwrap()]
         } else {
-            vec![
-                Block::d1(6, 2).unwrap(),
-                Block::d1(8, 2).unwrap(),
-                Block::d1(10, 2).unwrap(),
-            ]
+            vec![Block::d1(6, 2).unwrap(), Block::d1(8, 2).unwrap(), Block::d1(10, 2).unwrap()]
         };
         let needs = vec![Block::d1(r * 3, 3).unwrap(), Block::d1(6 + r * 3, 3).unwrap()];
         let desc = Descriptor::for_type::<u64>(n, DataKind::D1).unwrap();
-        let plan = desc
-            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
-            .unwrap();
+        let plan =
+            desc.setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict).unwrap();
         assert_eq!(plan.num_rounds(), 3);
         for step in 0..4u64 {
             let data: Vec<Vec<u64>> = owned
@@ -115,8 +106,7 @@ fn multi_plan_reused_across_steps_with_ragged_chunks() {
             let data_refs: Vec<&[u64]> = data.iter().map(|v| v.as_slice()).collect();
             let mut bufs: Vec<Vec<u64>> =
                 needs.iter().map(|b| vec![0; b.count() as usize]).collect();
-            let mut refs: Vec<&mut [u64]> =
-                bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let mut refs: Vec<&mut [u64]> = bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
             plan.reorganize(comm, &data_refs, &mut refs).unwrap();
             for (buf, blk) in bufs.iter().zip(&needs) {
                 for (got, coord) in buf.iter().zip(blk.coords()) {
@@ -134,9 +124,8 @@ fn multi_buffer_mismatches_rejected() {
         let owned = vec![Block::d1(r * 4, 4).unwrap()];
         let needs = vec![Block::d1((1 - r) * 4, 4).unwrap()];
         let desc = Descriptor::for_type::<u32>(2, DataKind::D1).unwrap();
-        let plan = desc
-            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
-            .unwrap();
+        let plan =
+            desc.setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict).unwrap();
         let ok = vec![0u32; 4];
         // Wrong need buffer count.
         let mut empty: Vec<&mut [u32]> = Vec::new();

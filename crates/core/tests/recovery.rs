@@ -1,0 +1,188 @@
+//! Fault-recovery integration tests: kill a producer mid-`reorganize`,
+//! observe a structured [`PartialCompletion`] on the survivors, shrink and
+//! remap, and verify the retried redistribution is bitwise correct for the
+//! surviving data.
+
+use ddr_core::{Block, DataKind, DdrError, Descriptor, PartialCompletion};
+use minimpi::{Comm, FaultPlan, Universe};
+use std::time::{Duration, Instant};
+
+/// E1 (paper Fig. 1): rank r owns rows {r, r+4} of an 8x8 grid, needs one
+/// 4x4 quadrant.
+fn e1_owned(rank: usize) -> [Block; 2] {
+    [Block::d2([0, rank], [8, 1]).unwrap(), Block::d2([0, rank + 4], [8, 1]).unwrap()]
+}
+
+fn e1_need(rank: usize) -> Block {
+    Block::d2([4 * (rank % 2), 4 * (rank / 2)], [4, 4]).unwrap()
+}
+
+/// Global value of element (x, y): makes bitwise checks self-describing.
+fn cell(x: usize, y: usize) -> f32 {
+    (y * 8 + x) as f32
+}
+
+fn row_data(y: usize) -> Vec<f32> {
+    (0..8).map(|x| cell(x, y)).collect()
+}
+
+/// Find how many communication ops a rank performs during setup so a kill
+/// can be placed mid-`reorganize` (after the mapping is built, before the
+/// exchange drains). Deterministic: op counts don't vary across runs.
+fn ops_after_setup(victim: usize) -> u64 {
+    let counts = Universe::run(4, |comm| {
+        let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+        let _plan =
+            desc.setup_data_mapping(comm, &e1_owned(comm.rank()), e1_need(comm.rank())).unwrap();
+        comm.op_count()
+    });
+    counts[victim]
+}
+
+/// One full run: setup, reorganize under the given fault plan, and on
+/// failure shrink-and-remap + retry. Returns per-rank
+/// `(reorganize outcome, recovered need buffer if recovery ran)`.
+type RankOutcome = (Result<(), DdrError>, Option<(usize, Vec<f32>)>);
+
+fn run_kill_and_recover(plan: FaultPlan, victim: usize) -> Vec<RankOutcome> {
+    Universe::builder().timeout(Duration::from_secs(30)).fault_plan(plan).run(4, move |comm| {
+        let r = comm.rank();
+        let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+        let owned = e1_owned(r);
+        let plan = desc.setup_data_mapping(comm, &owned, e1_need(r)).unwrap();
+
+        let data_own = [row_data(r), row_data(r + 4)];
+        let refs: Vec<&[f32]> = data_own.iter().map(|v| v.as_slice()).collect();
+        let mut need = vec![-1.0f32; 16];
+        let first = plan.reorganize(comm, &refs, &mut need);
+        if first.is_ok() {
+            return (first, None);
+        }
+        if r == victim {
+            // The casualty exits; it must not participate in recovery.
+            return (first, None);
+        }
+        // Shrink-and-remap: survivors keep their own chunks and needs.
+        let (sub, plan2) = desc.recover_mapping(comm, &owned, e1_need(r)).unwrap();
+        let mut need2 = vec![-1.0f32; 16];
+        plan2
+            .reorganize_salvage_with(&sub, &refs, &mut need2, ddr_core::Strategy::Alltoallw)
+            .unwrap();
+        (first, Some((sub.size(), need2)))
+    })
+}
+
+#[test]
+fn killed_producer_yields_partial_completion_and_recovery_is_bitwise_correct() {
+    let victim = 1;
+    // The victim's op index right after setup is its first op *inside*
+    // reorganize: it dies before shipping anything, so every survivor's
+    // quadrant is missing the victim's contribution.
+    let kill_at = ops_after_setup(victim);
+    let start = Instant::now();
+    let out = run_kill_and_recover(FaultPlan::new(7).kill_rank_at_op(victim, kill_at), victim);
+    // No hang: everything resolves in a fraction of the 30 s watchdog.
+    assert!(start.elapsed() < Duration::from_secs(15));
+
+    // The victim itself fails (killed mid-exchange).
+    assert!(out[victim].0.is_err(), "victim should not complete");
+
+    for (r, (first, recovered)) in out.iter().enumerate() {
+        if r == victim {
+            continue;
+        }
+        // Survivors get a structured Incomplete report naming the victim.
+        let report = match first {
+            Err(DdrError::Incomplete(report)) => report,
+            other => panic!("rank {r}: expected Incomplete, got {other:?}"),
+        };
+        assert_eq!(report.rank, r);
+        assert_eq!(report.dead_peers, vec![victim]);
+        assert!(report.missing_bytes() > 0);
+        // Accounting is plan-exact: delivered + missing = the plan's full
+        // expectation (16 elements * 4 bytes, local copy included).
+        assert_eq!(report.delivered_bytes() + report.missing_bytes(), 64);
+
+        // Recovery ran over the 3 survivors and is bitwise correct for all
+        // elements not owned by the dead rank (its rows y=1 and y=5 are
+        // gone; those stay at the -1 sentinel).
+        let (sub_size, need2) = recovered.as_ref().expect("survivor must recover");
+        assert_eq!(*sub_size, 3);
+        let need_blk = e1_need(r);
+        for ly in 0..4 {
+            for lx in 0..4 {
+                let (gx, gy) = (need_blk.offset[0] + lx, need_blk.offset[1] + ly);
+                let got = need2[ly * 4 + lx];
+                if gy == victim || gy == victim + 4 {
+                    assert_eq!(got, -1.0, "rank {r}: lost cell ({gx},{gy}) must stay unfilled");
+                } else {
+                    assert_eq!(got, cell(gx, gy), "rank {r}: cell ({gx},{gy})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn same_fault_plan_yields_identical_failure_point_and_report() {
+    let victim = 2;
+    let kill_at = ops_after_setup(victim);
+    let plan = FaultPlan::new(11).kill_rank_at_op(victim, kill_at);
+
+    let reports = |out: Vec<RankOutcome>| -> Vec<Option<PartialCompletion>> {
+        out.into_iter()
+            .map(|(first, _)| match first {
+                Err(DdrError::Incomplete(b)) => Some(*b),
+                _ => None,
+            })
+            .collect()
+    };
+    let a = reports(run_kill_and_recover(plan.clone(), victim));
+    let b = reports(run_kill_and_recover(plan, victim));
+    assert_eq!(a, b, "same seed must reproduce the same per-round report");
+    // And the reports are non-trivial (survivors actually lost something).
+    assert!(a.iter().enumerate().all(|(r, rep)| rep.is_some() || r == victim));
+}
+
+#[test]
+fn dropped_message_surfaces_as_timeout_in_report_without_hanging() {
+    // In E1, the only rank-0 → rank-3 message of the whole program is the
+    // round-1 alltoallw payload (row 4's right half): setup's allgather is
+    // gather-to-0 + binomial broadcast, neither of which sends 0→3
+    // directly. Drop it; rank 3 must time out on peer 0 only, report it,
+    // and everything else must complete.
+    let out = Universe::builder()
+        .timeout(Duration::from_millis(300))
+        .fault_plan(FaultPlan::new(3).drop_message(0, 3, None, 0))
+        .run(4, |comm| {
+            let r = comm.rank();
+            let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+            let plan = desc.setup_data_mapping(comm, &e1_owned(r), e1_need(r)).unwrap();
+            let data_own = [row_data(r), row_data(r + 4)];
+            let refs: Vec<&[f32]> = data_own.iter().map(|v| v.as_slice()).collect();
+            let mut need = vec![0f32; 16];
+            plan.reorganize(comm, &refs, &mut need)
+        });
+    assert!(out[0].is_ok() && out[1].is_ok() && out[2].is_ok());
+    match &out[3] {
+        Err(DdrError::Incomplete(report)) => {
+            assert_eq!(report.dead_peers, vec![0]);
+            assert_eq!(report.rounds[0].missing_bytes, 0);
+            assert_eq!(report.rounds[1].failed_sources, vec![0]);
+            assert_eq!(report.rounds[1].missing_bytes, 16); // 4 floats
+        }
+        other => panic!("rank 3: expected Incomplete, got {other:?}"),
+    }
+}
+
+#[test]
+fn recover_mapping_from_clean_state_is_identity_shrink() {
+    // With nobody dead, recover_mapping degenerates to a same-size remap.
+    let out = Universe::run(4, |comm: &Comm| {
+        let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+        let (sub, plan) =
+            desc.recover_mapping(comm, &e1_owned(comm.rank()), e1_need(comm.rank())).unwrap();
+        (sub.size(), plan.num_rounds())
+    });
+    assert_eq!(out, vec![(4, 2); 4]);
+}

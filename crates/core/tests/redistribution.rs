@@ -23,9 +23,7 @@ fn check_redistribution(kind: DataKind, layouts: &[Layout], policy: ValidationPo
         Universe::run(n, move |comm| {
             let me = &layouts_ref[comm.rank()];
             let desc = Descriptor::for_type::<u64>(n, kind).unwrap();
-            let plan = desc
-                .setup_data_mapping_with(comm, &me.owned, me.need, policy)
-                .unwrap();
+            let plan = desc.setup_data_mapping_with(comm, &me.owned, me.need, policy).unwrap();
             let owned_data: Vec<Vec<u64>> = me.owned.iter().map(fill).collect();
             let refs: Vec<&[u64]> = owned_data.iter().map(|v| v.as_slice()).collect();
             let mut need = vec![u64::MAX; me.need.count() as usize];

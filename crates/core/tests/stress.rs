@@ -2,8 +2,9 @@
 //! interleaved collectives, and failure-path behaviour under load.
 
 use ddr_core::decompose::{brick, near_cubic_grid, slab};
-use ddr_core::{Block, DataKind, Descriptor, Strategy, ValidationPolicy};
-use minimpi::Universe;
+use ddr_core::{Block, DataKind, DdrError, Descriptor, Strategy, ValidationPolicy};
+use minimpi::{Error as MpiError, FaultPlan, Universe};
+use std::time::{Duration, Instant};
 
 fn cell_value(c: [usize; 3]) -> u64 {
     (c[0] as u64) | ((c[1] as u64) << 20) | ((c[2] as u64) << 40)
@@ -23,8 +24,7 @@ fn sixteen_ranks_many_timesteps() {
         let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
         let mut out = vec![0u64; need.count() as usize];
         for step in 0..25u64 {
-            let data: Vec<u64> =
-                owned[0].coords().map(|c| cell_value(c) ^ (step << 50)).collect();
+            let data: Vec<u64> = owned[0].coords().map(|c| cell_value(c) ^ (step << 50)).collect();
             plan.reorganize(comm, &[&data], &mut out).unwrap();
         }
         // Spot-check the final step.
@@ -100,10 +100,79 @@ fn repeated_universes_do_not_leak() {
     // management under churn.
     for i in 0..60 {
         let n = 1 + i % 4;
-        let sums = Universe::run(n, |comm| {
-            comm.allreduce(&[comm.rank() as u64 + 1], |a, b| a + b)[0]
-        });
+        let sums =
+            Universe::run(n, |comm| comm.allreduce(&[comm.rank() as u64 + 1], |a, b| a + b)[0]);
         assert!(sums.iter().all(|&s| s == (n * (n + 1) / 2) as u64));
+    }
+}
+
+#[test]
+fn seeded_fault_sweep_never_hangs() {
+    // One injected kill per seed, scattered over the whole execution — from
+    // the first setup collective to the last exchange round. Whatever the
+    // failure point, every rank must resolve quickly with either clean
+    // completion, a well-formed PartialCompletion, or a fail-fast runtime
+    // error; a hang (watchdog burn) fails the elapsed-time assertion.
+    let n = 4usize;
+    let domain = Block::d2([0, 0], [16, 16]).unwrap();
+    let scenario = move |comm: &minimpi::Comm| -> Result<(), DdrError> {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 1, n, r).unwrap()];
+        let need = slab(&domain, 0, n, r).unwrap(); // rows -> columns
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2)?;
+        let plan = desc.setup_data_mapping(comm, &owned, need)?;
+        let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+        let mut out = vec![0u64; need.count() as usize];
+        plan.reorganize(comm, &[&data], &mut out)?;
+        for (got, c) in out.iter().zip(need.coords()) {
+            assert_eq!(*got, cell_value(c));
+        }
+        Ok(())
+    };
+
+    // A clean probe run bounds the op-count space kills are drawn from.
+    let max_op = Universe::run(n, |comm| {
+        scenario(comm).unwrap();
+        comm.op_count()
+    })
+    .into_iter()
+    .max()
+    .unwrap();
+    assert!(max_op > 0);
+
+    let expected_bytes = 16 * 4 * 8; // one 16x4 column slab of u64
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed, n, max_op);
+        let start = Instant::now();
+        let out =
+            Universe::builder().timeout(Duration::from_secs(20)).fault_plan(plan).run(n, scenario);
+        assert!(
+            start.elapsed() < Duration::from_secs(15),
+            "seed {seed}: resolution must not burn the watchdog"
+        );
+        for (r, res) in out.iter().enumerate() {
+            match res {
+                // Kill landed past this run's ops, or missed this rank's
+                // dependencies entirely.
+                Ok(()) => {}
+                // Structured partial delivery: accounting must add up.
+                Err(DdrError::Incomplete(report)) => {
+                    assert_eq!(report.rank, r, "seed {seed}");
+                    assert!(!report.dead_peers.is_empty(), "seed {seed}");
+                    assert!(report.missing_bytes() > 0, "seed {seed}");
+                    assert_eq!(
+                        report.delivered_bytes() + report.missing_bytes(),
+                        expected_bytes,
+                        "seed {seed} rank {r}: accounting must cover the plan"
+                    );
+                }
+                // Fail-fast runtime faults: the casualty's own death, or a
+                // peer death during a setup collective.
+                Err(DdrError::Mpi(MpiError::PeerDead { .. }))
+                | Err(DdrError::Mpi(MpiError::Timeout { .. })) => {}
+                other => panic!("seed {seed} rank {r}: unexpected outcome {other:?}"),
+            }
+        }
     }
 }
 
@@ -147,9 +216,8 @@ fn strategies_agree_under_stress() {
                 .collect();
             let need = brick(&domain, [3, 2, 2], r).unwrap();
             let desc = Descriptor::for_type::<u64>(n, DataKind::D3).unwrap();
-            let plan = desc
-                .setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Strict)
-                .unwrap();
+            let plan =
+                desc.setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Strict).unwrap();
             assert_eq!(plan.num_rounds(), 3); // max pieces
             let data: Vec<Vec<u64>> =
                 owned.iter().map(|b| b.coords().map(cell_value).collect()).collect();

@@ -46,9 +46,8 @@ pub fn compress_row(row: &[u8], out: &mut Vec<u8>) {
 pub fn decompress(mut data: &[u8], expected: usize) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(expected);
     while out.len() < expected {
-        let (&header, rest) = data
-            .split_first()
-            .ok_or(TiffError::Truncated { context: "packbits header" })?;
+        let (&header, rest) =
+            data.split_first().ok_or(TiffError::Truncated { context: "packbits header" })?;
         data = rest;
         let h = header as i8;
         if h == -128 {
@@ -63,11 +62,10 @@ pub fn decompress(mut data: &[u8], expected: usize) -> Result<Vec<u8>> {
             data = &data[len..];
         } else {
             let len = (1 - h as i32) as usize;
-            let (&value, rest) = data
-                .split_first()
-                .ok_or(TiffError::Truncated { context: "packbits run value" })?;
+            let (&value, rest) =
+                data.split_first().ok_or(TiffError::Truncated { context: "packbits run value" })?;
             data = rest;
-            out.extend(std::iter::repeat(value).take(len));
+            out.extend(std::iter::repeat_n(value, len));
         }
     }
     if out.len() != expected {

@@ -222,9 +222,8 @@ fn decode_page(bytes: &[u8], endian: Endian, ifd: usize) -> Result<(TiffImage, u
         for s in 0..offsets.count as usize {
             let off = offsets.element(&cur, s)? as usize;
             let len = counts.element(&cur, s)? as usize;
-            let strip = bytes
-                .get(off..off + len)
-                .ok_or(TiffError::Truncated { context: "strip data" })?;
+            let strip =
+                bytes.get(off..off + len).ok_or(TiffError::Truncated { context: "strip data" })?;
             match compression {
                 crate::image::Compression::None => pixel_bytes.extend_from_slice(strip),
                 crate::image::Compression::PackBits => {
@@ -240,12 +239,8 @@ fn decode_page(bytes: &[u8], endian: Endian, ifd: usize) -> Result<(TiffImage, u
                 pixel_bytes.len()
             )));
         }
-        let data = PixelData::from_bytes(
-            kind,
-            endian,
-            &pixel_bytes,
-            width as usize * height as usize,
-        )?;
+        let data =
+            PixelData::from_bytes(kind, endian, &pixel_bytes, width as usize * height as usize)?;
         let next_ifd = cur.u32_at(ifd + 2 + n_entries * 12)? as usize;
         Ok((TiffImage::new(width, height, data)?, next_ifd))
     }

@@ -68,11 +68,7 @@ impl TiffImage {
     /// Append this image as one page: strips, IFD, out-of-line tables.
     /// Returns (this page's IFD offset, byte position of its next-IFD
     /// pointer) so pages can be chained.
-    fn append_page(
-        &self,
-        out: &mut Out,
-        compression: Compression,
-    ) -> Result<(u32, usize)> {
+    fn append_page(&self, out: &mut Out, compression: Compression) -> Result<(u32, usize)> {
         let rows_per_strip =
             (STRIP_TARGET_BYTES / self.row_bytes().max(1)).clamp(1, self.height.max(1) as usize);
         let n_strips = (self.height as usize).div_ceil(rows_per_strip).max(1);

@@ -1,7 +1,7 @@
 //! TIFF codec tests: roundtrips, cross-endian decode, multi-strip handling,
 //! malformed-input rejection, and stack I/O.
 
-use dtiff::{Endian, PixelData, PixelKind, TiffImage, TiffError};
+use dtiff::{Endian, PixelData, PixelKind, TiffError, TiffImage};
 
 fn gradient_u8(w: u32, h: u32) -> TiffImage {
     let data: Vec<u8> = (0..w as usize * h as usize).map(|i| (i % 251) as u8).collect();
@@ -150,12 +150,8 @@ fn stack_write_read_roundtrip() {
     let dir = std::env::temp_dir().join(format!("dtiff_stack_{}", std::process::id()));
     let slices: Vec<TiffImage> = (0..5u32)
         .map(|z| {
-            TiffImage::new(
-                16,
-                8,
-                PixelData::U16((0..128).map(|i| (z * 1000 + i) as u16).collect()),
-            )
-            .unwrap()
+            TiffImage::new(16, 8, PixelData::U16((0..128).map(|i| (z * 1000 + i) as u16).collect()))
+                .unwrap()
         })
         .collect();
     dtiff::write_stack(&dir, &slices, Endian::Little).unwrap();
@@ -240,12 +236,8 @@ fn multipage_roundtrip() {
     use dtiff::{encode_multipage, Compression};
     let pages: Vec<TiffImage> = (0..5u32)
         .map(|p| {
-            TiffImage::new(
-                10,
-                6,
-                PixelData::U16((0..60).map(|i| (p * 500 + i) as u16).collect()),
-            )
-            .unwrap()
+            TiffImage::new(10, 6, PixelData::U16((0..60).map(|i| (p * 500 + i) as u16).collect()))
+                .unwrap()
         })
         .collect();
     for endian in [Endian::Little, Endian::Big] {
@@ -284,8 +276,7 @@ fn cyclic_ifd_chain_rejected() {
     // IFD to form a loop; decode_all must error, not spin.
     use dtiff::encode_multipage;
     let pages = vec![gradient_u8(4, 4), gradient_u8(4, 4)];
-    let mut bytes =
-        encode_multipage(&pages, Endian::Little, dtiff::Compression::None).unwrap();
+    let mut bytes = encode_multipage(&pages, Endian::Little, dtiff::Compression::None).unwrap();
     let first_ifd = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
     // Page 1's next pointer sits right after its 12-byte entries.
     let ifd = first_ifd as usize;
@@ -294,8 +285,7 @@ fn cyclic_ifd_chain_rejected() {
         let second_ifd =
             u32::from_le_bytes(bytes[ifd + 2 + n * 12..ifd + 6 + n * 12].try_into().unwrap())
                 as usize;
-        let n2 = u16::from_le_bytes(bytes[second_ifd..second_ifd + 2].try_into().unwrap())
-            as usize;
+        let n2 = u16::from_le_bytes(bytes[second_ifd..second_ifd + 2].try_into().unwrap()) as usize;
         second_ifd + 2 + n2 * 12
     };
     bytes[second_ptr_pos..second_ptr_pos + 4].copy_from_slice(&first_ifd.to_le_bytes());

@@ -39,7 +39,7 @@ impl Frame {
         out
     }
 
-    fn decode(bytes: &[u8]) -> Result<Frame> {
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Frame> {
         const HDR: usize = 8 * 8;
         if bytes.len() < HDR || (bytes.len() - HDR) % 4 != 0 {
             return Err(MpiError::SizeMismatch { expected: HDR, got: bytes.len() });
@@ -49,10 +49,8 @@ impl Frame {
         let ndims = u(1) as usize;
         let offset = [u(2) as usize, u(3) as usize, u(4) as usize];
         let dims = [u(5) as usize, u(6) as usize, u(7) as usize];
-        let block = Block::new(ndims, offset, dims).map_err(|_| MpiError::SizeMismatch {
-            expected: HDR,
-            got: bytes.len(),
-        })?;
+        let block = Block::new(ndims, offset, dims)
+            .map_err(|_| MpiError::SizeMismatch { expected: HDR, got: bytes.len() })?;
         let n = (bytes.len() - HDR) / 4;
         if n as u64 != block.count() {
             return Err(MpiError::SizeMismatch {
@@ -75,13 +73,7 @@ impl Frame {
 }
 
 /// Producer side: stream one slab to its consumer.
-pub fn send_frame(
-    comm: &Comm,
-    dest: usize,
-    step: u64,
-    block: Block,
-    data: Vec<f32>,
-) -> Result<()> {
+pub fn send_frame(comm: &Comm, dest: usize, step: u64, block: Block, data: Vec<f32>) -> Result<()> {
     Frame::new(step, block, data).send(comm, dest)
 }
 

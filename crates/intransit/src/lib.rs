@@ -18,7 +18,11 @@
 //!   with step tagging,
 //! * [`Repartitioner`] — DDR-backed reorganization on the analysis side:
 //!   the mapping is computed once and reused every time step, the paper's
-//!   "the mapping … remains constant" property.
+//!   "the mapping … remains constant" property,
+//! * [`FrameReceiver`] — loss-tolerant reception: per-frame deadlines,
+//!   bounded retry with backoff, and skip-ahead past lost frames, with
+//!   [`FrameStats`] accounting; pair with [`Repartitioner::degraded`] so a
+//!   step missing a frame still redistributes and renders.
 
 #![warn(missing_docs)]
 
@@ -26,8 +30,10 @@ mod frame;
 mod repartition;
 mod resources;
 mod schedule;
+mod stream;
 
 pub use frame::{recv_frames, send_frame, Frame, FRAME_TAG};
 pub use repartition::{analysis_block, Repartitioner};
-pub use schedule::OutputSchedule;
 pub use resources::{consumer_sources, producer_targets, split_resources, Role};
+pub use schedule::OutputSchedule;
+pub use stream::{FrameReceiver, FrameRecvConfig, FrameStats};

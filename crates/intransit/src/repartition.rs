@@ -16,12 +16,23 @@ pub struct Repartitioner {
     need: Block,
     plan: Option<Plan>,
     owned: Vec<Block>,
+    policy: ValidationPolicy,
 }
 
 impl Repartitioner {
-    /// Create a repartitioner delivering into `need`.
+    /// Create a repartitioner delivering into `need`. Incoming frames must
+    /// tile the domain exactly ([`ValidationPolicy::Strict`]).
     pub fn new(need: Block) -> Self {
-        Repartitioner { need, plan: None, owned: Vec::new() }
+        Repartitioner { need, plan: None, owned: Vec::new(), policy: ValidationPolicy::Strict }
+    }
+
+    /// Loss-tolerant repartitioner for streams received with skip-ahead
+    /// (see [`crate::FrameReceiver`]): validation is relaxed to
+    /// [`ValidationPolicy::Degraded`], so a step whose frames do not cover
+    /// the whole domain still redistributes what arrived. Cells nobody
+    /// delivered keep the output buffer's initial value (zero).
+    pub fn degraded(need: Block) -> Self {
+        Repartitioner { need, plan: None, owned: Vec::new(), policy: ValidationPolicy::Degraded }
     }
 
     /// The block this rank assembles each step.
@@ -49,12 +60,8 @@ impl Repartitioner {
         let any_changed = analysis.allgather(&[changed])?.iter().any(|v| v[0] != 0);
         if any_changed {
             let desc = Descriptor::for_type::<f32>(analysis.size(), DataKind::D2)?;
-            self.plan = Some(desc.setup_data_mapping_with(
-                analysis,
-                &owned,
-                self.need,
-                ValidationPolicy::Strict,
-            )?);
+            self.plan =
+                Some(desc.setup_data_mapping_with(analysis, &owned, self.need, self.policy)?);
             self.owned = owned.clone();
         }
         let plan = self.plan.as_ref().expect("plan established above");
@@ -82,11 +89,7 @@ pub fn analysis_block(nx: usize, ny: usize, n: usize, c: usize) -> Result<Block>
     if c >= n {
         return Err(DdrError::InvalidBlock(format!("consumer {c} out of {n}")));
     }
-    ddr_core::decompose::brick(
-        &Block::d2([0, 0], [nx, ny])?,
-        [cols, rows, 1],
-        c,
-    )
+    ddr_core::decompose::brick(&Block::d2([0, 0], [nx, ny])?, [cols, rows, 1], c)
 }
 
 #[cfg(test)]
@@ -118,8 +121,7 @@ mod tests {
                     .map(|p| {
                         let (y0, rows) = ddr_core::decompose::split_axis(ny, m, p);
                         let block = Block::d2([0, y0], [nx, rows]).unwrap();
-                        let data =
-                            block.coords().map(|co| field_at(co[0], co[1], step)).collect();
+                        let data = block.coords().map(|co| field_at(co[0], co[1], step)).collect();
                         Frame::new(step, block, data)
                     })
                     .collect();
@@ -162,8 +164,7 @@ mod tests {
     #[test]
     fn analysis_block_grid_is_near_square() {
         // 32 consumers -> 8x4 grid (the paper's analysis layout).
-        let blocks: Vec<Block> =
-            (0..32).map(|c| analysis_block(64, 32, 32, c).unwrap()).collect();
+        let blocks: Vec<Block> = (0..32).map(|c| analysis_block(64, 32, 32, c).unwrap()).collect();
         let total: u64 = blocks.iter().map(|b| b.count()).sum();
         assert_eq!(total, 64 * 32);
         assert!(blocks.iter().all(|b| b.dims[0] == 8 && b.dims[1] == 8));

@@ -37,7 +37,7 @@ pub fn producer_targets(m: usize, n: usize) -> Vec<usize> {
     (0..n)
         .flat_map(|c| {
             let count = m / n + usize::from(c < m % n);
-            std::iter::repeat(c).take(count)
+            std::iter::repeat_n(c, count)
         })
         .collect()
 }

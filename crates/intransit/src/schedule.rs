@@ -39,12 +39,12 @@ impl OutputSchedule {
 
     /// Number of raw outputs over a run of `steps`.
     pub fn raw_outputs(&self, steps: usize) -> usize {
-        self.raw_every.map_or(0, |n| if n == 0 { 0 } else { steps / n })
+        self.raw_every.map_or(0, |n| steps.checked_div(n).unwrap_or(0))
     }
 
     /// Number of streamed frames over a run of `steps`.
     pub fn streamed_outputs(&self, steps: usize) -> usize {
-        self.stream_every.map_or(0, |n| if n == 0 { 0 } else { steps / n })
+        self.stream_every.map_or(0, |n| steps.checked_div(n).unwrap_or(0))
     }
 
     /// Total storage over `steps`, given the per-frame sizes of a raw dump

@@ -23,11 +23,7 @@ impl Colormap {
     /// ("rendered using a blue-white-red colormap"): negative rotation blue,
     /// zero white, positive red.
     pub fn blue_white_red() -> Self {
-        Colormap::from_stops(vec![
-            (0.0, [0, 0, 255]),
-            (0.5, [255, 255, 255]),
-            (1.0, [255, 0, 0]),
-        ])
+        Colormap::from_stops(vec![(0.0, [0, 0, 255]), (0.5, [255, 255, 255]), (1.0, [255, 0, 0])])
     }
 
     /// Linear grayscale ramp.
@@ -115,7 +111,8 @@ mod tests {
     #[test]
     fn tooth_map_is_monotonically_brightening() {
         let c = Colormap::tooth();
-        let lum = |rgb: [u8; 3]| 0.299 * rgb[0] as f32 + 0.587 * rgb[1] as f32 + 0.114 * rgb[2] as f32;
+        let lum =
+            |rgb: [u8; 3]| 0.299 * rgb[0] as f32 + 0.587 * rgb[1] as f32 + 0.114 * rgb[2] as f32;
         let mut prev = -1.0;
         for i in 0..=20 {
             let l = lum(c.map(i as f32 / 20.0));

@@ -59,7 +59,6 @@ impl<'a> BitReader<'a> {
         BitReader { data, pos, acc: 0, nbits: 0 }
     }
 
-
     fn refill(&mut self) -> Result<()> {
         let &b = self
             .data

@@ -80,7 +80,7 @@ fn be16(data: &[u8], pos: usize) -> Result<usize> {
 }
 
 /// Payload of a marker segment whose 2-byte length field sits at `pos`.
-fn segment<'a>(data: &'a [u8], pos: usize, len: usize) -> Result<&'a [u8]> {
+fn segment(data: &[u8], pos: usize, len: usize) -> Result<&[u8]> {
     if len < 2 {
         return Err(ImageError::Malformed("segment length < 2".into()));
     }
@@ -278,11 +278,8 @@ fn decode_scan(d: &Decoder, bytes: &[u8], pos: usize) -> Result<RgbImage> {
     let mcuy = d.height.div_ceil(8 * vmax);
 
     // Per-component pixel planes at their native (subsampled) resolution.
-    let mut planes: Vec<Vec<u8>> = d
-        .comps
-        .iter()
-        .map(|c| vec![0u8; (mcux * c.h * 8) * (mcuy * c.v * 8)])
-        .collect();
+    let mut planes: Vec<Vec<u8>> =
+        d.comps.iter().map(|c| vec![0u8; (mcux * c.h * 8) * (mcuy * c.v * 8)]).collect();
     let mut dc_pred = vec![0i32; d.comps.len()];
     let mut r = BitReader::new(bytes, pos);
 
@@ -300,8 +297,7 @@ fn decode_scan(d: &Decoder, bytes: &[u8], pos: usize) -> Result<RgbImage> {
                     .ok_or_else(|| ImageError::Malformed("missing AC table".into()))?;
                 for bv in 0..comp.v {
                     for bh in 0..comp.h {
-                        let block =
-                            decode_block(&mut r, dc_tab, ac_tab, quant, &mut dc_pred[ci])?;
+                        let block = decode_block(&mut r, dc_tab, ac_tab, quant, &mut dc_pred[ci])?;
                         // Deposit into the component plane.
                         let plane_w = mcux * comp.h * 8;
                         let px = (mx * comp.h + bh) * 8;

@@ -3,8 +3,8 @@
 use super::bits::BitWriter;
 use super::dct::fdct_8x8;
 use super::tables::{
-    build_codes, scale_quant_table, AC_CHROMA, AC_LUMA, BASE_CHROMA_QUANT, BASE_LUMA_QUANT,
-    DC_CHROMA, DC_LUMA, HuffSpec, ZIGZAG,
+    build_codes, scale_quant_table, HuffSpec, AC_CHROMA, AC_LUMA, BASE_CHROMA_QUANT,
+    BASE_LUMA_QUANT, DC_CHROMA, DC_LUMA, ZIGZAG,
 };
 use super::Subsampling;
 use crate::error::Result;
@@ -198,11 +198,7 @@ pub fn encode_with(img: &RgbImage, quality: u8, sub: Subsampling) -> Result<Vec<
 
     let mut out = Vec::with_capacity(img.data.len() / 8 + 1024);
     out.extend_from_slice(&[0xFF, 0xD8]); // SOI
-    push_marker(
-        &mut out,
-        0xE0,
-        &[b'J', b'F', b'I', b'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0],
-    );
+    push_marker(&mut out, 0xE0, &[b'J', b'F', b'I', b'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0]);
     push_marker(&mut out, 0xDB, &dqt_payload(0, &lq));
     push_marker(&mut out, 0xDB, &dqt_payload(1, &cq));
     let (w, h) = (img.width as u16, img.height as u16);

@@ -3,9 +3,9 @@
 /// Zigzag scan: `ZIGZAG[i]` is the natural (row-major) index of the `i`-th
 /// zigzag position.
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Annex K.1 luminance quantization table (natural order).
@@ -160,8 +160,7 @@ mod tests {
     #[test]
     fn canonical_codes_are_prefix_free() {
         let codes = build_codes(&AC_LUMA.bits, AC_LUMA.values);
-        let used: Vec<(u16, u8)> =
-            AC_LUMA.values.iter().map(|&s| codes[s as usize]).collect();
+        let used: Vec<(u16, u8)> = AC_LUMA.values.iter().map(|&s| codes[s as usize]).collect();
         for (i, &(ca, la)) in used.iter().enumerate() {
             for &(cb, lb) in &used[i + 1..] {
                 let (short, slen, long, llen) =

@@ -137,11 +137,8 @@ fn decoded_colors_match_colormap_semantics() {
     // A frame that is strongly blue on the left, red on the right: the
     // decoded image must preserve that structure.
     let w = 64;
-    let field: Vec<f32> = (0..w * w)
-        .map(|i| if (i % w) < w / 2 { -1.0f32 } else { 1.0 })
-        .collect();
-    let img =
-        RgbImage::from_scalar_field(w, w, &field, -1.0, 1.0, &Colormap::blue_white_red());
+    let field: Vec<f32> = (0..w * w).map(|i| if (i % w) < w / 2 { -1.0f32 } else { 1.0 }).collect();
+    let img = RgbImage::from_scalar_field(w, w, &field, -1.0, 1.0, &Colormap::blue_white_red());
     let back = jpeg::decode(&jpeg::encode(&img, 90).unwrap()).unwrap();
     let left = back.get(8, 32);
     let right = back.get(56, 32);

@@ -2,17 +2,8 @@
 
 /// Discrete velocity set: direction `d` moves by `E[d] = [ex, ey]` per step.
 /// Order: rest, the four axis directions, then the four diagonals.
-pub const E: [[i32; 2]; 9] = [
-    [0, 0],
-    [1, 0],
-    [0, 1],
-    [-1, 0],
-    [0, -1],
-    [1, 1],
-    [-1, 1],
-    [-1, -1],
-    [1, -1],
-];
+pub const E: [[i32; 2]; 9] =
+    [[0, 0], [1, 0], [0, 1], [-1, 0], [0, -1], [1, 1], [-1, 1], [-1, -1], [1, -1]];
 
 /// Lattice weights for each direction (sum to 1).
 pub const W: [f64; 9] = [
@@ -73,8 +64,8 @@ mod tests {
 
     #[test]
     fn equilibrium_at_rest_equals_weights() {
-        for d in 0..9 {
-            assert!((equilibrium(d, 1.0, 0.0, 0.0) - W[d]).abs() < 1e-15);
+        for (d, &w) in W.iter().enumerate() {
+            assert!((equilibrium(d, 1.0, 0.0, 0.0) - w).abs() < 1e-15);
         }
     }
 }

@@ -23,7 +23,11 @@ pub struct DistributedLbm {
 impl DistributedLbm {
     /// Create the slab for `comm.rank()` of a balanced slice decomposition
     /// over `comm.size()` ranks.
-    pub fn new<F: Fn(usize, usize) -> bool + ?Sized>(cfg: Config, comm: &Comm, barrier: &F) -> Self {
+    pub fn new<F: Fn(usize, usize) -> bool + ?Sized>(
+        cfg: Config,
+        comm: &Comm,
+        barrier: &F,
+    ) -> Self {
         let nprocs = comm.size();
         let rank = comm.rank();
         let (y0, rows) = split_rows(cfg.ny, nprocs, rank);

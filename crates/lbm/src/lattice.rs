@@ -94,11 +94,11 @@ impl Lattice {
         let mut rho = 0.0;
         let mut ux = 0.0;
         let mut uy = 0.0;
-        for d in 0..9 {
+        for (d, e) in E.iter().enumerate() {
             let v = self.f[self.idx(d, x, ly as i64)];
             rho += v;
-            ux += E[d][0] as f64 * v;
-            uy += E[d][1] as f64 * v;
+            ux += e[0] as f64 * v;
+            uy += e[1] as f64 * v;
         }
         if rho > 0.0 {
             ux /= rho;
@@ -305,8 +305,7 @@ impl Lattice {
         let nx = self.cfg.nx;
         let rows = self.rows;
         // Cache interior velocities once: O(cells) instead of O(4·cells).
-        let vel: Vec<(f64, f64)> =
-            (0..rows).flat_map(|ly| self.velocity_row(ly)).collect();
+        let vel: Vec<(f64, f64)> = (0..rows).flat_map(|ly| self.velocity_row(ly)).collect();
         let at = |x: usize, ly: i64| -> (f64, f64) {
             if ly < 0 {
                 match below {
@@ -329,13 +328,9 @@ impl Lattice {
                 let xp = (x + 1).min(nx - 1);
                 let duy_dx = (at(xp, ly).1 - at(xm, ly).1) / (xp - xm).max(1) as f64;
                 let (ym, yp) = (ly - 1, ly + 1);
-                let dy_span = if below.is_none() && ly == 0 {
-                    1.0
-                } else if above.is_none() && ly == rows as i64 - 1 {
-                    1.0
-                } else {
-                    2.0
-                };
+                let on_edge =
+                    (below.is_none() && ly == 0) || (above.is_none() && ly == rows as i64 - 1);
+                let dy_span = if on_edge { 1.0 } else { 2.0 };
                 let lo = if below.is_none() && ly == 0 { ly } else { ym };
                 let hi = if above.is_none() && ly == rows as i64 - 1 { ly } else { yp };
                 let dux_dy = (at(x, hi).0 - at(x, lo).0) / dy_span;

@@ -30,9 +30,8 @@ fn distributed_fields(
         for _ in 0..steps {
             sim.step(comm).unwrap();
         }
-        let vel: Vec<(f64, f64)> = (0..sim.lattice().rows())
-            .flat_map(|ly| sim.lattice().velocity_row(ly))
-            .collect();
+        let vel: Vec<(f64, f64)> =
+            (0..sim.lattice().rows()).flat_map(|ly| sim.lattice().velocity_row(ly)).collect();
         let vort = sim.vorticity(comm).unwrap();
         (sim.slab(), vel, vort)
     });

@@ -76,10 +76,8 @@ impl CartComm {
 
     /// Rank at the given coordinates, or `None` when outside the grid.
     pub fn rank_of(&self, coords: [usize; 3]) -> Option<usize> {
-        for d in 0..3 {
-            if coords[d] >= self.dims[d] {
-                return None;
-            }
+        if coords.iter().zip(self.dims.iter()).any(|(&c, &d)| c >= d) {
+            return None;
         }
         Some(coords[0] + self.dims[0] * (coords[1] + self.dims[1] * coords[2]))
     }
@@ -116,8 +114,7 @@ mod tests {
     #[test]
     fn coords_roundtrip_2d() {
         Universe::run(6, |comm| {
-            let cart = CartComm::new(comm.duplicate().unwrap(), &[3, 2], &[false, false])
-                .unwrap();
+            let cart = CartComm::new(comm.duplicate().unwrap(), &[3, 2], &[false, false]).unwrap();
             let c = cart.coords();
             assert_eq!(cart.rank_of(c), Some(comm.rank()));
             assert_eq!(c[0], comm.rank() % 3);
@@ -129,8 +126,7 @@ mod tests {
     #[test]
     fn shift_non_periodic_drops_at_edges() {
         Universe::run(4, |comm| {
-            let cart =
-                CartComm::new(comm.duplicate().unwrap(), &[4], &[false]).unwrap();
+            let cart = CartComm::new(comm.duplicate().unwrap(), &[4], &[false]).unwrap();
             let (src, dst) = cart.shift(0, 1);
             let r = comm.rank();
             assert_eq!(src, r.checked_sub(1));
@@ -177,12 +173,8 @@ mod tests {
     #[test]
     fn grid_3d_coordinates() {
         Universe::run(8, |comm| {
-            let cart = CartComm::new(
-                comm.duplicate().unwrap(),
-                &[2, 2, 2],
-                &[false, false, false],
-            )
-            .unwrap();
+            let cart = CartComm::new(comm.duplicate().unwrap(), &[2, 2, 2], &[false, false, false])
+                .unwrap();
             let c = cart.coords();
             let r = comm.rank();
             assert_eq!(c, [r % 2, (r / 2) % 2, r / 4]);

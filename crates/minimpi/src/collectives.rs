@@ -71,7 +71,7 @@ impl Comm {
         while dist < n {
             let to = (self.rank() + dist) % n;
             let from = (self.rank() + n - dist) % n;
-            self.deposit_to(to, coll_key_tag(seq, phase), Vec::new());
+            self.deposit_to(to, coll_key_tag(seq, phase), Vec::new())?;
             self.take_from(from, coll_key_tag(seq, phase))?;
             dist <<= 1;
             phase += 1;
@@ -112,7 +112,7 @@ impl Comm {
         while mask > 0 {
             if relative + mask < n {
                 let dst = (self.rank() + mask) % n;
-                self.deposit_to(dst, coll_key_tag(seq, 0), payload.clone());
+                self.deposit_to(dst, coll_key_tag(seq, 0), payload.clone())?;
             }
             mask >>= 1;
         }
@@ -141,14 +141,14 @@ impl Comm {
         if self.rank() == root {
             let mut parts = vec![Vec::new(); n];
             parts[root] = data.to_vec();
-            for src in 0..n {
+            for (src, part) in parts.iter_mut().enumerate() {
                 if src != root {
-                    parts[src] = self.take_from(src, coll_key_tag(seq, 0))?;
+                    *part = self.take_from(src, coll_key_tag(seq, 0))?;
                 }
             }
             Ok(Some(parts))
         } else {
-            self.deposit_to(root, coll_key_tag(seq, 0), data.to_vec());
+            self.deposit_to(root, coll_key_tag(seq, 0), data.to_vec())?;
             Ok(None)
         }
     }
@@ -187,10 +187,8 @@ impl Comm {
         self.allgather_bytes(bytes_of(data))?
             .iter()
             .map(|p| {
-                vec_from_bytes(p).ok_or(Error::SizeMismatch {
-                    expected: std::mem::size_of::<T>(),
-                    got: p.len(),
-                })
+                vec_from_bytes(p)
+                    .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: p.len() })
             })
             .collect()
     }
@@ -218,7 +216,7 @@ impl Comm {
             }
             for (dest, part) in parts.iter().enumerate() {
                 if dest != root {
-                    self.deposit_to(dest, coll_key_tag(seq, 0), part.clone());
+                    self.deposit_to(dest, coll_key_tag(seq, 0), part.clone())?;
                 }
             }
             Ok(parts[root].clone())
@@ -299,11 +297,7 @@ impl Comm {
     }
 
     /// Fallible element-wise reduction delivered to all ranks.
-    pub fn try_allreduce<T: Pod>(
-        &self,
-        data: &[T],
-        op: impl Fn(T, T) -> T,
-    ) -> Result<Vec<T>> {
+    pub fn try_allreduce<T: Pod>(&self, data: &[T], op: impl Fn(T, T) -> T) -> Result<Vec<T>> {
         let reduced = self.reduce(0, data, op)?;
         let bytes = match reduced {
             Some(v) => bytes_of(&v).to_vec(),
@@ -333,14 +327,14 @@ impl Comm {
         let self_msg = std::mem::take(&mut msgs[me]);
         for (d, m) in msgs.into_iter().enumerate() {
             if d != me {
-                self.deposit_to(d, coll_key_tag(seq, 0), m);
+                self.deposit_to(d, coll_key_tag(seq, 0), m)?;
             }
         }
         let mut out = vec![Vec::new(); n];
         out[me] = self_msg;
-        for s in 0..n {
+        for (s, slot) in out.iter_mut().enumerate() {
             if s != me {
-                out[s] = self.take_from(s, coll_key_tag(seq, 0))?;
+                *slot = self.take_from(s, coll_key_tag(seq, 0))?;
             }
         }
         Ok(out)
@@ -352,10 +346,8 @@ impl Comm {
         self.alltoall_bytes(bytes)?
             .iter()
             .map(|p| {
-                vec_from_bytes(p).ok_or(Error::SizeMismatch {
-                    expected: std::mem::size_of::<T>(),
-                    got: p.len(),
-                })
+                vec_from_bytes(p)
+                    .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: p.len() })
             })
             .collect()
     }
@@ -389,17 +381,13 @@ impl Comm {
         let me = self.rank();
 
         // Send phase (buffered, never blocks).
-        for d in 0..n {
-            if d == me {
-                continue;
-            }
-            let dt = &send_types[d];
-            if dt.packed_len() == 0 {
+        for (d, dt) in send_types.iter().enumerate() {
+            if d == me || dt.packed_len() == 0 {
                 continue;
             }
             let mut packed = Vec::with_capacity(dt.packed_len());
             dt.pack_into(send_buf, &mut packed)?;
-            self.deposit_to(d, coll_key_tag(seq, 0), packed);
+            self.deposit_to(d, coll_key_tag(seq, 0), packed)?;
         }
 
         // Self-transfer.
@@ -410,12 +398,8 @@ impl Comm {
         }
 
         // Receive phase.
-        for s in 0..n {
-            if s == me {
-                continue;
-            }
-            let dt = &recv_types[s];
-            if dt.packed_len() == 0 {
+        for (s, dt) in recv_types.iter().enumerate() {
+            if s == me || dt.packed_len() == 0 {
                 continue;
             }
             let packed = self.take_from(s, coll_key_tag(seq, 0))?;
@@ -449,19 +433,17 @@ impl Comm {
             if dest == me {
                 self_payloads.push_back(payload);
             } else {
-                self.deposit_to(dest, coll_key_tag(seq, 0), payload);
+                self.deposit_to(dest, coll_key_tag(seq, 0), payload)?;
             }
         }
         let mut out = Vec::with_capacity(recv_srcs.len());
         for &src in recv_srcs {
             self.check_rank_pub(src)?;
             if src == me {
-                let payload = self_payloads.pop_front().ok_or_else(|| {
-                    Error::CollectiveMismatch {
-                        detail: "sparse_exchange: self receive without matching self send"
-                            .into(),
-                    }
-                })?;
+                let payload =
+                    self_payloads.pop_front().ok_or_else(|| Error::CollectiveMismatch {
+                        detail: "sparse_exchange: self receive without matching self send".into(),
+                    })?;
                 out.push((src, payload));
             } else {
                 out.push((src, self.take_from(src, coll_key_tag(seq, 0))?));
@@ -497,8 +479,132 @@ impl Comm {
             }
         }
         if me + 1 < self.size() {
-            self.deposit_to(me + 1, coll_key_tag(seq, 0), bytes_of(&acc).to_vec());
+            self.deposit_to(me + 1, coll_key_tag(seq, 0), bytes_of(&acc).to_vec())?;
         }
         Ok(acc)
+    }
+
+    // ------------------------------------------------------------------
+    // Salvage variants (degraded-mode collectives)
+    // ------------------------------------------------------------------
+
+    /// Like [`Comm::alltoallw`], but a failed receive from one source does
+    /// not abort the exchange: the remaining sources are still drained so
+    /// the maximum amount of data survives, and the per-source failures are
+    /// reported in an [`ExchangeReport`].
+    ///
+    /// Errors that indicate *this* rank cannot continue (it was fault-killed
+    /// mid-exchange, or its own arguments are malformed) are still returned
+    /// as `Err`.
+    pub fn alltoallw_salvage(
+        &self,
+        send_buf: &[u8],
+        send_types: &[Datatype],
+        recv_buf: &mut [u8],
+        recv_types: &[Datatype],
+    ) -> Result<ExchangeReport> {
+        let n = self.size();
+        if send_types.len() != n || recv_types.len() != n {
+            return Err(Error::CollectiveMismatch {
+                detail: format!(
+                    "alltoallw: expected {n} send and recv types, got {} and {}",
+                    send_types.len(),
+                    recv_types.len()
+                ),
+            });
+        }
+        let seq = self.next_coll_seq();
+        let me = self.rank();
+
+        // Send phase (buffered, never blocks). A deposit only fails if this
+        // rank itself is dead — that is a hard error.
+        for (d, dt) in send_types.iter().enumerate() {
+            if d == me || dt.packed_len() == 0 {
+                continue;
+            }
+            let mut packed = Vec::with_capacity(dt.packed_len());
+            dt.pack_into(send_buf, &mut packed)?;
+            self.deposit_to(d, coll_key_tag(seq, 0), packed)?;
+        }
+
+        // Self-transfer.
+        if send_types[me].packed_len() > 0 || recv_types[me].packed_len() > 0 {
+            let mut packed = Vec::with_capacity(send_types[me].packed_len());
+            send_types[me].pack_into(send_buf, &mut packed)?;
+            recv_types[me].unpack(&packed, recv_buf)?;
+        }
+
+        // Receive phase: drain every source, recording failures instead of
+        // bailing on the first one.
+        let mut failed = Vec::new();
+        for (s, dt) in recv_types.iter().enumerate() {
+            if s == me || dt.packed_len() == 0 {
+                continue;
+            }
+            match self.take_from(s, coll_key_tag(seq, 0)) {
+                Ok(packed) => dt.unpack(&packed, recv_buf)?,
+                // Killed mid-drain: everything still missing is lost.
+                Err(Error::PeerDead { rank }) if rank == me && !self.is_alive(me) => {
+                    return Err(Error::PeerDead { rank })
+                }
+                Err(e) => failed.push((s, e)),
+            }
+        }
+        Ok(ExchangeReport { failed })
+    }
+
+    /// Like [`Comm::sparse_exchange`], but failures on individual sources
+    /// are reported per source instead of aborting the whole exchange.
+    /// Returns one entry per element of `recv_srcs`, in order.
+    pub fn sparse_exchange_salvage(
+        &self,
+        sends: Vec<(usize, Vec<u8>)>,
+        recv_srcs: &[usize],
+    ) -> Result<Vec<(usize, Result<Vec<u8>>)>> {
+        let seq = self.next_coll_seq();
+        let me = self.rank();
+        let mut self_payloads = std::collections::VecDeque::new();
+        for (dest, payload) in sends {
+            self.check_rank_pub(dest)?;
+            if dest == me {
+                self_payloads.push_back(payload);
+            } else {
+                self.deposit_to(dest, coll_key_tag(seq, 0), payload)?;
+            }
+        }
+        let mut out = Vec::with_capacity(recv_srcs.len());
+        for &src in recv_srcs {
+            self.check_rank_pub(src)?;
+            if src == me {
+                let res = self_payloads.pop_front().ok_or_else(|| Error::CollectiveMismatch {
+                    detail: "sparse_exchange: self receive without matching self send".into(),
+                });
+                out.push((src, res));
+            } else {
+                match self.take_from(src, coll_key_tag(seq, 0)) {
+                    Ok(p) => out.push((src, Ok(p))),
+                    Err(Error::PeerDead { rank }) if rank == me && !self.is_alive(me) => {
+                        return Err(Error::PeerDead { rank })
+                    }
+                    Err(e) => out.push((src, Err(e))),
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Per-source outcome of a salvaged exchange: which sources failed to
+/// deliver, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExchangeReport {
+    /// `(source rank, error)` for every source whose contribution was lost.
+    pub failed: Vec<(usize, Error)>,
+}
+
+impl ExchangeReport {
+    /// True when every source delivered.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
     }
 }

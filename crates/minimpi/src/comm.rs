@@ -1,9 +1,12 @@
 //! Communicators and point-to-point messaging.
 
 use crate::error::{Error, Result};
-use crate::mailbox::{Envelope, Mailbox, MsgKey};
+use crate::fault::{mix64, FaultPlan, FaultState, MessageVerdict};
+use crate::life::{Liveness, ShrinkBarrier};
+use crate::mailbox::{Envelope, Mailbox, MsgKey, TakeOutcome};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,14 +26,46 @@ pub struct RecvStatus {
     pub len: usize,
 }
 
-/// Shared state of one [`crate::Universe`] run: a mailbox per world rank.
+/// Shared state of one [`crate::Universe`] run: a mailbox per world rank,
+/// the liveness registry, the shrink rendezvous, and (optionally) the
+/// installed fault plan's runtime state.
 pub(crate) struct WorldState {
     pub mailboxes: Vec<Mailbox>,
+    pub liveness: Liveness,
+    pub shrink: ShrinkBarrier,
+    pub faults: Option<FaultState>,
+    /// Communication ops performed so far, per world rank. Counted whether
+    /// or not a fault plan is installed, so op positions observed in a
+    /// clean run can be used to place kills in a faulty one.
+    pub ops: Vec<AtomicU64>,
+    pub default_timeout: Duration,
 }
 
 impl WorldState {
-    pub fn new(n: usize) -> Self {
-        WorldState { mailboxes: (0..n).map(|_| Mailbox::default()).collect() }
+    pub fn new(n: usize, default_timeout: Duration, fault_plan: Option<FaultPlan>) -> Self {
+        WorldState {
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            liveness: Liveness::new(n),
+            shrink: ShrinkBarrier::default(),
+            faults: fault_plan.map(FaultState::new),
+            ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            default_timeout,
+        }
+    }
+
+    pub fn is_alive(&self, world_rank: usize) -> bool {
+        self.liveness.is_alive(world_rank)
+    }
+
+    /// Mark a world rank dead and wake every blocked receiver and pending
+    /// shrink round so they re-check liveness. Idempotent.
+    pub fn mark_dead(&self, world_rank: usize) {
+        if self.liveness.mark_dead(world_rank) {
+            for mb in &self.mailboxes {
+                mb.interrupt();
+            }
+            self.shrink.on_death(&self.liveness);
+        }
     }
 }
 
@@ -41,6 +76,10 @@ const COLL_BIT: u64 = 1 << 63;
 const PHASE_BITS: u32 = 12;
 const PHASE_MASK: u64 = (1 << PHASE_BITS) - 1;
 
+/// Sentinel tag reported by shrink-rendezvous timeouts (no message traffic
+/// is involved, so there is no real tag to report).
+const SHRINK_TAG: u64 = COLL_BIT | PHASE_MASK;
+
 fn user_key_tag(tag: Tag) -> u64 {
     tag as u64
 }
@@ -48,15 +87,6 @@ fn user_key_tag(tag: Tag) -> u64 {
 pub(crate) fn coll_key_tag(seq: u64, phase: u64) -> u64 {
     debug_assert!(phase <= PHASE_MASK);
     COLL_BIT | (seq << PHASE_BITS) | phase
-}
-
-/// Deterministic 64-bit mixer (splitmix64 finalizer) used to derive child
-/// communicator ids identically on every member rank.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e3779b97f4a7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
 }
 
 /// A communicator: a rank's handle onto an ordered group of ranks.
@@ -75,12 +105,14 @@ pub struct Comm {
     /// collectives are called in the same order by all of them.
     pub(crate) coll_seq: Cell<u64>,
     split_seq: Cell<u64>,
+    shrink_seq: Cell<u64>,
     timeout: Cell<Duration>,
 }
 
 impl Comm {
     pub(crate) fn world_comm(world: Arc<WorldState>, rank: usize) -> Self {
         let n = world.mailboxes.len();
+        let timeout = world.default_timeout;
         Comm {
             world,
             comm_id: 0,
@@ -88,7 +120,8 @@ impl Comm {
             members: Arc::new((0..n).collect()),
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
-            timeout: Cell::new(default_timeout()),
+            shrink_seq: Cell::new(0),
+            timeout: Cell::new(timeout),
         }
     }
 
@@ -132,16 +165,70 @@ impl Comm {
         &self.world.mailboxes[self.members[self.rank]]
     }
 
-    pub(crate) fn deposit_to(&self, dest: usize, key_tag: u64, payload: Vec<u8>) {
+    /// Is communicator member `r` still alive?
+    pub fn is_alive(&self, r: usize) -> bool {
+        self.world.is_alive(self.members[r])
+    }
+
+    /// Communicator-local ranks of the members still alive, in rank order.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.size()).filter(|&r| self.is_alive(r)).collect()
+    }
+
+    /// Number of communication primitives (sends, receives, collective
+    /// phases) this rank has performed. Deterministic for a deterministic
+    /// program, which makes it the coordinate system for placing
+    /// [`crate::FaultPlan`] kills.
+    pub fn op_count(&self) -> u64 {
+        self.world.ops[self.world_rank()].load(Ordering::Relaxed)
+    }
+
+    /// Count one communication op against the fault plan. Returns
+    /// [`Error::PeerDead`] (naming *this* rank) if the rank is already dead
+    /// or a kill fault fires on this op.
+    pub(crate) fn fault_tick(&self) -> Result<()> {
+        let w = self.world_rank();
+        if !self.world.is_alive(w) {
+            return Err(Error::PeerDead { rank: self.rank });
+        }
+        let op = self.world.ops[w].fetch_add(1, Ordering::Relaxed);
+        if let Some(faults) = &self.world.faults {
+            if faults.should_kill(w, op) {
+                self.world.mark_dead(w);
+                return Err(Error::PeerDead { rank: self.rank });
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn deposit_to(&self, dest: usize, key_tag: u64, mut payload: Vec<u8>) -> Result<()> {
+        self.fault_tick()?;
+        if let Some(faults) = &self.world.faults {
+            let (src_w, dst_w) = (self.world_rank(), self.members[dest]);
+            match faults.on_message(src_w, dst_w, key_tag, &mut payload) {
+                MessageVerdict::Deliver => {}
+                MessageVerdict::Drop => return Ok(()),
+                MessageVerdict::DeliverAfter(d) => std::thread::sleep(d),
+            }
+        }
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
         self.world.mailboxes[self.members[dest]].deposit(key, Envelope { src: self.rank, payload });
+        Ok(())
     }
 
     pub(crate) fn take_from(&self, src: usize, key_tag: u64) -> Result<Vec<u8>> {
+        self.fault_tick()?;
         let key: MsgKey = (self.comm_id, src, key_tag);
-        match self.my_mailbox().take(key, self.timeout.get()) {
-            Some(env) => Ok(env.payload),
-            None => Err(Error::Timeout { rank: self.rank, src: Some(src), tag: key_tag }),
+        let src_world = self.members[src];
+        let outcome = self
+            .my_mailbox()
+            .take_watched(key, self.timeout.get(), || !self.world.is_alive(src_world));
+        match outcome {
+            TakeOutcome::Delivered(env) => Ok(env.payload),
+            TakeOutcome::TimedOut => {
+                Err(Error::Timeout { rank: self.rank, src: Some(src), tag: key_tag })
+            }
+            TakeOutcome::Aborted => Err(Error::PeerDead { rank: src }),
         }
     }
 
@@ -152,8 +239,7 @@ impl Comm {
     /// Send raw bytes to `dest` with `tag`. Buffered: returns immediately.
     pub fn send_bytes(&self, dest: usize, tag: Tag, data: &[u8]) -> Result<()> {
         self.check_rank(dest)?;
-        self.deposit_to(dest, user_key_tag(tag), data.to_vec());
-        Ok(())
+        self.deposit_to(dest, user_key_tag(tag), data.to_vec())
     }
 
     /// Send a slice of POD values to `dest` with `tag`.
@@ -164,8 +250,7 @@ impl Comm {
     /// Send an owned byte buffer without copying it.
     pub fn send_bytes_owned(&self, dest: usize, tag: Tag, data: Vec<u8>) -> Result<()> {
         self.check_rank(dest)?;
-        self.deposit_to(dest, user_key_tag(tag), data);
-        Ok(())
+        self.deposit_to(dest, user_key_tag(tag), data)
     }
 
     /// Receive raw bytes from `src` with `tag`, blocking until available.
@@ -174,28 +259,37 @@ impl Comm {
         self.take_from(src, user_key_tag(tag))
     }
 
-    /// Receive from any source; returns the payload and its origin.
+    /// Receive from any source; returns the payload and its origin. Fails
+    /// fast with [`Error::PeerDead`] once every other member is dead.
     pub fn recv_bytes_any(&self, tag: Tag) -> Result<(RecvStatus, Vec<u8>)> {
-        match self.my_mailbox().take_any(
+        self.fault_tick()?;
+        let me = self.rank;
+        let outcome = self.my_mailbox().take_any_watched(
             self.comm_id,
             user_key_tag(tag),
             self.size(),
             self.timeout.get(),
-        ) {
-            Some(env) => {
+            || (0..self.size()).all(|r| r == me || !self.is_alive(r)),
+        );
+        match outcome {
+            TakeOutcome::Delivered(env) => {
                 Ok((RecvStatus { src: env.src, len: env.payload.len() }, env.payload))
             }
-            None => Err(Error::Timeout { rank: self.rank, src: None, tag: user_key_tag(tag) }),
+            TakeOutcome::TimedOut => {
+                Err(Error::Timeout { rank: self.rank, src: None, tag: user_key_tag(tag) })
+            }
+            // Every possible source is gone; report the lowest dead rank.
+            TakeOutcome::Aborted => Err(Error::PeerDead {
+                rank: (0..self.size()).find(|&r| !self.is_alive(r)).unwrap_or(0),
+            }),
         }
     }
 
     /// Receive a `Vec<T>` of POD values from `src` with `tag`.
     pub fn recv_vec<T: Pod>(&self, src: usize, tag: Tag) -> Result<Vec<T>> {
         let bytes = self.recv_bytes(src, tag)?;
-        vec_from_bytes(&bytes).ok_or(Error::SizeMismatch {
-            expected: std::mem::size_of::<T>(),
-            got: bytes.len(),
-        })
+        vec_from_bytes(&bytes)
+            .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: bytes.len() })
     }
 
     /// Receive into a caller-provided buffer; the message length must equal
@@ -213,6 +307,7 @@ impl Comm {
     /// Non-blocking receive attempt.
     pub fn try_recv_bytes(&self, src: usize, tag: Tag) -> Result<Option<Vec<u8>>> {
         self.check_rank(src)?;
+        self.fault_tick()?;
         Ok(self
             .my_mailbox()
             .try_take((self.comm_id, src, user_key_tag(tag)))
@@ -240,17 +335,10 @@ impl Comm {
     /// one per distinct `color`. Members of each child are ordered by their
     /// rank in the parent (MPI's `key` is fixed to the parent rank).
     pub fn split(&self, color: u64) -> Result<Comm> {
-        let all: Vec<(u64, usize)> = self
-            .allgather(&[color])?
-            .into_iter()
-            .enumerate()
-            .map(|(r, c)| (c[0], r))
-            .collect();
-        let members: Vec<usize> = all
-            .iter()
-            .filter(|(c, _)| *c == color)
-            .map(|(_, r)| self.members[*r])
-            .collect();
+        let all: Vec<(u64, usize)> =
+            self.allgather(&[color])?.into_iter().enumerate().map(|(r, c)| (c[0], r)).collect();
+        let members: Vec<usize> =
+            all.iter().filter(|(c, _)| *c == color).map(|(_, r)| self.members[*r]).collect();
         let new_rank = members
             .iter()
             .position(|&w| w == self.world_rank())
@@ -265,6 +353,7 @@ impl Comm {
             members: Arc::new(members),
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
+            shrink_seq: Cell::new(0),
             timeout: Cell::new(self.timeout.get()),
         })
     }
@@ -275,6 +364,54 @@ impl Comm {
         self.split(0)
     }
 
+    /// Collective over the *surviving* members: agree on the set of members
+    /// still alive and return a new communicator containing exactly them, in
+    /// parent rank order (the moral equivalent of `MPI_Comm_shrink` from
+    /// ULFM).
+    ///
+    /// Every surviving member must call `shrink` the same number of times;
+    /// dead members are excused — the rendezvous completes as soon as all
+    /// currently-alive members have entered, and is re-evaluated whenever a
+    /// rank dies, so survivors never wait out the watchdog on a casualty.
+    ///
+    /// Unlike other collectives this does not send messages (it agrees via
+    /// shared state), so it cannot itself be killed by a fault plan — a rank
+    /// that reached `shrink` alive will complete it.
+    pub fn shrink(&self) -> Result<Comm> {
+        let generation = self.shrink_seq.get();
+        self.shrink_seq.set(generation + 1);
+        let survivors = self
+            .world
+            .shrink
+            .enter(
+                (self.comm_id, generation),
+                &self.members,
+                self.world_rank(),
+                &self.world.liveness,
+                self.timeout.get(),
+            )
+            .ok_or(Error::Timeout { rank: self.rank, src: None, tag: SHRINK_TAG })?;
+        let new_rank = survivors
+            .iter()
+            .position(|&w| w == self.world_rank())
+            .expect("shrink: calling rank is alive, must be a survivor");
+        // Derive the child id identically on every survivor.
+        let mut child_id = mix64(self.comm_id ^ mix64(0x5421_494e_4b21 ^ generation));
+        for &w in survivors.iter() {
+            child_id = mix64(child_id ^ w as u64);
+        }
+        Ok(Comm {
+            world: Arc::clone(&self.world),
+            comm_id: child_id,
+            rank: new_rank,
+            members: Arc::new((*survivors).clone()),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+            shrink_seq: Cell::new(0),
+            timeout: Cell::new(self.timeout.get()),
+        })
+    }
+
     pub(crate) fn next_coll_seq(&self) -> u64 {
         let s = self.coll_seq.get();
         self.coll_seq.set(s + 1);
@@ -282,7 +419,13 @@ impl Comm {
     }
 }
 
-fn default_timeout() -> Duration {
+/// Watchdog timeout used when none is set on the [`crate::Universe`]
+/// builder: `DDR_TIMEOUT_MS` (milliseconds), else the legacy
+/// `MINIMPI_TIMEOUT_SECS` (seconds), else 120 s.
+pub(crate) fn default_timeout() -> Duration {
+    if let Some(ms) = std::env::var("DDR_TIMEOUT_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
+        return Duration::from_millis(ms);
+    }
     match std::env::var("MINIMPI_TIMEOUT_SECS").ok().and_then(|v| v.parse::<u64>().ok()) {
         Some(s) => Duration::from_secs(s),
         None => Duration::from_secs(120),

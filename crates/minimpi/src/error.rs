@@ -26,6 +26,14 @@ pub enum Error {
         /// Message tag.
         tag: u64,
     },
+    /// A peer rank is known to be dead — fault-killed, panicked, or already
+    /// exited — so the awaited message can never arrive. Reported by the
+    /// liveness registry well before the watchdog timeout would fire.
+    PeerDead {
+        /// The dead rank (communicator-local). When a fault plan kills the
+        /// *calling* rank, this is the caller's own rank.
+        rank: usize,
+    },
     /// A typed receive found a message whose byte length is not a multiple
     /// of the element size, or that does not fit the caller's buffer.
     SizeMismatch {
@@ -63,6 +71,9 @@ impl fmt::Display for Error {
                     "rank {rank}: any-source receive (tag {tag}) timed out — likely deadlock"
                 ),
             },
+            Error::PeerDead { rank } => {
+                write!(f, "rank {rank} is dead (fault-killed, panicked, or exited) — failing fast")
+            }
             Error::SizeMismatch { expected, got } => {
                 write!(f, "message size mismatch: expected {expected} bytes, got {got}")
             }

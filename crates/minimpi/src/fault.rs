@@ -1,0 +1,299 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is installed on a [`crate::Universe`] before launch and
+//! replayed identically on every run: faults trigger on *operation counts*
+//! (each rank's Nth communication primitive) and *message match counts*
+//! (the Nth message matching a `(src, dst, tag)` pattern), never on wall
+//! clock. Because minimpi sends are eager/buffered and receives are matched
+//! deterministically, the same plan + same program ⇒ the same failure point,
+//! the same survivors, and the same partial-delivery report every time.
+//!
+//! Three fault kinds are supported:
+//! - **Kill** — a rank dies at its Nth communication op. The liveness
+//!   registry marks it dead and interrupts every blocked receiver so peers
+//!   fail fast with [`crate::Error::PeerDead`] instead of burning the full
+//!   watchdog timeout.
+//! - **Drop / Delay** — a matched in-flight message is silently discarded or
+//!   stalled for a fixed duration (sender-side), modelling transient loss
+//!   and congestion.
+//! - **Corrupt** — a matched message's payload is XOR-scrambled with a
+//!   seeded keystream, modelling payload corruption that length checks
+//!   cannot catch.
+
+use crate::comm::Tag;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What to do with a matched in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Discard the message; the receiver never sees it.
+    Drop,
+    /// Stall delivery by this long (the sending rank sleeps — minimpi sends
+    /// are otherwise instantaneous).
+    Delay(Duration),
+    /// XOR-scramble the payload with a keystream derived from the plan seed.
+    Corrupt,
+}
+
+/// Pattern selecting one in-flight message: the `nth` (0-based) message from
+/// world rank `src` to world rank `dst`, optionally restricted to a user
+/// `tag` (`None` matches any traffic, including collective phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageMatcher {
+    /// Sender, as a world rank.
+    pub src: usize,
+    /// Receiver, as a world rank.
+    pub dst: usize,
+    /// User tag to match, or `None` for any message (user or collective).
+    pub tag: Option<Tag>,
+    /// Which match fires the fault (0-based, counted per rule).
+    pub nth: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MessageRule {
+    matcher: MessageMatcher,
+    action: FaultAction,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Kill {
+    /// World rank to kill.
+    rank: usize,
+    /// The 0-based communication-op index at which the rank dies.
+    at_op: u64,
+}
+
+/// A reproducible schedule of injected failures.
+///
+/// Build one with the fluent constructors, install it via
+/// [`crate::Universe::builder`], and every run replays the identical
+/// failure sequence:
+///
+/// ```
+/// use minimpi::{FaultPlan, Universe, Error};
+/// use std::time::Duration;
+///
+/// // Rank 1 dies at its 3rd communication primitive — the send opening the
+/// // second barrier — so rank 0 blocks on a message that never comes and
+/// // fails fast with Error::PeerDead instead of waiting out the watchdog.
+/// let plan = FaultPlan::new(42).kill_rank_at_op(1, 2);
+/// let out = Universe::builder()
+///     .timeout(Duration::from_secs(5))
+///     .fault_plan(plan)
+///     .run(2, |comm| comm.barrier().and_then(|_| comm.barrier()));
+/// assert_eq!(out[0], Err(Error::PeerDead { rank: 1 })); // survivor
+/// assert_eq!(out[1], Err(Error::PeerDead { rank: 1 })); // the casualty itself
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    kills: Vec<Kill>,
+    rules: Vec<MessageRule>,
+}
+
+impl FaultPlan {
+    /// Empty plan carrying `seed` (used to derive corruption keystreams and
+    /// by [`FaultPlan::seeded`] to place faults).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, kills: Vec::new(), rules: Vec::new() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Kill world rank `rank` at its `at_op`-th (0-based) communication
+    /// primitive (send, receive, or collective phase).
+    pub fn kill_rank_at_op(mut self, rank: usize, at_op: u64) -> Self {
+        self.kills.push(Kill { rank, at_op });
+        self
+    }
+
+    /// Drop the `nth` message from `src` to `dst` (world ranks), optionally
+    /// restricted to user `tag`.
+    pub fn drop_message(mut self, src: usize, dst: usize, tag: Option<Tag>, nth: u64) -> Self {
+        self.rules.push(MessageRule {
+            matcher: MessageMatcher { src, dst, tag, nth },
+            action: FaultAction::Drop,
+        });
+        self
+    }
+
+    /// Delay the `nth` message from `src` to `dst` by `delay`.
+    pub fn delay_message(
+        mut self,
+        src: usize,
+        dst: usize,
+        tag: Option<Tag>,
+        nth: u64,
+        delay: Duration,
+    ) -> Self {
+        self.rules.push(MessageRule {
+            matcher: MessageMatcher { src, dst, tag, nth },
+            action: FaultAction::Delay(delay),
+        });
+        self
+    }
+
+    /// XOR-corrupt the payload of the `nth` message from `src` to `dst`.
+    pub fn corrupt_message(mut self, src: usize, dst: usize, tag: Option<Tag>, nth: u64) -> Self {
+        self.rules.push(MessageRule {
+            matcher: MessageMatcher { src, dst, tag, nth },
+            action: FaultAction::Corrupt,
+        });
+        self
+    }
+
+    /// Derive a single-kill plan from `seed` alone: some rank in
+    /// `0..nprocs` dies at some op in `0..max_op`. Used by seed-sweep tests
+    /// to scatter one failure per seed across the execution.
+    pub fn seeded(seed: u64, nprocs: usize, max_op: u64) -> Self {
+        assert!(nprocs > 0 && max_op > 0);
+        let h = mix64(seed);
+        let rank = (h % nprocs as u64) as usize;
+        let at_op = mix64(h) % max_op;
+        FaultPlan::new(seed).kill_rank_at_op(rank, at_op)
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.rules.is_empty()
+    }
+}
+
+/// Verdict for one in-flight message after rule matching.
+pub(crate) enum MessageVerdict {
+    Deliver,
+    Drop,
+    DeliverAfter(Duration),
+}
+
+/// Shared runtime state evaluating a [`FaultPlan`]: per-rule match counters
+/// (atomic so rank threads evaluate lock-free). Per-rank op counters live in
+/// the world state — they are maintained whether or not a plan is installed.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Messages matched so far, per rule.
+    matches: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Self {
+        let matches = plan.rules.iter().map(|_| AtomicU64::new(0)).collect();
+        FaultState { plan, matches }
+    }
+
+    /// Does a kill fault fire for world rank `rank` on its 0-based op `op`?
+    pub fn should_kill(&self, rank: usize, op: u64) -> bool {
+        self.plan.kills.iter().any(|k| k.rank == rank && k.at_op == op)
+    }
+
+    /// Apply message rules to a message from world rank `src` to world rank
+    /// `dst`. `key_tag` is the internal key tag (user tag or collective
+    /// encoding); rules with `tag: Some(t)` match only user messages with
+    /// that tag. Corruption mutates `payload` in place.
+    pub fn on_message(
+        &self,
+        src: usize,
+        dst: usize,
+        key_tag: u64,
+        payload: &mut [u8],
+    ) -> MessageVerdict {
+        let mut verdict = MessageVerdict::Deliver;
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            let m = &rule.matcher;
+            if m.src != src || m.dst != dst {
+                continue;
+            }
+            if let Some(t) = m.tag {
+                if key_tag != t as u64 {
+                    continue;
+                }
+            }
+            let count = self.matches[i].fetch_add(1, Ordering::Relaxed);
+            if count != m.nth {
+                continue;
+            }
+            match rule.action {
+                FaultAction::Drop => return MessageVerdict::Drop,
+                FaultAction::Delay(d) => verdict = MessageVerdict::DeliverAfter(d),
+                FaultAction::Corrupt => {
+                    let mut ks = self.plan.seed ^ mix64(i as u64 + 1);
+                    for b in payload.iter_mut() {
+                        ks = mix64(ks);
+                        *b ^= (ks & 0xff) as u8 | 1; // always flips at least one bit
+                    }
+                }
+            }
+        }
+        verdict
+    }
+}
+
+/// splitmix64 finalizer — the crate's standard deterministic mixer.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_fires_on_exact_op() {
+        let st = FaultState::new(FaultPlan::new(0).kill_rank_at_op(1, 2));
+        assert!(!st.should_kill(1, 0));
+        assert!(!st.should_kill(1, 1));
+        assert!(st.should_kill(1, 2));
+        assert!(!st.should_kill(0, 2));
+    }
+
+    #[test]
+    fn drop_matches_nth_only() {
+        let st = FaultState::new(FaultPlan::new(0).drop_message(0, 1, Some(7), 1));
+        let mut p = vec![0u8; 4];
+        assert!(matches!(st.on_message(0, 1, 7, &mut p), MessageVerdict::Deliver));
+        assert!(matches!(st.on_message(0, 1, 7, &mut p), MessageVerdict::Drop));
+        assert!(matches!(st.on_message(0, 1, 7, &mut p), MessageVerdict::Deliver));
+    }
+
+    #[test]
+    fn tag_filter_ignores_other_traffic() {
+        let st = FaultState::new(FaultPlan::new(0).drop_message(0, 1, Some(7), 0));
+        let mut p = vec![];
+        // Collective key-tags (high bit set) never equal a user tag.
+        assert!(matches!(st.on_message(0, 1, 1 << 63, &mut p), MessageVerdict::Deliver));
+        assert!(matches!(st.on_message(0, 1, 7, &mut p), MessageVerdict::Drop));
+    }
+
+    #[test]
+    fn corrupt_changes_payload_deterministically() {
+        let plan = FaultPlan::new(99).corrupt_message(0, 1, None, 0);
+        let st1 = FaultState::new(plan.clone());
+        let st2 = FaultState::new(plan);
+        let mut a = vec![5u8; 16];
+        let mut b = vec![5u8; 16];
+        st1.on_message(0, 1, 3, &mut a);
+        st2.on_message(0, 1, 3, &mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, vec![5u8; 16]);
+    }
+
+    #[test]
+    fn seeded_plan_is_reproducible_and_in_range() {
+        for seed in 0..50 {
+            let p1 = FaultPlan::seeded(seed, 6, 40);
+            let p2 = FaultPlan::seeded(seed, 6, 40);
+            assert_eq!(p1.kills[0].rank, p2.kills[0].rank);
+            assert_eq!(p1.kills[0].at_op, p2.kills[0].at_op);
+            assert!(p1.kills[0].rank < 6);
+            assert!(p1.kills[0].at_op < 40);
+        }
+    }
+}

@@ -27,11 +27,24 @@
 //!   (communicator, sender, tag) triple and a receiver are delivered in FIFO
 //!   order, matching MPI's non-overtaking guarantee.
 //! * Receives block until a matching message arrives, with a configurable
-//!   watchdog timeout (default 120 s) so an accidental deadlock in a test
-//!   fails with [`Error::Timeout`] instead of hanging the suite.
+//!   watchdog timeout (default 120 s, or `DDR_TIMEOUT_MS` /
+//!   [`Universe::builder`]) so an accidental deadlock in a test fails with
+//!   [`Error::Timeout`] instead of hanging the suite.
 //! * Collectives are implemented over point-to-point messages in a private
 //!   tag namespace keyed by a per-communicator sequence number, so user
 //!   traffic can never be confused with collective traffic.
+//!
+//! ## Fault injection and liveness
+//!
+//! A deterministic [`FaultPlan`] can be installed via [`Universe::builder`]:
+//! it kills ranks at exact communication-op counts and drops, delays, or
+//! corrupts matched in-flight messages — identically on every run, because
+//! faults trigger on counters, never on wall clock. A **liveness registry**
+//! tracks dead ranks (fault-killed, panicked, or returned early); blocking
+//! receives and collectives aimed at a dead peer fail fast with
+//! [`Error::PeerDead`] instead of burning the watchdog timeout, and
+//! [`Comm::shrink`] lets survivors agree on a new communicator containing
+//! only live ranks — the substrate for DDR's shrink-and-remap recovery.
 //!
 //! ## Example
 //!
@@ -53,15 +66,19 @@ mod collectives;
 mod comm;
 mod datatype;
 mod error;
+mod fault;
+mod life;
 mod mailbox;
 mod pod;
 mod request;
 mod universe;
 
 pub use cart::CartComm;
+pub use collectives::ExchangeReport;
 pub use comm::{Comm, RecvStatus, Tag, ANY_SOURCE};
 pub use datatype::{Datatype, Subarray};
 pub use error::{Error, Result};
+pub use fault::{FaultAction, FaultPlan, MessageMatcher};
 pub use pod::{bytes_of, bytes_of_mut, Pod};
 pub use request::RecvRequest;
-pub use universe::Universe;
+pub use universe::{Universe, UniverseBuilder};

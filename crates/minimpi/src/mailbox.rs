@@ -1,7 +1,7 @@
 //! Per-rank message stores with blocking, tag-matched retrieval.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Key identifying a message stream: (communicator id, sender's rank within
@@ -34,50 +34,81 @@ pub(crate) struct Mailbox {
 }
 
 impl Mailbox {
+    fn lock(&self) -> MutexGuard<'_, Queues> {
+        self.queues.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub fn deposit(&self, key: MsgKey, env: Envelope) {
-        let mut q = self.queues.lock();
+        let mut q = self.lock();
         q.by_key.entry(key).or_default().push_back(env);
+        drop(q);
         // Receivers may be waiting on any key; notify them all. Contention is
         // bounded: only the owning rank ever blocks on this mailbox.
         self.cv.notify_all();
     }
 
+    /// Wake any blocked receiver so it can re-check liveness conditions
+    /// (used when a rank dies or departs).
+    pub fn interrupt(&self) {
+        // Take the lock so the wakeup cannot slot between a receiver's
+        // condition check and its wait.
+        drop(self.lock());
+        self.cv.notify_all();
+    }
+
     /// Block until a message with `key` is available, or `deadline` passes.
     /// Returns `None` on timeout.
+    #[cfg(test)]
     pub fn take(&self, key: MsgKey, timeout: Duration) -> Option<Envelope> {
+        match self.take_watched(key, timeout, || false) {
+            TakeOutcome::Delivered(env) => Some(env),
+            _ => None,
+        }
+    }
+
+    /// Like [`Mailbox::take`], but also gives up early — returning
+    /// [`TakeOutcome::Aborted`] — once `abort()` reports true and no matching
+    /// message is queued. Queued messages always win over the abort
+    /// condition, preserving "messages sent before death are deliverable".
+    pub fn take_watched(
+        &self,
+        key: MsgKey,
+        timeout: Duration,
+        abort: impl Fn() -> bool,
+    ) -> TakeOutcome {
         let deadline = Instant::now() + timeout;
-        let mut q = self.queues.lock();
+        let mut q = self.lock();
         loop {
-            if let Some(dq) = q.by_key.get_mut(&key) {
-                if let Some(env) = dq.pop_front() {
-                    if dq.is_empty() {
-                        q.by_key.remove(&key);
-                    }
-                    return Some(env);
-                }
+            if let Some(env) = Self::pop(&mut q, key) {
+                return TakeOutcome::Delivered(env);
+            }
+            if abort() {
+                return TakeOutcome::Aborted;
             }
             let now = Instant::now();
             if now >= deadline {
-                return None;
+                return TakeOutcome::TimedOut;
             }
-            if self.cv.wait_until(&mut q, deadline) .timed_out() {
-                // Re-check once after timeout in case of a race with deposit.
-                if let Some(dq) = q.by_key.get_mut(&key) {
-                    if let Some(env) = dq.pop_front() {
-                        if dq.is_empty() {
-                            q.by_key.remove(&key);
-                        }
-                        return Some(env);
-                    }
+            let (guard, res) = match self.cv.wait_timeout(q, deadline - now) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    let (guard, res) = e.into_inner();
+                    (guard, res)
                 }
-                return None;
+            };
+            q = guard;
+            if res.timed_out() {
+                // Re-check once after timeout in case of a race with deposit.
+                return match Self::pop(&mut q, key) {
+                    Some(env) => TakeOutcome::Delivered(env),
+                    None if abort() => TakeOutcome::Aborted,
+                    None => TakeOutcome::TimedOut,
+                };
             }
         }
     }
 
-    /// Non-blocking probe-and-take.
-    pub fn try_take(&self, key: MsgKey) -> Option<Envelope> {
-        let mut q = self.queues.lock();
+    fn pop(q: &mut Queues, key: MsgKey) -> Option<Envelope> {
         let dq = q.by_key.get_mut(&key)?;
         let env = dq.pop_front();
         if dq.is_empty() {
@@ -86,41 +117,53 @@ impl Mailbox {
         env
     }
 
+    /// Non-blocking probe-and-take.
+    pub fn try_take(&self, key: MsgKey) -> Option<Envelope> {
+        Self::pop(&mut self.lock(), key)
+    }
+
     /// Block until a message with communicator `comm_id` and tag `tag` from
     /// *any* source is available. Scans in ascending source order for
-    /// determinism when several are ready.
-    pub fn take_any(
+    /// determinism when several are ready. Gives up early when `abort()`
+    /// reports true (e.g. every possible source is dead).
+    pub fn take_any_watched(
         &self,
         comm_id: u64,
         tag: u64,
         size: usize,
         timeout: Duration,
-    ) -> Option<Envelope> {
+        abort: impl Fn() -> bool,
+    ) -> TakeOutcome {
         fn scan(q: &mut Queues, comm_id: u64, tag: u64, size: usize) -> Option<Envelope> {
-            for src in 0..size {
-                let key = (comm_id, src, tag);
-                if let Some(dq) = q.by_key.get_mut(&key) {
-                    if let Some(env) = dq.pop_front() {
-                        if dq.is_empty() {
-                            q.by_key.remove(&key);
-                        }
-                        return Some(env);
-                    }
-                }
-            }
-            None
+            (0..size).find_map(|src| Mailbox::pop(q, (comm_id, src, tag)))
         }
 
         let deadline = Instant::now() + timeout;
-        let mut q = self.queues.lock();
+        let mut q = self.lock();
         loop {
             if let Some(env) = scan(&mut q, comm_id, tag, size) {
-                return Some(env);
+                return TakeOutcome::Delivered(env);
             }
-            if self.cv.wait_until(&mut q, deadline).timed_out() {
+            if abort() {
+                return TakeOutcome::Aborted;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return TakeOutcome::TimedOut;
+            }
+            let (guard, res) = match self.cv.wait_timeout(q, deadline - now) {
+                Ok(ok) => ok,
+                Err(e) => e.into_inner(),
+            };
+            q = guard;
+            if res.timed_out() {
                 // One last scan after the final wakeup, in case a deposit
                 // raced with the timeout.
-                return scan(&mut q, comm_id, tag, size);
+                return match scan(&mut q, comm_id, tag, size) {
+                    Some(env) => TakeOutcome::Delivered(env),
+                    None if abort() => TakeOutcome::Aborted,
+                    None => TakeOutcome::TimedOut,
+                };
             }
         }
     }
@@ -128,8 +171,18 @@ impl Mailbox {
     /// Number of queued messages (diagnostics only).
     #[cfg(test)]
     pub fn pending(&self) -> usize {
-        self.queues.lock().by_key.values().map(|d| d.len()).sum()
+        self.lock().by_key.values().map(|d| d.len()).sum()
     }
+}
+
+/// Result of a blocking mailbox retrieval.
+pub(crate) enum TakeOutcome {
+    /// A matching message arrived (or was already queued).
+    Delivered(Envelope),
+    /// The watchdog deadline passed with no matching message.
+    TimedOut,
+    /// The abort condition fired — e.g. the awaited peer is dead.
+    Aborted,
 }
 
 #[cfg(test)]
@@ -179,7 +232,10 @@ mod tests {
         let mb = Mailbox::default();
         mb.deposit((2, 4, 8), Envelope { src: 4, payload: vec![4] });
         mb.deposit((2, 1, 8), Envelope { src: 1, payload: vec![1] });
-        let env = mb.take_any(2, 8, 8, Duration::from_secs(1)).unwrap();
+        let env = match mb.take_any_watched(2, 8, 8, Duration::from_secs(1), || false) {
+            TakeOutcome::Delivered(env) => env,
+            _ => panic!("expected delivery"),
+        };
         assert_eq!(env.src, 1);
     }
 }

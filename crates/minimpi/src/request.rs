@@ -53,10 +53,8 @@ impl<'a> RecvRequest<'a> {
     /// Block until the message arrives and reinterpret it as POD values.
     pub fn wait_vec<T: Pod>(self) -> Result<Vec<T>> {
         let bytes = self.wait()?;
-        vec_from_bytes(&bytes).ok_or(Error::SizeMismatch {
-            expected: std::mem::size_of::<T>(),
-            got: bytes.len(),
-        })
+        vec_from_bytes(&bytes)
+            .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: bytes.len() })
     }
 }
 
@@ -111,7 +109,7 @@ mod tests {
                 // Nothing sent yet — test() must return false, not block.
                 assert!(!req.test().unwrap());
                 comm.send(0, 8, &[1u8]).unwrap(); // tell rank 0 to go
-                // Poll until the payload lands.
+                                                  // Poll until the payload lands.
                 while !req.test().unwrap() {
                     std::hint::spin_loop();
                 }
@@ -136,9 +134,7 @@ mod tests {
         });
         assert_eq!(out[0], vec![vec![1u8], vec![2u8]]);
 
-        fn minimpi_wait_all(
-            reqs: Vec<crate::request::RecvRequest<'_>>,
-        ) -> Vec<Vec<u8>> {
+        fn minimpi_wait_all(reqs: Vec<crate::request::RecvRequest<'_>>) -> Vec<Vec<u8>> {
             crate::Comm::wait_all(reqs).unwrap()
         }
     }

@@ -1,7 +1,10 @@
 //! Launching a set of ranks.
 
-use crate::comm::{Comm, WorldState};
+use crate::comm::{default_timeout, Comm, WorldState};
+use crate::fault::FaultPlan;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Entry point: runs an "MPI job" as `n` rank-threads inside this process.
 pub struct Universe;
@@ -10,23 +13,57 @@ pub struct Universe;
 /// the heap, but deep recursion in user closures should still have room.
 const RANK_STACK_BYTES: usize = 8 * 1024 * 1024;
 
-impl Universe {
+/// Configures a universe before launch: watchdog timeout and an optional
+/// deterministic [`FaultPlan`].
+///
+/// ```
+/// use minimpi::Universe;
+/// use std::time::Duration;
+///
+/// let sums = Universe::builder()
+///     .timeout(Duration::from_secs(10))
+///     .run(4, |comm| comm.allreduce(&[comm.rank() as u64], |a, b| a + b)[0]);
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UniverseBuilder {
+    timeout: Option<Duration>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl UniverseBuilder {
+    /// Watchdog timeout applied to every blocking receive. Defaults to
+    /// `DDR_TIMEOUT_MS` (ms), else legacy `MINIMPI_TIMEOUT_SECS` (s),
+    /// else 120 s.
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.timeout = Some(t);
+        self
+    }
+
+    /// Install a deterministic fault plan, replayed identically every run.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Run `f` on `n` ranks, each on its own thread with a world [`Comm`].
     /// Returns the per-rank results in rank order.
     ///
-    /// A panic on any rank propagates to the caller after all ranks have
-    /// been joined (other ranks may first hit [`crate::Error::Timeout`] if
-    /// they were waiting on the panicked rank).
+    /// When a rank's closure returns or panics, the rank is marked dead in
+    /// the liveness registry, so peers still blocked on it fail fast with
+    /// [`crate::Error::PeerDead`] rather than waiting out the watchdog.
+    /// A panic on any rank propagates to the caller after all ranks joined.
     ///
     /// # Panics
     /// Panics if `n == 0` or if a rank thread cannot be spawned.
-    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    pub fn run<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&Comm) -> R + Sync,
     {
         assert!(n > 0, "Universe::run requires at least one rank");
-        let world = Arc::new(WorldState::new(n));
+        let timeout = self.timeout.unwrap_or_else(default_timeout);
+        let world = Arc::new(WorldState::new(n, timeout, self.fault_plan.clone()));
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
@@ -36,8 +73,15 @@ impl Universe {
                     .name(format!("rank-{rank}"))
                     .stack_size(RANK_STACK_BYTES)
                     .spawn_scoped(scope, move || {
-                        let comm = Comm::world_comm(world, rank);
-                        f(&comm)
+                        let comm = Comm::world_comm(Arc::clone(&world), rank);
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                        // Departed (or crashed) ranks count as dead: peers
+                        // blocked on them should fail fast.
+                        world.mark_dead(rank);
+                        match out {
+                            Ok(v) => v,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
@@ -49,6 +93,34 @@ impl Universe {
         })
     }
 
+    /// Like [`UniverseBuilder::run`] but for fallible rank bodies: returns
+    /// the first error (by rank order) or all results.
+    pub fn try_run<R, E, F>(&self, n: usize, f: F) -> Result<Vec<R>, E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(&Comm) -> Result<R, E> + Sync,
+    {
+        self.run(n, f).into_iter().collect()
+    }
+}
+
+impl Universe {
+    /// Configure timeout and fault injection before launching.
+    pub fn builder() -> UniverseBuilder {
+        UniverseBuilder::default()
+    }
+
+    /// Run `f` on `n` ranks with default configuration. See
+    /// [`UniverseBuilder::run`].
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
+        Self::builder().run(n, f)
+    }
+
     /// Like [`Universe::run`] but for fallible rank bodies: returns the
     /// first error (by rank order) or all results.
     pub fn try_run<R, E, F>(n: usize, f: F) -> Result<Vec<R>, E>
@@ -57,7 +129,7 @@ impl Universe {
         E: Send,
         F: Fn(&Comm) -> Result<R, E> + Sync,
     {
-        Self::run(n, f).into_iter().collect()
+        Self::builder().try_run(n, f)
     }
 }
 
@@ -79,13 +151,17 @@ mod tests {
 
     #[test]
     fn try_run_propagates_errors() {
-        let r: Result<Vec<()>, String> = Universe::try_run(3, |comm| {
-            if comm.rank() == 1 {
-                Err("boom".to_string())
-            } else {
-                Ok(())
-            }
-        });
+        let r: Result<Vec<()>, String> =
+            Universe::try_run(
+                3,
+                |comm| {
+                    if comm.rank() == 1 {
+                        Err("boom".to_string())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
         assert_eq!(r.unwrap_err(), "boom");
     }
 
@@ -93,5 +169,29 @@ mod tests {
     #[should_panic]
     fn zero_ranks_panics() {
         let _ = Universe::run(0, |_| ());
+    }
+
+    #[test]
+    fn builder_timeout_is_applied() {
+        let out =
+            Universe::builder().timeout(Duration::from_millis(1234)).run(1, |comm| comm.timeout());
+        assert_eq!(out, vec![Duration::from_millis(1234)]);
+    }
+
+    #[test]
+    fn departed_rank_fails_peers_fast() {
+        use std::time::Instant;
+        // Rank 1 exits immediately; rank 0 blocks on a receive from it and
+        // must fail with PeerDead well before the 30 s watchdog.
+        let start = Instant::now();
+        let out = Universe::builder().timeout(Duration::from_secs(30)).run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.recv_bytes(1, 0).map(|_| ())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out[0], Err(crate::Error::PeerDead { rank: 1 }));
+        assert!(start.elapsed() < Duration::from_secs(10));
     }
 }

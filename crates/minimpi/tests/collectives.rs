@@ -41,8 +41,7 @@ fn broadcast_from_each_root() {
 #[test]
 fn broadcast_large_payload() {
     let out = Universe::run(9, |comm| {
-        let data: Vec<u64> =
-            if comm.rank() == 3 { (0..100_000).collect() } else { vec![] };
+        let data: Vec<u64> = if comm.rank() == 3 { (0..100_000).collect() } else { vec![] };
         let got = comm.broadcast(3, &data).unwrap();
         (got.len(), got[12_345])
     });
@@ -121,21 +120,14 @@ fn alltoallv_exchanges_personalized_payloads() {
         let me = comm.rank();
         // Rank s sends to rank d a payload [s, d] repeated (s + d) times.
         let msgs: Vec<Vec<u32>> = (0..n)
-            .map(|d| {
-                std::iter::repeat([me as u32, d as u32])
-                    .take(me + d)
-                    .flatten()
-                    .collect()
-            })
+            .map(|d| std::iter::repeat_n([me as u32, d as u32], me + d).flatten().collect())
             .collect();
         comm.alltoallv(&msgs).unwrap()
     });
     for (d, received) in out.into_iter().enumerate() {
         for (s, msg) in received.into_iter().enumerate() {
-            let expect: Vec<u32> = std::iter::repeat([s as u32, d as u32])
-                .take(s + d)
-                .flatten()
-                .collect();
+            let expect: Vec<u32> =
+                std::iter::repeat_n([s as u32, d as u32], s + d).flatten().collect();
             assert_eq!(msg, expect, "payload from {s} to {d}");
         }
     }
@@ -157,18 +149,14 @@ fn alltoallw_transposes_a_block_distributed_matrix() {
         let send_types: Vec<Datatype> = (0..n)
             .map(|d| {
                 // To rank d: the 2-wide column band [2d..2d+2) of my 8x2 rows.
-                Datatype::Subarray(
-                    Subarray::d2([8, 2], [2, 2], [2 * d, 0], 4).unwrap(),
-                )
+                Datatype::Subarray(Subarray::d2([8, 2], [2, 2], [2 * d, 0], 4).unwrap())
             })
             .collect();
         let recv_types: Vec<Datatype> = (0..n)
             .map(|s| {
                 // From rank s: its 2 rows of my 2-wide column band, placed at
                 // row offset 2*s of my 2x8 local array.
-                Datatype::Subarray(
-                    Subarray::d2([2, 8], [2, 2], [0, 2 * s], 4).unwrap(),
-                )
+                Datatype::Subarray(Subarray::d2([2, 8], [2, 2], [0, 2 * s], 4).unwrap())
             })
             .collect();
 
@@ -294,12 +282,31 @@ fn recv_timeout_reports_deadlock() {
     let out = Universe::run(2, |comm| {
         if comm.rank() == 1 {
             comm.set_timeout(Duration::from_millis(50));
-            comm.recv_bytes(0, 42).err()
+            let err = comm.recv_bytes(0, 42).err();
+            // Release rank 0, which stays alive (blocked) during our wait so
+            // the watchdog — not the fail-fast liveness path — fires.
+            comm.send_bytes(0, 43, &[]).unwrap();
+            err
         } else {
+            comm.recv_bytes(1, 43).unwrap();
             None
         }
     });
     assert!(matches!(out[1], Some(minimpi::Error::Timeout { rank: 1, src: Some(0), tag: 42 })));
+}
+
+#[test]
+fn recv_from_departed_rank_fails_fast_with_peer_dead() {
+    use std::time::Duration;
+    let out = Universe::run(2, |comm| {
+        if comm.rank() == 1 {
+            comm.set_timeout(Duration::from_secs(60));
+            comm.recv_bytes(0, 42).err()
+        } else {
+            None // departs immediately → marked dead
+        }
+    });
+    assert!(matches!(out[1], Some(minimpi::Error::PeerDead { rank: 0 })));
 }
 
 #[test]

@@ -1,0 +1,112 @@
+//! Every [`minimpi::Error`] variant: its `Display` rendering and, where the
+//! runtime can be driven into it, the failure path that produces it.
+
+use minimpi::{Error, Universe};
+use std::time::Duration;
+
+/// One representative value per variant — a match here fails to compile when
+/// a variant is added without extending this coverage.
+fn all_variants() -> Vec<Error> {
+    let variants = vec![
+        Error::RankOutOfRange { rank: 9, size: 4 },
+        Error::Timeout { rank: 1, src: Some(2), tag: 77 },
+        Error::Timeout { rank: 1, src: None, tag: 77 },
+        Error::PeerDead { rank: 3 },
+        Error::SizeMismatch { expected: 16, got: 12 },
+        Error::DatatypeMismatch { detail: "subarray exceeds buffer".into() },
+        Error::CollectiveMismatch { detail: "counts differ".into() },
+    ];
+    for v in &variants {
+        match v {
+            Error::RankOutOfRange { .. }
+            | Error::Timeout { .. }
+            | Error::PeerDead { .. }
+            | Error::SizeMismatch { .. }
+            | Error::DatatypeMismatch { .. }
+            | Error::CollectiveMismatch { .. } => {}
+        }
+    }
+    variants
+}
+
+#[test]
+fn display_is_informative_for_every_variant() {
+    let expected = [
+        "rank 9 out of range for communicator of size 4",
+        "rank 1: receive from rank 2 (tag 77) timed out — likely deadlock",
+        "rank 1: any-source receive (tag 77) timed out — likely deadlock",
+        "rank 3 is dead (fault-killed, panicked, or exited) — failing fast",
+        "message size mismatch: expected 16 bytes, got 12",
+        "datatype mismatch: subarray exceeds buffer",
+        "collective mismatch: counts differ",
+    ];
+    for (e, want) in all_variants().iter().zip(expected) {
+        assert_eq!(e.to_string(), want);
+    }
+}
+
+#[test]
+fn variants_implement_std_error() {
+    for e in all_variants() {
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(!dyn_err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn rank_out_of_range_from_send_and_recv() {
+    let out = Universe::run(2, |comm| {
+        (comm.send(5, 1, &[0u8]).unwrap_err(), comm.recv_bytes(5, 1).unwrap_err())
+    });
+    assert_eq!(out[0].0, Error::RankOutOfRange { rank: 5, size: 2 });
+    assert_eq!(out[0].1, Error::RankOutOfRange { rank: 5, size: 2 });
+}
+
+#[test]
+fn timeout_from_never_sent_message() {
+    let out = Universe::run(1, |comm| {
+        comm.set_timeout(Duration::from_millis(50));
+        comm.recv_bytes(0, 42).unwrap_err()
+    });
+    assert_eq!(out[0], Error::Timeout { rank: 0, src: Some(0), tag: 42 });
+}
+
+#[test]
+fn peer_dead_from_departed_rank() {
+    let out = Universe::run(2, |comm| {
+        if comm.rank() == 1 {
+            return None; // leave without sending
+        }
+        Some(comm.recv_bytes(1, 9).unwrap_err())
+    });
+    assert_eq!(out[0], Some(Error::PeerDead { rank: 1 }));
+}
+
+#[test]
+fn size_mismatch_from_typed_receive() {
+    let out = Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 5, &[1u8, 2, 3]).unwrap();
+            None
+        } else {
+            Some(comm.recv_vec::<u32>(0, 5).unwrap_err())
+        }
+    });
+    assert_eq!(out[1], Some(Error::SizeMismatch { expected: 4, got: 3 }));
+}
+
+#[test]
+fn collective_mismatch_from_wrong_message_count() {
+    // Rank 0 hands alltoall one message on a 2-rank communicator; it is
+    // rejected locally, and rank 1 — left without a partner — fails fast
+    // with PeerDead rather than timing out.
+    let out = Universe::run(2, |comm| {
+        let msgs = if comm.rank() == 0 { vec![vec![1u8]] } else { vec![vec![1u8], vec![1u8]] };
+        comm.alltoall_bytes(msgs).map(|_| ())
+    });
+    assert_eq!(
+        out[0],
+        Err(Error::CollectiveMismatch { detail: "alltoall: expected 2 messages, got 1".into() })
+    );
+    assert_eq!(out[1], Err(Error::PeerDead { rank: 0 }));
+}

@@ -116,8 +116,8 @@ proptest! {
 #[test]
 fn scatterv_variable_parts() {
     let outs = Universe::run(4, |comm| {
-        let parts: Option<Vec<Vec<u8>>> = (comm.rank() == 2)
-            .then(|| (0..4).map(|i| vec![i as u8; i + 1]).collect());
+        let parts: Option<Vec<Vec<u8>>> =
+            (comm.rank() == 2).then(|| (0..4).map(|i| vec![i as u8; i + 1]).collect());
         comm.scatterv_bytes(2, parts.as_deref()).unwrap()
     });
     for (r, got) in outs.into_iter().enumerate() {

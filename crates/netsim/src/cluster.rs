@@ -2,10 +2,9 @@
 
 use crate::fs::FsModel;
 use crate::net::NetModel;
-use serde::{Deserialize, Serialize};
 
 /// How ranks are laid onto nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Ranks 0..k on node 0, k..2k on node 1, … (the usual MPI default).
     #[default]
@@ -15,7 +14,7 @@ pub enum Placement {
 }
 
 /// A modelled cluster: interconnect + filesystem + node geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterSpec {
     /// Number of compute nodes available.
     pub nodes: usize,

@@ -164,10 +164,7 @@ mod tests {
 
     #[test]
     fn two_flows_share_an_egress_link() {
-        let flows = [
-            Flow { src: 0, dst: 1, bytes: 1e9 },
-            Flow { src: 0, dst: 2, bytes: 1e9 },
-        ];
+        let flows = [Flow { src: 0, dst: 1, bytes: 1e9 }, Flow { src: 0, dst: 2, bytes: 1e9 }];
         // Both limited by node 0's egress: each runs at 0.5 GB/s → 2 s.
         let t = completion_time(3, &flows, 1e9);
         assert!((t - 2.0).abs() < 1e-9, "{t}");
@@ -175,8 +172,7 @@ mod tests {
 
     #[test]
     fn incast_limited_by_receiver_ingress() {
-        let flows: Vec<Flow> =
-            (1..5).map(|s| Flow { src: s, dst: 0, bytes: 1e9 }).collect();
+        let flows: Vec<Flow> = (1..5).map(|s| Flow { src: s, dst: 0, bytes: 1e9 }).collect();
         let t = completion_time(5, &flows, 1e9);
         assert!((t - 4.0).abs() < 1e-9, "{t}");
     }
@@ -186,20 +182,14 @@ mod tests {
         // Two flows share node 0's egress; after the short one drains, the
         // long one gets the full link: 0.5 GB for 1 s at 0.5 GB/s, then
         // 1.5 GB at 1 GB/s: total 2.5 s.
-        let flows = [
-            Flow { src: 0, dst: 1, bytes: 0.5e9 },
-            Flow { src: 0, dst: 2, bytes: 2e9 },
-        ];
+        let flows = [Flow { src: 0, dst: 1, bytes: 0.5e9 }, Flow { src: 0, dst: 2, bytes: 2e9 }];
         let t = completion_time(3, &flows, 1e9);
         assert!((t - 2.5).abs() < 1e-6, "{t}");
     }
 
     #[test]
     fn disjoint_flows_run_concurrently() {
-        let flows = [
-            Flow { src: 0, dst: 1, bytes: 1e9 },
-            Flow { src: 2, dst: 3, bytes: 1e9 },
-        ];
+        let flows = [Flow { src: 0, dst: 1, bytes: 1e9 }, Flow { src: 2, dst: 3, bytes: 1e9 }];
         let t = completion_time(4, &flows, 1e9);
         assert!((t - 1.0).abs() < 1e-9);
     }

@@ -1,7 +1,5 @@
 //! Shared parallel-filesystem model.
 
-use serde::{Deserialize, Serialize};
-
 /// First-order model of a shared parallel filesystem (GPFS-like) plus the
 /// CPU-side decode work of turning file bytes into pixels.
 ///
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// is additionally capped by `aggregate_bandwidth / clients`. Decode runs at
 /// `decode_bandwidth` per client, serialized after the read of each file (as
 /// in the paper's loader, which reads and then decodes each TIFF).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FsModel {
     /// Per-client streaming read bandwidth with a single client, bytes/s.
     pub base_client_bandwidth: f64,
@@ -28,7 +26,8 @@ impl FsModel {
     /// Effective streaming rate seen by each of `clients` concurrent readers.
     pub fn effective_client_rate(&self, clients: usize) -> f64 {
         assert!(clients > 0, "effective_client_rate needs at least one client");
-        let degraded = self.base_client_bandwidth / (1.0 + clients as f64 / self.degradation_clients);
+        let degraded =
+            self.base_client_bandwidth / (1.0 + clients as f64 / self.degradation_clients);
         degraded.min(self.aggregate_bandwidth / clients as f64)
     }
 

@@ -1,7 +1,5 @@
 //! Interconnect model: per-node NIC with volume-dependent contention.
 
-use serde::{Deserialize, Serialize};
-
 /// First-order model of a fat-tree/CLOS interconnect where each node owns a
 /// single full-duplex link (Cooley: one FDR InfiniBand 56 Gbps link per
 /// node, shared by all ranks on the node — the contention source the paper's
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// The contention term captures the paper's observation that one huge round
 /// "creates network contention on the single 56 Gbps link", while many
 /// ~32 MB rounds "allow for full utilization of the network bandwidth".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetModel {
     /// Peak per-node link bandwidth, bytes/s (one direction).
     pub link_bandwidth: f64,
@@ -82,10 +80,7 @@ impl NetModel {
                 link_time = link_time.max(v / self.effective_rate(v));
             }
         }
-        let mem_time = intra
-            .iter()
-            .map(|&v| v / self.mem_bandwidth)
-            .fold(0f64, f64::max);
+        let mem_time = intra.iter().map(|&v| v / self.mem_bandwidth).fold(0f64, f64::max);
         self.alpha(nprocs) + link_time + mem_time
     }
 
@@ -96,10 +91,7 @@ impl NetModel {
         rounds: impl IntoIterator<Item = &'a [u64]>,
         node_of: &[usize],
     ) -> f64 {
-        rounds
-            .into_iter()
-            .map(|m| self.alltoallw_round_time(nprocs, m, node_of))
-            .sum()
+        rounds.into_iter().map(|m| self.alltoallw_round_time(nprocs, m, node_of)).sum()
     }
 }
 
@@ -164,8 +156,7 @@ mod tests {
         let one_round = vec![0, 40_000_000_000u64, 0, 0];
         let t_one = n.alltoallw_round_time(2, &one_round, &[0, 1]);
         let small = vec![0, 400_000_000u64, 0, 0];
-        let t_hundred: f64 =
-            (0..100).map(|_| n.alltoallw_round_time(2, &small, &[0, 1])).sum();
+        let t_hundred: f64 = (0..100).map(|_| n.alltoallw_round_time(2, &small, &[0, 1])).sum();
         assert!(t_hundred < t_one, "{t_hundred} vs {t_one}");
     }
 

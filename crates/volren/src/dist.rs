@@ -32,10 +32,8 @@ fn decode(bytes: &[u8]) -> Option<BrickImage> {
     if payload.len() != 4 * 4 * w * h {
         return None;
     }
-    let data: Vec<f32> = payload
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let data: Vec<f32> =
+        payload.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
     Some(BrickImage { x0, y0, z0, image: RgbaImage { width: w, height: h, data } })
 }
 
@@ -60,10 +58,7 @@ pub fn composite_gather(
             let bricks: Vec<BrickImage> = parts
                 .iter()
                 .map(|p| {
-                    decode(p).ok_or(minimpi::Error::SizeMismatch {
-                        expected: 20,
-                        got: p.len(),
-                    })
+                    decode(p).ok_or(minimpi::Error::SizeMismatch { expected: 20, got: p.len() })
                 })
                 .collect::<Result<_>>()?;
             Ok(Some(composite(width, height, bricks)))

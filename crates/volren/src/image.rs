@@ -96,7 +96,8 @@ mod tests {
     #[test]
     fn under_matches_incremental_shading() {
         // Shading samples a,b,c in order == shading a, then `under` of (b,c).
-        let samples = [([0.9f32, 0.1, 0.2], 0.3f32), ([0.2, 0.8, 0.1], 0.6), ([0.1, 0.2, 0.9], 0.8)];
+        let samples =
+            [([0.9f32, 0.1, 0.2], 0.3f32), ([0.2, 0.8, 0.1], 0.6), ([0.1, 0.2, 0.9], 0.8)];
         let mut reference = RgbaImage::transparent(1, 1);
         for (rgb, a) in samples {
             reference.shade(0, 0, rgb, a);

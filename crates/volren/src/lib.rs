@@ -29,11 +29,11 @@ mod phantom;
 mod render;
 mod transfer;
 
+pub use dist::composite_gather;
 pub use image::RgbaImage;
 pub use phantom::phantom_tooth;
 pub use render::{
     composite, render_brick, render_brick_along, render_brick_shaded, render_volume,
     render_volume_along, Axis, BrickImage, Lighting,
 };
-pub use dist::composite_gather;
 pub use transfer::TransferFunction;

@@ -13,7 +13,7 @@ pub fn phantom_tooth(dims: [usize; 3]) -> Vec<f32> {
     let mut out = Vec::with_capacity(nx * ny * nz);
     for z in 0..nz {
         let w = z as f32 / (nz - 1) as f32; // 0 = root tip, 1 = crown top
-        // Tooth radius profile: narrow root widening into a bulbous crown.
+                                            // Tooth radius profile: narrow root widening into a bulbous crown.
         let radius = 0.16 + 0.24 * w.powf(1.5) + 0.05 * (w * 9.0).sin().abs();
         for y in 0..ny {
             let fy = y as f32 / (ny - 1) as f32 - 0.5;

@@ -205,8 +205,8 @@ pub fn composite(width: usize, height: usize, mut bricks: Vec<BrickImage>) -> Rg
                 if t <= 0.0 {
                     continue;
                 }
-                for c in 0..4 {
-                    out.data[i + c] += t * src[c];
+                for (c, &v) in src.iter().enumerate() {
+                    out.data[i + c] += t * v;
                 }
             }
         }
@@ -350,8 +350,7 @@ mod tests {
         let tf = TransferFunction::tooth();
         let flat = render_volume(&vol, dims, &tf);
         let shaded =
-            render_brick_shaded(&vol, dims, [0, 0, 0], &tf, Axis::Z, Lighting::default())
-                .image;
+            render_brick_shaded(&vol, dims, [0, 0, 0], &tf, Axis::Z, Lighting::default()).image;
         // Shading only ever attenuates (shade factor <= 1), and must darken
         // at least some surface pixels.
         let mut any_darker = false;
@@ -374,13 +373,23 @@ mod tests {
         let vol = phantom_tooth(dims);
         let tf = TransferFunction::tooth();
         let a = render_brick_shaded(
-            &vol, dims, [0, 0, 0], &tf, Axis::Z,
+            &vol,
+            dims,
+            [0, 0, 0],
+            &tf,
+            Axis::Z,
             Lighting { direction: [1.0, 0.0, 0.0], ambient: 0.2 },
-        ).image;
+        )
+        .image;
         let b = render_brick_shaded(
-            &vol, dims, [0, 0, 0], &tf, Axis::Z,
+            &vol,
+            dims,
+            [0, 0, 0],
+            &tf,
+            Axis::Z,
             Lighting { direction: [-1.0, 0.0, 0.0], ambient: 0.2 },
-        ).image;
+        )
+        .image;
         assert_ne!(a.data, b.data);
     }
 
@@ -392,19 +401,13 @@ mod tests {
         let light = Lighting::default();
         let reference = render_brick_shaded(&vol, dims, [0, 0, 0], &tf, Axis::Z, light).image;
         let half = 16 * 16 * 8;
-        let front =
-            render_brick_shaded(&vol[..half], [16, 16, 8], [0, 0, 0], &tf, Axis::Z, light);
-        let back =
-            render_brick_shaded(&vol[half..], [16, 16, 8], [0, 0, 8], &tf, Axis::Z, light);
+        let front = render_brick_shaded(&vol[..half], [16, 16, 8], [0, 0, 0], &tf, Axis::Z, light);
+        let back = render_brick_shaded(&vol[half..], [16, 16, 8], [0, 0, 8], &tf, Axis::Z, light);
         let composed = composite(16, 16, vec![front, back]);
         // One-sided gradients at the internal face make this approximate.
-        let mean: f32 = reference
-            .data
-            .iter()
-            .zip(&composed.data)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / reference.data.len() as f32;
+        let mean: f32 =
+            reference.data.iter().zip(&composed.data).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                / reference.data.len() as f32;
         assert!(mean < 0.02, "mean diff {mean}");
     }
 

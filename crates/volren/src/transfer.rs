@@ -63,10 +63,8 @@ mod tests {
 
     #[test]
     fn opacity_interpolates_and_clamps() {
-        let tf = TransferFunction::new(
-            Colormap::grayscale(),
-            vec![(0.0, 0.0), (0.5, 0.0), (1.0, 1.0)],
-        );
+        let tf =
+            TransferFunction::new(Colormap::grayscale(), vec![(0.0, 0.0), (0.5, 0.0), (1.0, 1.0)]);
         assert_eq!(tf.alpha(-1.0), 0.0);
         assert_eq!(tf.alpha(0.25), 0.0);
         assert!((tf.alpha(0.75) - 0.5).abs() < 1e-6);

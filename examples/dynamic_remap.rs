@@ -37,8 +37,7 @@ fn run(strategy: Strategy, sparse: bool) -> (f64, usize, usize) {
         // Sparse consumer: each rank wants (almost) its own slab back, so it
         // only talks to at most two neighbors; dense consumer: bricks.
         let need = if sparse {
-            let s = slab(&domain, 2, NPROCS, (r + 1) % NPROCS).unwrap();
-            s
+            slab(&domain, 2, NPROCS, (r + 1) % NPROCS).unwrap()
         } else {
             brick(&domain, counts, r).unwrap()
         };
@@ -65,10 +64,7 @@ fn main() {
         "dynamic remap: {STEPS} steps of a {}x{}x{} field on {NPROCS} ranks\n",
         DOMAIN[0], DOMAIN[1], DOMAIN[2]
     );
-    println!(
-        "{:<34} {:>10} {:>8} {:>14}",
-        "configuration", "time", "rounds", "max neighbors"
-    );
+    println!("{:<34} {:>10} {:>8} {:>14}", "configuration", "time", "rounds", "max neighbors");
     for (label, strategy, sparse) in [
         ("slabs -> bricks, alltoallw", Strategy::Alltoallw, false),
         ("slabs -> bricks, point-to-point", Strategy::PointToPoint, false),
@@ -76,10 +72,7 @@ fn main() {
         ("slabs -> shifted slabs, p2p", Strategy::PointToPoint, true),
     ] {
         let (dt, rounds, neighbors) = run(strategy, sparse);
-        println!(
-            "{label:<34} {:>8.1}ms {rounds:>8} {neighbors:>14}",
-            dt * 1e3
-        );
+        println!("{label:<34} {:>8.1}ms {rounds:>8} {neighbors:>14}", dt * 1e3);
     }
     println!(
         "\nThe sparse consumer layout touches at most a couple of peers, where the\n\

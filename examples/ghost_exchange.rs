@@ -63,16 +63,13 @@ fn main() {
         }
 
         let desc = Descriptor::for_type::<f64>(NPROCS, DataKind::D2).unwrap();
-        let plan = desc
-            .setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)
-            .unwrap();
+        let plan =
+            desc.setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict).unwrap();
 
         let data: Vec<f64> = my_slab.coords().map(|c| field(c[0], c[1])).collect();
-        let mut bufs: Vec<Vec<f64>> =
-            needs.iter().map(|b| vec![0.0; b.count() as usize]).collect();
+        let mut bufs: Vec<Vec<f64>> = needs.iter().map(|b| vec![0.0; b.count() as usize]).collect();
         {
-            let mut refs: Vec<&mut [f64]> =
-                bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+            let mut refs: Vec<&mut [f64]> = bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
             plan.reorganize(comm, &[&data], &mut refs).unwrap();
         }
 
@@ -106,16 +103,9 @@ fn main() {
     let mut stitched = vec![0f64; NX * NY];
     for (y0, rows, out, rounds, sent) in &results {
         stitched[y0 * NX..(y0 + rows) * NX].copy_from_slice(out);
-        println!(
-            "rank slab rows {y0}..{}: {rounds} round(s), {sent} bytes shipped",
-            y0 + rows
-        );
+        println!("rank slab rows {y0}..{}: {rounds} round(s), {sent} bytes shipped", y0 + rows);
     }
-    let max_err = stitched
-        .iter()
-        .zip(&serial)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0f64, f64::max);
+    let max_err = stitched.iter().zip(&serial).map(|(a, b)| (a - b).abs()).fold(0f64, f64::max);
     println!("\nmax |distributed - serial| = {max_err:.3e}");
     assert_eq!(stitched, serial, "stencil must match the serial reference exactly");
     println!("OK: ghost-zone staging through DDR multi-need is exact.");

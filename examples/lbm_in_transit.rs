@@ -10,15 +10,21 @@
 //!
 //! Run with: `cargo run --release --example lbm_in_transit`
 //! Outputs: `target/lbm_in_transit/frame_*.jpg`
+//!
+//! Set `DDR_FAULT_SEED=<n>` to inject a deterministic fault: one streamed
+//! frame (chosen by the seed) is dropped in flight. The analysis side then
+//! demonstrates degraded-mode streaming — it skips ahead after the per-frame
+//! deadline, keeps rendering, and reports the skip in its stream stats.
 
 use ddr::core::Block;
 use ddr::lbm::{barrier_line, Config, DistributedLbm};
-use ddr::minimpi::Universe;
+use ddr::minimpi::{FaultPlan, Universe};
 use intransit::{
-    analysis_block, consumer_sources, producer_targets, recv_frames, send_frame,
-    split_resources, Repartitioner, Role,
+    analysis_block, consumer_sources, producer_targets, send_frame, split_resources, FrameReceiver,
+    FrameRecvConfig, FrameStats, Repartitioner, Role, FRAME_TAG,
 };
 use jimage::{jpeg, Colormap, RgbImage};
+use std::time::Duration;
 
 const M: usize = 10; // simulation ranks (Figure 4 uses 10 -> 4)
 const N: usize = 4; // analysis ranks
@@ -33,14 +39,36 @@ fn main() {
 
     println!("M-to-N mapping (Figure 4): {M} simulation ranks -> {N} analysis ranks");
     for c in 0..N {
-        println!("  analysis rank {c} receives from simulation ranks {:?}", consumer_sources(M, N, c));
+        println!(
+            "  analysis rank {c} receives from simulation ranks {:?}",
+            consumer_sources(M, N, c)
+        );
     }
     let (gx, gy) = ddr::core::decompose::near_square_grid(N);
     println!("analysis layout (Figure 5): {gx}x{gy} near-square grid over {NX}x{NY}\n");
 
+    // DDR_FAULT_SEED drops one frame in flight, deterministically.
+    let mut builder = Universe::builder();
+    if let Ok(seed) = std::env::var("DDR_FAULT_SEED").map(|s| s.parse::<u64>().unwrap_or(0)) {
+        let victim = (seed % M as u64) as usize;
+        let consumer = M + producer_targets(M, N)[victim];
+        let nth = seed % (STEPS / OUTPUT_EVERY) as u64;
+        println!(
+            "fault injection (seed {seed}): dropping frame #{nth} from simulation rank \
+             {victim} to analysis rank {}\n",
+            consumer - M
+        );
+        builder = builder.fault_plan(FaultPlan::new(seed).drop_message(
+            victim,
+            consumer,
+            Some(FRAME_TAG),
+            nth,
+        ));
+    }
+
     let cfg = Config::wind_tunnel(NX, NY);
     let out_dir2 = out_dir.clone();
-    let results = Universe::run(M + N, move |world| {
+    let results = builder.run(M + N, move |world| {
         let barrier = barrier_line(NX / 4, NY * 2 / 5, NY * 3 / 5);
         let (role, group) = split_resources(world, M).unwrap();
         match role {
@@ -56,19 +84,29 @@ fn main() {
                         send_frame(world, consumer, step as u64, block, vort).unwrap();
                     }
                 }
-                (0usize, 0usize)
+                (0usize, 0usize, FrameStats::default())
             }
             Role::Analysis => {
                 let c = group.rank();
                 let need = analysis_block(NX, NY, N, c).unwrap();
-                let mut rep = Repartitioner::new(need);
-                let sources = consumer_sources(M, N, c);
+                // Degraded mode: a step with a lost frame still redistributes
+                // and renders — undelivered cells stay at zero.
+                let mut rep = Repartitioner::degraded(need);
+                // The deadline must comfortably exceed the simulation's
+                // inter-output time, or healthy frames would be skipped.
+                let mut rx = FrameReceiver::new(
+                    consumer_sources(M, N, c),
+                    FrameRecvConfig {
+                        deadline: Duration::from_secs(2),
+                        ..FrameRecvConfig::default()
+                    },
+                );
                 let cmap = Colormap::blue_white_red();
                 let mut jpeg_bytes = 0usize;
                 let mut raw_bytes = 0usize;
                 for step in 1..=STEPS {
                     if step % OUTPUT_EVERY == 0 {
-                        let frames = recv_frames(world, &sources, Some(step as u64)).unwrap();
+                        let frames = rx.recv_step(world, step as u64).unwrap();
                         let field = rep.redistribute(&group, &frames).unwrap();
                         raw_bytes += field.len() * 4;
                         let img = RgbImage::from_scalar_field(
@@ -85,18 +123,19 @@ fn main() {
                         std::fs::write(path, bytes).unwrap();
                     }
                 }
-                (raw_bytes, jpeg_bytes)
+                (raw_bytes, jpeg_bytes, *rx.stats())
             }
         }
     });
 
-    let raw: usize = results.iter().map(|(r, _)| r).sum();
-    let jpg: usize = results.iter().map(|(_, j)| j).sum();
-    println!(
-        "saved {} frames x {N} tiles to {}",
-        STEPS / OUTPUT_EVERY,
-        out_dir.display()
-    );
+    let raw: usize = results.iter().map(|(r, _, _)| r).sum();
+    let jpg: usize = results.iter().map(|(_, j, _)| j).sum();
+    let mut stats = FrameStats::default();
+    for (_, _, s) in &results {
+        stats.merge(s);
+    }
+    println!("saved {} frames x {N} tiles to {}", STEPS / OUTPUT_EVERY, out_dir.display());
+    println!("stream stats: {stats}");
     println!(
         "raw vorticity would be {raw} bytes; JPEG tiles are {jpg} bytes — {:.2}% data reduction (Table IV effect)",
         100.0 * (1.0 - jpg as f64 / raw as f64)

@@ -8,7 +8,7 @@
 //! Outputs: `target/multiaxis_dvr/tooth_{x,y,z}{,_shaded}.jpg`
 
 use volren::{
-    phantom_tooth, render_volume_along, render_brick_shaded, Axis, Lighting, TransferFunction,
+    phantom_tooth, render_brick_shaded, render_volume_along, Axis, Lighting, TransferFunction,
 };
 
 const DIMS: [usize; 3] = [96, 96, 112];
@@ -24,20 +24,13 @@ fn main() {
 
     for (axis, name) in [(Axis::X, "x"), (Axis::Y, "y"), (Axis::Z, "z")] {
         let flat = render_volume_along(&vol, DIMS, &tf, axis).to_rgb([0, 0, 0]);
-        let shaded = render_brick_shaded(&vol, DIMS, [0, 0, 0], &tf, axis, light)
-            .image
-            .to_rgb([0, 0, 0]);
+        let shaded =
+            render_brick_shaded(&vol, DIMS, [0, 0, 0], &tf, axis, light).image.to_rgb([0, 0, 0]);
         for (img, suffix) in [(&flat, ""), (&shaded, "_shaded")] {
             let path = out_dir.join(format!("tooth_{name}{suffix}.jpg"));
             let bytes = jimage::jpeg::encode(img, 90).expect("encode");
             std::fs::write(&path, &bytes).expect("write");
-            println!(
-                "  {} ({}x{}, {} bytes)",
-                path.display(),
-                img.width,
-                img.height,
-                bytes.len()
-            );
+            println!("  {} ({}x{}, {} bytes)", path.display(), img.width, img.height, bytes.len());
         }
         // Shading must not brighten anything and must change the image.
         assert_ne!(flat.data, shaded.data);

@@ -7,8 +7,8 @@ use ddr::core::Block;
 use ddr::lbm::{barrier_line, Config, DistributedLbm, Lattice};
 use ddr::minimpi::Universe;
 use intransit::{
-    analysis_block, consumer_sources, producer_targets, recv_frames, send_frame,
-    split_resources, Repartitioner, Role,
+    analysis_block, consumer_sources, producer_targets, recv_frames, send_frame, split_resources,
+    Repartitioner, Role,
 };
 use jimage::{jpeg, Colormap, RgbImage};
 
@@ -29,14 +29,8 @@ fn streamed_render_equals_local_render() {
         lat.step_serial();
     }
     let ref_field = lat.vorticity(None, None);
-    let ref_img = RgbImage::from_scalar_field(
-        NX,
-        NY,
-        &ref_field,
-        -0.1,
-        0.1,
-        &Colormap::blue_white_red(),
-    );
+    let ref_img =
+        RgbImage::from_scalar_field(NX, NY, &ref_field, -0.1, 0.1, &Colormap::blue_white_red());
 
     // Streamed: M sim ranks -> N analysis ranks, stitched back together.
     let tiles = Universe::run(M + N, |world| {

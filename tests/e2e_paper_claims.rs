@@ -34,10 +34,10 @@ fn table3_round_robin_data_size_is_flat_about_32mb() {
 #[test]
 fn table3_consecutive_data_size_shrinks_with_scale() {
     // 4315 MB at 27 ranks down to ~590 MB at 216 — a 7.3x drop.
-    let m27 = schedule(PAPER_VOLUME, PAPER_ELEM, 27, Method::Consecutive)
-        .mean_mb_per_rank_per_round;
-    let m216 = schedule(PAPER_VOLUME, PAPER_ELEM, 216, Method::Consecutive)
-        .mean_mb_per_rank_per_round;
+    let m27 =
+        schedule(PAPER_VOLUME, PAPER_ELEM, 27, Method::Consecutive).mean_mb_per_rank_per_round;
+    let m216 =
+        schedule(PAPER_VOLUME, PAPER_ELEM, 216, Method::Consecutive).mean_mb_per_rank_per_round;
     assert!(m27 > 4000.0 && m27 < 4700.0, "{m27}");
     assert!(m216 > 550.0 && m216 < 680.0, "{m216}");
     assert!((m27 / m216 - 7.3).abs() < 0.7);

@@ -42,16 +42,9 @@ fn stack_to_composited_dvr_matches_serial_render() {
             render_brick(&data, block.dims, block.offset, tf_ref)
         });
         let image = composite(VOL[0], VOL[1], bricks);
-        let max_diff = image
-            .data
-            .iter()
-            .zip(&reference.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0f32, f32::max);
-        assert!(
-            max_diff < 1e-4,
-            "{method:?} on {nprocs} ranks: composite differs by {max_diff}"
-        );
+        let max_diff =
+            image.data.iter().zip(&reference.data).map(|(a, b)| (a - b).abs()).fold(0f32, f32::max);
+        assert!(max_diff < 1e-4, "{method:?} on {nprocs} ranks: composite differs by {max_diff}");
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,71 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::{Strategy, TestRng};
+
+/// Inclusive length bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy generating a `Vec` of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max - self.size.min + 1;
+        let len = self.size.min + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with the given element strategy and length bounds —
+/// proptest's `prop::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn fixed_and_ranged_sizes() {
+        let mut rng = TestRng::new(9, 0);
+        for _ in 0..100 {
+            assert_eq!(vec(any::<u8>(), 6).generate(&mut rng).len(), 6);
+            let v = vec(any::<u64>(), 4..8).generate(&mut rng);
+            assert!((4..8).contains(&v.len()));
+            let nested = vec(vec(any::<u8>(), 0..64), 6).generate(&mut rng);
+            assert_eq!(nested.len(), 6);
+            assert!(nested.iter().all(|inner| inner.len() < 64));
+        }
+    }
+}
