@@ -58,6 +58,7 @@ mod descriptor;
 mod error;
 mod exec;
 mod layout;
+pub mod lint;
 mod mapping;
 mod multi;
 pub mod papi;
@@ -72,6 +73,10 @@ pub use descriptor::{DataKind, Descriptor};
 pub use error::{DdrError, Result};
 pub use exec::{Element, Strategy};
 pub use layout::Layout;
+pub use lint::{
+    has_errors, lint_layouts, lint_mapping, lint_plan, lint_plans, LintCode, LintDiagnostic,
+    Severity,
+};
 pub use mapping::compute_local_plan;
 pub use multi::{compute_multi_plan, MultiLayout, MultiPlan, MultiTransfer};
 pub use plan::{Plan, RoundPlan, Transfer};

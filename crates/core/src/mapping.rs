@@ -135,6 +135,9 @@ impl Descriptor {
         let mine = Layout { owned: owned.to_vec(), need };
         let layouts = exchange_layouts(comm, &mine)?;
         validate(&layouts, policy)?;
+        if crate::lint::is_audit(policy) {
+            crate::lint::audit(self, &layouts)?;
+        }
         compute_local_plan(comm.rank(), &layouts, self)
     }
 }

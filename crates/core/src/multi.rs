@@ -302,7 +302,12 @@ impl Descriptor {
             })
             .collect();
         let relaxed = match policy {
-            ValidationPolicy::Strict | ValidationPolicy::Relaxed => ValidationPolicy::Relaxed,
+            // Audit's plan-level lint targets single-need plans; for the
+            // multi-need path it degrades to the same ownership checks as
+            // Strict (the synthesized needs here are placeholders anyway).
+            ValidationPolicy::Strict | ValidationPolicy::Relaxed | ValidationPolicy::Audit => {
+                ValidationPolicy::Relaxed
+            }
             ValidationPolicy::Degraded => ValidationPolicy::Degraded,
             ValidationPolicy::Skip => ValidationPolicy::Skip,
         };

@@ -8,7 +8,7 @@ use std::time::Duration;
 fn all_mpi_variants() -> Vec<MpiError> {
     vec![
         MpiError::RankOutOfRange { rank: 9, size: 4 },
-        MpiError::Timeout { rank: 1, src: Some(2), tag: 77 },
+        MpiError::Timeout { rank: 1, src: Some(2), tag: 77, comm_id: 0 },
         MpiError::PeerDead { rank: 3 },
         MpiError::SizeMismatch { expected: 16, got: 12 },
         MpiError::DatatypeMismatch { detail: "d".into() },

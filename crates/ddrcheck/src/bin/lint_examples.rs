@@ -1,0 +1,41 @@
+//! CI gate: lint every catalogued example layout and fail on errors.
+//!
+//! Run with: `cargo run --release -p ddrcheck --bin lint_examples`
+//!
+//! Prints one report per catalog entry and exits non-zero if any entry has
+//! an error-severity finding, so a decomposition regression in an example
+//! fails the build instead of shipping a plan with holes or overlaps.
+
+use ddrcheck::{examples, has_errors, lint_mapping, render_report, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cases = examples::catalog();
+    println!("ddrcheck: linting {} example scenario(s)\n", cases.len());
+
+    let mut failed = 0usize;
+    let mut warned = 0usize;
+    for case in &cases {
+        let diags = lint_mapping(&case.descriptor(), &case.layouts());
+        println!("{}", render_report(&case.name, &diags));
+        if has_errors(&diags) {
+            failed += 1;
+        } else if diags.iter().any(|d| d.severity == Severity::Warning) {
+            warned += 1;
+        }
+    }
+
+    println!(
+        "\n{} scenario(s): {} clean, {} with warnings, {} with errors",
+        cases.len(),
+        cases.len() - failed - warned,
+        warned,
+        failed
+    );
+    if failed > 0 {
+        eprintln!("ddrcheck: FAILED — {failed} scenario(s) have error-severity findings");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,206 @@
+//! Catalog of the redistribution layouts used by the repository's runnable
+//! examples, reconstructed from the same [`ddr_core::decompose`] helpers the
+//! examples themselves use.
+//!
+//! The `lint_examples` binary lints every entry; CI runs it so a change to
+//! an example's decomposition that introduces a coverage hole, ownership
+//! overlap, or byte asymmetry fails the build before anyone runs the
+//! example. `examples/multiaxis_dvr.rs` is absent by design (it performs no
+//! DDR mapping), and `examples/ghost_exchange.rs` uses the multi-need API
+//! whose overlapping needs are outside the single-need linter's model.
+
+use ddr_core::decompose::{
+    brick, near_cubic_grid, near_square_grid, round_robin_items, slab, split_axis,
+};
+use ddr_core::{Block, DataKind, Descriptor, Layout};
+
+/// One example's redistribution scenario: everything needed to recompute
+/// and lint its plans offline.
+pub struct ExampleCase {
+    /// Catalog name, `<example file>/<variant>`.
+    pub name: String,
+    /// Number of ranks participating in the mapping.
+    pub nprocs: usize,
+    /// Dimensionality of the data.
+    pub kind: DataKind,
+    /// Bytes per element.
+    pub elem_size: usize,
+    /// Per-rank declared layouts, index = rank.
+    pub layouts: Vec<Layout>,
+}
+
+impl ExampleCase {
+    /// The descriptor every rank of this example would construct.
+    pub fn descriptor(&self) -> Descriptor {
+        Descriptor::new(self.nprocs, self.kind, self.elem_size)
+            .expect("catalog descriptor is well-formed")
+    }
+
+    /// The declared layouts (index = rank).
+    pub fn layouts(&self) -> Vec<Layout> {
+        self.layouts.clone()
+    }
+}
+
+/// `examples/quickstart.rs` — the paper's E1: 4 ranks each own rows
+/// `{r, r+4}` of an 8×8 f32 grid and need one 4×4 quadrant (Figure 1).
+fn quickstart() -> ExampleCase {
+    let layouts = (0..4usize)
+        .map(|r| Layout {
+            owned: vec![Block::d2([0, r], [8, 1]).unwrap(), Block::d2([0, r + 4], [8, 1]).unwrap()],
+            need: Block::d2([4 * (r % 2), 4 * (r / 2)], [4, 4]).unwrap(),
+        })
+        .collect();
+    ExampleCase {
+        name: "quickstart/e1".into(),
+        nprocs: 4,
+        kind: DataKind::D2,
+        elem_size: 4,
+        layouts,
+    }
+}
+
+/// `examples/dynamic_remap.rs` — 6 ranks over a 64×64×48 f32 volume; owned
+/// is a z-slab, need is either a dense brick of the 3×2×1 grid or (the
+/// sparse variant) the next rank's z-slab.
+fn dynamic_remap(sparse: bool) -> ExampleCase {
+    const NPROCS: usize = 6;
+    let domain = Block::d3([0, 0, 0], [64, 64, 48]).unwrap();
+    let layouts = (0..NPROCS)
+        .map(|r| Layout {
+            owned: vec![slab(&domain, 2, NPROCS, r).unwrap()],
+            need: if sparse {
+                slab(&domain, 2, NPROCS, (r + 1) % NPROCS).unwrap()
+            } else {
+                brick(&domain, [3, 2, 1], r).unwrap()
+            },
+        })
+        .collect();
+    ExampleCase {
+        name: format!("dynamic_remap/{}", if sparse { "sparse" } else { "dense" }),
+        nprocs: NPROCS,
+        kind: DataKind::D3,
+        elem_size: 4,
+        layouts,
+    }
+}
+
+/// `examples/lbm_in_transit.rs` — the analysis side of the 10→4 fan-in:
+/// analysis rank `c` owns the y-slabs its simulation sources streamed
+/// (one frame per source, so one chunk each) and needs one brick of the
+/// near-square grid over the 640×256 vorticity field.
+fn lbm_in_transit() -> ExampleCase {
+    const M: usize = 10;
+    const N: usize = 4;
+    const NX: usize = 640;
+    const NY: usize = 256;
+    let (cols, rows) = near_square_grid(N);
+    let domain = Block::d2([0, 0], [NX, NY]).unwrap();
+    let layouts = (0..N)
+        .map(|c| {
+            // consumer_sources(M, N, c): the contiguous run of simulation
+            // ranks that stream to analysis rank c.
+            let base = M / N;
+            let extra = M % N;
+            let start = c * base + c.min(extra);
+            let count = base + usize::from(c < extra);
+            let owned = (start..start + count)
+                .map(|s| {
+                    let (y0, nrows) = split_axis(NY, M, s);
+                    Block::d2([0, y0], [NX, nrows]).unwrap()
+                })
+                .collect();
+            Layout { owned, need: brick(&domain, [cols, rows, 1], c).unwrap() }
+        })
+        .collect();
+    ExampleCase {
+        name: "lbm_in_transit/analysis".into(),
+        nprocs: N,
+        kind: DataKind::D2,
+        elem_size: 4,
+        layouts,
+    }
+}
+
+/// `examples/tiff_stack_dvr.rs` — 8 ranks load a 96³ 16-bit volume from a
+/// TIFF stack: owned is the per-image z-plane assignment (round-robin keeps
+/// every image a separate chunk; consecutive groups each rank's run into
+/// one slab), need is this rank's rendering brick of the near-cubic grid.
+fn tiff_stack_dvr(round_robin: bool) -> ExampleCase {
+    const NPROCS: usize = 8;
+    const VOL: [usize; 3] = [96, 96, 96];
+    let domain = Block::d3([0, 0, 0], VOL).unwrap();
+    let counts = near_cubic_grid(NPROCS);
+    let image = |z: usize| Block::d3([0, 0, z], [VOL[0], VOL[1], 1]);
+    let layouts = (0..NPROCS)
+        .map(|r| {
+            let owned = if round_robin {
+                round_robin_items(VOL[2], NPROCS, r, image).unwrap()
+            } else {
+                let (z0, n) = split_axis(VOL[2], NPROCS, r);
+                vec![Block::d3([0, 0, z0], [VOL[0], VOL[1], n]).unwrap()]
+            };
+            Layout { owned, need: brick(&domain, counts, r).unwrap() }
+        })
+        .collect();
+    ExampleCase {
+        name: format!("tiff_stack_dvr/{}", if round_robin { "round_robin" } else { "consecutive" }),
+        nprocs: NPROCS,
+        kind: DataKind::D3,
+        elem_size: 2,
+        layouts,
+    }
+}
+
+/// Every catalogued example scenario, in the order the examples appear in
+/// the repository's README.
+pub fn catalog() -> Vec<ExampleCase> {
+    vec![
+        quickstart(),
+        dynamic_remap(false),
+        dynamic_remap(true),
+        lbm_in_transit(),
+        tiff_stack_dvr(true),
+        tiff_stack_dvr(false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enforce, lint_mapping};
+
+    #[test]
+    fn every_catalog_entry_lints_clean() {
+        for case in catalog() {
+            let diags = lint_mapping(&case.descriptor(), &case.layouts());
+            assert!(
+                enforce(&diags).is_ok(),
+                "{} has lint errors:\n{}",
+                case.name,
+                crate::render_report(&case.name, &diags)
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_layout_counts_match() {
+        let cases = catalog();
+        let mut names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cases.len(), "duplicate catalog names");
+        for case in &cases {
+            assert_eq!(case.layouts.len(), case.nprocs, "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn round_robin_case_has_one_chunk_per_image() {
+        let case = tiff_stack_dvr(true);
+        // 96 images over 8 ranks: 12 chunks each, hence 12 rounds.
+        assert!(case.layouts.iter().all(|l| l.owned.len() == 12));
+        let plan = ddr_core::compute_local_plan(0, &case.layouts, &case.descriptor()).unwrap();
+        assert_eq!(plan.num_rounds(), 12);
+    }
+}

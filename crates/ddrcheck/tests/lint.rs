@@ -1,0 +1,132 @@
+//! End-to-end lint behaviour through the public API: the `Audit` policy
+//! inside a running universe, and offline cross-plan analysis of the kind
+//! `setup_data_mapping` can never see (plans computed from divergent views).
+
+use ddr_core::{
+    compute_local_plan, Block, DataKind, DdrError, Descriptor, Layout, ValidationPolicy,
+};
+use ddrcheck::{enforce, has_errors, lint_layouts, lint_plans, LintCode, Severity};
+use minimpi::Universe;
+
+/// The paper's E1 layouts: rank r owns rows {r, r+4} of 8x8, needs a 4x4
+/// quadrant.
+fn e1_layout(r: usize) -> (Vec<Block>, Block) {
+    let owned = vec![Block::d2([0, r], [8, 1]).unwrap(), Block::d2([0, r + 4], [8, 1]).unwrap()];
+    let need = Block::d2([4 * (r % 2), 4 * (r / 2)], [4, 4]).unwrap();
+    (owned, need)
+}
+
+fn e1_layouts() -> Vec<Layout> {
+    (0..4).map(e1_layout).map(|(owned, need)| Layout { owned, need }).collect()
+}
+
+#[test]
+fn audit_policy_passes_a_clean_mapping_and_data_still_moves() {
+    let quadrants = Universe::run(4, |comm| {
+        let r = comm.rank();
+        let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+        let (owned, need) = e1_layout(r);
+        let plan =
+            desc.setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Audit).unwrap();
+        let row = |y: usize| (0..8).map(|x| (y * 8 + x) as f32).collect::<Vec<_>>();
+        let data = [row(r), row(r + 4)];
+        let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![0f32; 16];
+        plan.reorganize(comm, &refs, &mut out).unwrap();
+        out
+    });
+    assert_eq!(quadrants[3][0], 36.0); // global (4,4)
+}
+
+#[test]
+fn audit_policy_rejects_overlapping_ownership_before_any_exchange() {
+    let results = Universe::run(2, |comm| {
+        let desc = Descriptor::for_type::<f32>(2, DataKind::D1).unwrap();
+        // Both ranks claim elements 4..6.
+        let owned = [Block::d1(comm.rank() * 4, 6).unwrap()];
+        let need = Block::d1(comm.rank() * 4, 4).unwrap();
+        let err =
+            desc.setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Audit).unwrap_err();
+        let ops_after_setup = comm.op_count();
+        (err, ops_after_setup)
+    });
+    for (err, _) in &results {
+        assert!(matches!(err, DdrError::OwnershipOverlap { .. }), "got {err}");
+    }
+    // Setup performs exactly one collective (the layout allgather) before
+    // validation rejects — no redistribution traffic ever starts.
+    assert!(results.iter().all(|(_, ops)| *ops == results[0].1));
+}
+
+#[test]
+fn lint_layouts_reports_every_overlap_not_just_the_first() {
+    // Two independent overlapping pairs; validate() stops at one, the
+    // linter must report both.
+    let layouts = vec![
+        Layout { owned: vec![Block::d1(0, 6).unwrap()], need: Block::d1(0, 4).unwrap() },
+        Layout { owned: vec![Block::d1(4, 6).unwrap()], need: Block::d1(4, 4).unwrap() },
+        Layout { owned: vec![Block::d1(10, 6).unwrap()], need: Block::d1(8, 4).unwrap() },
+        Layout { owned: vec![Block::d1(14, 6).unwrap()], need: Block::d1(12, 4).unwrap() },
+    ];
+    let diags = lint_layouts(&layouts);
+    let overlaps = diags.iter().filter(|d| d.code == LintCode::OwnershipOverlap).count();
+    assert_eq!(overlaps, 2, "both overlapping pairs reported: {diags:?}");
+    assert!(enforce(&diags).is_err());
+}
+
+#[test]
+fn cross_rank_elem_size_divergence_is_detected_offline() {
+    // Rank 1 computed its plan believing elements are f64 while everyone
+    // else assumed f32 — individually both plans are consistent, only the
+    // cross-plan check can see the disagreement.
+    let layouts = e1_layouts();
+    let desc4 = Descriptor::new(4, DataKind::D2, 4).unwrap();
+    let desc8 = Descriptor::new(4, DataKind::D2, 8).unwrap();
+    let plans: Vec<_> = (0..4)
+        .map(|r| compute_local_plan(r, &layouts, if r == 1 { &desc8 } else { &desc4 }).unwrap())
+        .collect();
+    let diags = lint_plans(&plans);
+    assert!(has_errors(&diags));
+    assert!(diags.iter().any(|d| d.code == LintCode::ElemSizeMismatch && d.rank == Some(1)));
+    // The byte accounting diverges too: rank 1 moves twice the bytes.
+    assert!(diags.iter().any(|d| d.code == LintCode::ByteAsymmetry));
+}
+
+#[test]
+fn divergent_layout_views_cause_byte_asymmetry() {
+    // Rank 0's plan was computed from a stale view in which rank 1 needs
+    // the left half — rank 1's actual plan expects the right half. Every
+    // plan is self-consistent; only the pairwise byte check catches it.
+    let desc = Descriptor::new(2, DataKind::D1, 4).unwrap();
+    let stale = vec![
+        Layout { owned: vec![Block::d1(0, 4).unwrap()], need: Block::d1(0, 4).unwrap() },
+        Layout { owned: vec![Block::d1(4, 4).unwrap()], need: Block::d1(0, 4).unwrap() },
+    ];
+    let actual = vec![
+        Layout { owned: vec![Block::d1(0, 4).unwrap()], need: Block::d1(0, 4).unwrap() },
+        Layout { owned: vec![Block::d1(4, 4).unwrap()], need: Block::d1(4, 4).unwrap() },
+    ];
+    let plans = vec![
+        compute_local_plan(0, &stale, &desc).unwrap(),
+        compute_local_plan(1, &actual, &desc).unwrap(),
+    ];
+    let diags = lint_plans(&plans);
+    assert!(
+        diags.iter().any(|d| d.code == LintCode::ByteAsymmetry && d.severity == Severity::Error),
+        "stale-view asymmetry must be an error: {diags:?}"
+    );
+}
+
+#[test]
+fn plan_rejected_error_renders_every_finding() {
+    // Exercise DdrError::PlanRejected through Display: a mapping whose
+    // layouts hide a coverage hole behind the paper's contract.
+    let mut layouts = e1_layouts();
+    layouts[2].owned.pop(); // row 6 now unowned
+    let diags = lint_layouts(&layouts);
+    assert!(has_errors(&diags));
+    let err = DdrError::PlanRejected(diags);
+    let msg = err.to_string();
+    assert!(msg.contains("plan rejected by linter"), "{msg}");
+    assert!(msg.contains("coverage-hole"), "{msg}");
+}

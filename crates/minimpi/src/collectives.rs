@@ -6,6 +6,7 @@
 //! Every member of a communicator must call each collective in the same
 //! order — the standard MPI contract.
 
+use crate::check::{CollFingerprint, CollectiveKind};
 use crate::comm::{coll_key_tag, Comm};
 use crate::datatype::Datatype;
 use crate::error::{Error, Result};
@@ -60,12 +61,14 @@ impl Comm {
 
     /// Block until every rank in the communicator has entered the barrier.
     /// Dissemination algorithm: `ceil(log2 n)` rounds.
+    #[track_caller]
     pub fn barrier(&self) -> Result<()> {
         let n = self.size();
         if n == 1 {
             return Ok(());
         }
         let seq = self.next_coll_seq();
+        self.record_collective(seq, CollFingerprint::here(CollectiveKind::Barrier, None, 0))?;
         let mut dist = 1usize;
         let mut phase = 0u64;
         while dist < n {
@@ -86,12 +89,17 @@ impl Comm {
     /// Broadcast bytes from `root` to all ranks. On non-root ranks the
     /// returned vector is the received payload; on the root it is a copy of
     /// `data`. Binomial tree, `O(log n)` depth.
+    #[track_caller]
     pub fn broadcast_bytes(&self, root: usize, data: &[u8]) -> Result<Vec<u8>> {
         let n = self.size();
         if root >= n {
             return Err(Error::RankOutOfRange { rank: root, size: n });
         }
         let seq = self.next_coll_seq();
+        self.record_collective(
+            seq,
+            CollFingerprint::here(CollectiveKind::Broadcast, Some(root), 0),
+        )?;
         let relative = (self.rank() + n - root) % n;
 
         let mut payload: Option<Vec<u8>> = if relative == 0 { Some(data.to_vec()) } else { None };
@@ -120,6 +128,7 @@ impl Comm {
     }
 
     /// Broadcast a typed slice from `root`; all ranks receive the root's data.
+    #[track_caller]
     pub fn broadcast<T: Pod>(&self, root: usize, data: &[T]) -> Result<Vec<T>> {
         let bytes = self.broadcast_bytes(root, bytes_of(data))?;
         vec_from_bytes(&bytes)
@@ -132,12 +141,14 @@ impl Comm {
 
     /// Gather each rank's (variable-length) bytes at `root`. Returns
     /// `Some(parts)` on the root (indexed by rank) and `None` elsewhere.
+    #[track_caller]
     pub fn gather_bytes(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
         let n = self.size();
         if root >= n {
             return Err(Error::RankOutOfRange { rank: root, size: n });
         }
         let seq = self.next_coll_seq();
+        self.record_collective(seq, CollFingerprint::here(CollectiveKind::Gather, Some(root), 0))?;
         if self.rank() == root {
             let mut parts = vec![Vec::new(); n];
             parts[root] = data.to_vec();
@@ -154,6 +165,7 @@ impl Comm {
     }
 
     /// Typed gather at `root`.
+    #[track_caller]
     pub fn gather<T: Pod>(&self, root: usize, data: &[T]) -> Result<Option<Vec<Vec<T>>>> {
         match self.gather_bytes(root, bytes_of(data))? {
             None => Ok(None),
@@ -172,6 +184,7 @@ impl Comm {
 
     /// Allgather of variable-length byte buffers: every rank receives every
     /// rank's contribution, indexed by rank. Gather-to-0 + broadcast.
+    #[track_caller]
     pub fn allgather_bytes(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
         let gathered = self.gather_bytes(0, data)?;
         let encoded = match gathered {
@@ -183,6 +196,7 @@ impl Comm {
     }
 
     /// Typed allgather: every rank receives every rank's slice.
+    #[track_caller]
     pub fn allgather<T: Pod>(&self, data: &[T]) -> Result<Vec<Vec<T>>> {
         self.allgather_bytes(bytes_of(data))?
             .iter()
@@ -199,12 +213,14 @@ impl Comm {
 
     /// Scatter variable-length byte buffers from `root`: rank `i` receives
     /// `parts[i]`. Non-root ranks pass `None`.
+    #[track_caller]
     pub fn scatterv_bytes(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
         let n = self.size();
         if root >= n {
             return Err(Error::RankOutOfRange { rank: root, size: n });
         }
         let seq = self.next_coll_seq();
+        self.record_collective(seq, CollFingerprint::here(CollectiveKind::Scatter, Some(root), 0))?;
         if self.rank() == root {
             let parts = parts.ok_or_else(|| Error::CollectiveMismatch {
                 detail: "scatterv: root must supply parts".into(),
@@ -227,6 +243,7 @@ impl Comm {
 
     /// Typed equal-size scatter: the root's slice is split into
     /// `size` equal chunks, rank `i` receiving the `i`-th.
+    #[track_caller]
     pub fn scatter<T: Pod>(&self, root: usize, data: Option<&[T]>) -> Result<Vec<T>> {
         let n = self.size();
         let parts: Option<Vec<Vec<u8>>> = match (self.rank() == root, data) {
@@ -261,6 +278,7 @@ impl Comm {
     /// Element-wise reduction at `root` with operator `op`, folding in rank
     /// order (deterministic for non-associative float ops). All ranks must
     /// contribute slices of the same length.
+    #[track_caller]
     pub fn reduce<T: Pod>(
         &self,
         root: usize,
@@ -292,11 +310,13 @@ impl Comm {
     /// # Panics
     /// Panics if the underlying communication fails (see [`Comm::try_allreduce`]
     /// for the fallible variant).
+    #[track_caller]
     pub fn allreduce<T: Pod>(&self, data: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
         self.try_allreduce(data, op).expect("allreduce failed")
     }
 
     /// Fallible element-wise reduction delivered to all ranks.
+    #[track_caller]
     pub fn try_allreduce<T: Pod>(&self, data: &[T], op: impl Fn(T, T) -> T) -> Result<Vec<T>> {
         let reduced = self.reduce(0, data, op)?;
         let bytes = match reduced {
@@ -315,6 +335,7 @@ impl Comm {
     /// Personalized all-to-all of variable-length byte buffers. `msgs[d]` is
     /// sent to rank `d`; the result's index `s` holds rank `s`'s message to
     /// this rank. The self-message is moved, not copied through a mailbox.
+    #[track_caller]
     pub fn alltoall_bytes(&self, mut msgs: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
         let n = self.size();
         if msgs.len() != n {
@@ -323,6 +344,7 @@ impl Comm {
             });
         }
         let seq = self.next_coll_seq();
+        self.record_collective(seq, CollFingerprint::here(CollectiveKind::Alltoall, None, 0))?;
         let me = self.rank();
         let self_msg = std::mem::take(&mut msgs[me]);
         for (d, m) in msgs.into_iter().enumerate() {
@@ -341,6 +363,7 @@ impl Comm {
     }
 
     /// Typed personalized all-to-all with per-destination counts.
+    #[track_caller]
     pub fn alltoallv<T: Pod>(&self, msgs: &[Vec<T>]) -> Result<Vec<Vec<T>>> {
         let bytes: Vec<Vec<u8>> = msgs.iter().map(|m| bytes_of(m).to_vec()).collect();
         self.alltoall_bytes(bytes)?
@@ -360,6 +383,7 @@ impl Comm {
     /// is that `send_types[d]` on rank `r` is non-empty **iff** `recv_types[r]`
     /// on rank `d` is non-empty (DDR's mapping guarantees this by
     /// construction). The self-transfer is a direct pack/unpack copy.
+    #[track_caller]
     pub fn alltoallw(
         &self,
         send_buf: &[u8],
@@ -378,6 +402,7 @@ impl Comm {
             });
         }
         let seq = self.next_coll_seq();
+        self.record_collective(seq, CollFingerprint::here(CollectiveKind::Alltoallw, None, 0))?;
         let me = self.rank();
 
         // Send phase (buffered, never blocks).
@@ -417,12 +442,17 @@ impl Comm {
     /// few neighbors. Every rank of the communicator must call it in the same
     /// collective order (ranks with nothing to send or receive pass empty
     /// arguments). Returns `(src, payload)` pairs ordered by `recv_srcs`.
+    #[track_caller]
     pub fn sparse_exchange(
         &self,
         sends: Vec<(usize, Vec<u8>)>,
         recv_srcs: &[usize],
     ) -> Result<Vec<(usize, Vec<u8>)>> {
         let seq = self.next_coll_seq();
+        self.record_collective(
+            seq,
+            CollFingerprint::here(CollectiveKind::SparseExchange, None, 0),
+        )?;
         let me = self.rank();
         // Self messages stay local; several per call are allowed (a plan may
         // move multiple rectangles from a rank to itself) and are consumed
@@ -458,9 +488,17 @@ impl Comm {
 
     /// Inclusive prefix reduction: rank `r` receives `op` folded over the
     /// contributions of ranks `0..=r`, in rank order.
+    #[track_caller]
     pub fn scan<T: Pod>(&self, data: &[T], op: impl Fn(T, T) -> T) -> Result<Vec<T>> {
         // Linear chain: rank r waits for the prefix of r-1, folds, forwards.
         let seq = self.next_coll_seq();
+        // The contribution's byte length doubles as the datatype signature:
+        // scan requires equal-length contributions, so a mismatch is a
+        // divergence detectable before the chain stalls.
+        self.record_collective(
+            seq,
+            CollFingerprint::here(CollectiveKind::Scan, None, bytes_of(data).len() as u64),
+        )?;
         let me = self.rank();
         let mut acc: Vec<T> = data.to_vec();
         if me > 0 {
@@ -496,6 +534,7 @@ impl Comm {
     /// Errors that indicate *this* rank cannot continue (it was fault-killed
     /// mid-exchange, or its own arguments are malformed) are still returned
     /// as `Err`.
+    #[track_caller]
     pub fn alltoallw_salvage(
         &self,
         send_buf: &[u8],
@@ -514,6 +553,10 @@ impl Comm {
             });
         }
         let seq = self.next_coll_seq();
+        // Wire-compatible with `alltoallw`, so it records the same kind: a
+        // salvage call on one rank may legitimately pair with the plain
+        // variant on another.
+        self.record_collective(seq, CollFingerprint::here(CollectiveKind::Alltoallw, None, 0))?;
         let me = self.rank();
 
         // Send phase (buffered, never blocks). A deposit only fails if this
@@ -556,12 +599,17 @@ impl Comm {
     /// Like [`Comm::sparse_exchange`], but failures on individual sources
     /// are reported per source instead of aborting the whole exchange.
     /// Returns one entry per element of `recv_srcs`, in order.
+    #[track_caller]
     pub fn sparse_exchange_salvage(
         &self,
         sends: Vec<(usize, Vec<u8>)>,
         recv_srcs: &[usize],
     ) -> Result<Vec<(usize, Result<Vec<u8>>)>> {
         let seq = self.next_coll_seq();
+        self.record_collective(
+            seq,
+            CollFingerprint::here(CollectiveKind::SparseExchange, None, 0),
+        )?;
         let me = self.rank();
         let mut self_payloads = std::collections::VecDeque::new();
         for (dest, payload) in sends {

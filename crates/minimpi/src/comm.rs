@@ -1,5 +1,6 @@
 //! Communicators and point-to-point messaging.
 
+use crate::check::{CheckState, CollFingerprint};
 use crate::error::{Error, Result};
 use crate::fault::{mix64, FaultPlan, FaultState, MessageVerdict};
 use crate::life::{Liveness, ShrinkBarrier};
@@ -34,6 +35,9 @@ pub(crate) struct WorldState {
     pub liveness: Liveness,
     pub shrink: ShrinkBarrier,
     pub faults: Option<FaultState>,
+    /// Correctness-checking state (collective epoch log + wait-for graph);
+    /// `None` unless checking was enabled on the universe builder.
+    pub check: Option<CheckState>,
     /// Communication ops performed so far, per world rank. Counted whether
     /// or not a fault plan is installed, so op positions observed in a
     /// clean run can be used to place kills in a faulty one.
@@ -42,12 +46,18 @@ pub(crate) struct WorldState {
 }
 
 impl WorldState {
-    pub fn new(n: usize, default_timeout: Duration, fault_plan: Option<FaultPlan>) -> Self {
+    pub fn new(
+        n: usize,
+        default_timeout: Duration,
+        fault_plan: Option<FaultPlan>,
+        check: bool,
+    ) -> Self {
         WorldState {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             liveness: Liveness::new(n),
             shrink: ShrinkBarrier::default(),
             faults: fault_plan.map(FaultState::new),
+            check: check.then(|| CheckState::new(n)),
             ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
             default_timeout,
         }
@@ -87,6 +97,19 @@ fn user_key_tag(tag: Tag) -> u64 {
 pub(crate) fn coll_key_tag(seq: u64, phase: u64) -> u64 {
     debug_assert!(phase <= PHASE_MASK);
     COLL_BIT | (seq << PHASE_BITS) | phase
+}
+
+/// Human-readable description of a raw key tag for diagnostics: user tags
+/// print as-is, collective tags decode to sequence number and phase.
+pub(crate) fn describe_key_tag(key_tag: u64) -> String {
+    if key_tag & COLL_BIT == 0 {
+        return format!("user tag {key_tag}");
+    }
+    if key_tag == SHRINK_TAG {
+        return "shrink rendezvous".to_string();
+    }
+    let body = key_tag & !COLL_BIT;
+    format!("collective #{} phase {}", body >> PHASE_BITS, body & PHASE_MASK)
 }
 
 /// A communicator: a rank's handle onto an ordered group of ranks.
@@ -220,15 +243,30 @@ impl Comm {
         self.fault_tick()?;
         let key: MsgKey = (self.comm_id, src, key_tag);
         let src_world = self.members[src];
-        let outcome = self
-            .my_mailbox()
-            .take_watched(key, self.timeout.get(), || !self.world.is_alive(src_world));
+        let me_world = self.world_rank();
+        if let Some(check) = &self.world.check {
+            check.begin_wait(me_world, src_world, key);
+        }
+        let outcome = self.my_mailbox().take_watched(key, self.timeout.get(), || {
+            !self.world.is_alive(src_world)
+                || self.world.check.as_ref().is_some_and(|c| c.is_deadlocked(me_world))
+        });
+        let deadlock =
+            self.world.check.as_ref().and_then(|c| {
+                c.finish_wait(me_world, matches!(outcome, TakeOutcome::Delivered(_)))
+            });
         match outcome {
             TakeOutcome::Delivered(env) => Ok(env.payload),
-            TakeOutcome::TimedOut => {
-                Err(Error::Timeout { rank: self.rank, src: Some(src), tag: key_tag })
-            }
-            TakeOutcome::Aborted => Err(Error::PeerDead { rank: src }),
+            TakeOutcome::TimedOut => Err(Error::Timeout {
+                rank: self.rank,
+                src: Some(src),
+                tag: key_tag,
+                comm_id: self.comm_id,
+            }),
+            TakeOutcome::Aborted => match deadlock {
+                Some(report) => Err(Error::Deadlock(Box::new(report))),
+                None => Err(Error::PeerDead { rank: src }),
+            },
         }
     }
 
@@ -275,9 +313,12 @@ impl Comm {
             TakeOutcome::Delivered(env) => {
                 Ok((RecvStatus { src: env.src, len: env.payload.len() }, env.payload))
             }
-            TakeOutcome::TimedOut => {
-                Err(Error::Timeout { rank: self.rank, src: None, tag: user_key_tag(tag) })
-            }
+            TakeOutcome::TimedOut => Err(Error::Timeout {
+                rank: self.rank,
+                src: None,
+                tag: user_key_tag(tag),
+                comm_id: self.comm_id,
+            }),
             // Every possible source is gone; report the lowest dead rank.
             TakeOutcome::Aborted => Err(Error::PeerDead {
                 rank: (0..self.size()).find(|&r| !self.is_alive(r)).unwrap_or(0),
@@ -334,6 +375,7 @@ impl Comm {
     /// Collective: split this communicator into disjoint sub-communicators,
     /// one per distinct `color`. Members of each child are ordered by their
     /// rank in the parent (MPI's `key` is fixed to the parent rank).
+    #[track_caller]
     pub fn split(&self, color: u64) -> Result<Comm> {
         let all: Vec<(u64, usize)> =
             self.allgather(&[color])?.into_iter().enumerate().map(|(r, c)| (c[0], r)).collect();
@@ -360,6 +402,7 @@ impl Comm {
 
     /// Collective: duplicate this communicator into an independent one with
     /// the same group but a private message namespace.
+    #[track_caller]
     pub fn duplicate(&self) -> Result<Comm> {
         self.split(0)
     }
@@ -390,7 +433,12 @@ impl Comm {
                 &self.world.liveness,
                 self.timeout.get(),
             )
-            .ok_or(Error::Timeout { rank: self.rank, src: None, tag: SHRINK_TAG })?;
+            .ok_or(Error::Timeout {
+                rank: self.rank,
+                src: None,
+                tag: SHRINK_TAG,
+                comm_id: self.comm_id,
+            })?;
         let new_rank = survivors
             .iter()
             .position(|&w| w == self.world_rank())
@@ -416,6 +464,18 @@ impl Comm {
         let s = self.coll_seq.get();
         self.coll_seq.set(s + 1);
         s
+    }
+
+    /// With checking enabled, verify this rank's collective call number
+    /// `seq` against what other members recorded for the same slot; no-op
+    /// (one always-false branch) otherwise.
+    pub(crate) fn record_collective(&self, seq: u64, fp: CollFingerprint) -> Result<()> {
+        if let Some(check) = &self.world.check {
+            check
+                .record_collective(self.comm_id, seq, self.rank, self.size(), fp)
+                .map_err(Error::CollectiveDiverged)?;
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Error type for runtime failures.
 
+use crate::check::{DeadlockReport, DivergenceReport};
 use std::fmt;
 
 /// Errors surfaced by the minimpi runtime.
@@ -17,14 +18,20 @@ pub enum Error {
         size: usize,
     },
     /// A receive did not complete within the watchdog timeout — almost
-    /// always a deadlock or a mismatched send/recv pair.
+    /// always a deadlock or a mismatched send/recv pair. Carries the full
+    /// pending op so the hang is diagnosable: who waited, on whom, for what
+    /// tag, on which communicator.
     Timeout {
         /// Receiving rank (communicator-local).
         rank: usize,
         /// Expected source rank, or `None` for any-source receives.
         src: Option<usize>,
-        /// Message tag.
+        /// Raw key tag of the awaited message. User tags are `< 2^32`;
+        /// larger values are internal collective sequence numbers (the
+        /// `Display` impl decodes both).
         tag: u64,
+        /// Communicator the receive was posted on.
+        comm_id: u64,
     },
     /// A peer rank is known to be dead — fault-killed, panicked, or already
     /// exited — so the awaited message can never arrive. Reported by the
@@ -53,6 +60,16 @@ pub enum Error {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// With checking enabled ([`crate::UniverseBuilder::check`]), two ranks
+    /// of one communicator disagreed on which collective call comes next —
+    /// detected and reported *before* any byte moves, instead of
+    /// deadlocking. The report names both ranks, both operations (with
+    /// root/signature) and both call sites.
+    CollectiveDiverged(Box<DivergenceReport>),
+    /// With checking enabled, the wait-for-graph detector found this rank in
+    /// a confirmed receive cycle. The report lists every member of the cycle
+    /// and what it was waiting for — the watchdog never needs to fire.
+    Deadlock(Box<DeadlockReport>),
 }
 
 impl fmt::Display for Error {
@@ -61,16 +78,19 @@ impl fmt::Display for Error {
             Error::RankOutOfRange { rank, size } => {
                 write!(f, "rank {rank} out of range for communicator of size {size}")
             }
-            Error::Timeout { rank, src, tag } => match src {
-                Some(s) => write!(
-                    f,
-                    "rank {rank}: receive from rank {s} (tag {tag}) timed out — likely deadlock"
-                ),
-                None => write!(
-                    f,
-                    "rank {rank}: any-source receive (tag {tag}) timed out — likely deadlock"
-                ),
-            },
+            Error::Timeout { rank, src, tag, comm_id } => {
+                let op = crate::comm::describe_key_tag(*tag);
+                match src {
+                    Some(s) => write!(
+                        f,
+                        "rank {rank}: receive from rank {s} ({op} on comm {comm_id:#x}) timed out — likely deadlock"
+                    ),
+                    None => write!(
+                        f,
+                        "rank {rank}: any-source receive ({op} on comm {comm_id:#x}) timed out — likely deadlock"
+                    ),
+                }
+            }
             Error::PeerDead { rank } => {
                 write!(f, "rank {rank} is dead (fault-killed, panicked, or exited) — failing fast")
             }
@@ -79,6 +99,10 @@ impl fmt::Display for Error {
             }
             Error::DatatypeMismatch { detail } => write!(f, "datatype mismatch: {detail}"),
             Error::CollectiveMismatch { detail } => write!(f, "collective mismatch: {detail}"),
+            Error::CollectiveDiverged(report) => {
+                write!(f, "collective divergence: {report}")
+            }
+            Error::Deadlock(report) => write!(f, "{report}"),
         }
     }
 }

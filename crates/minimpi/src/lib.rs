@@ -46,6 +46,24 @@
 //! [`Comm::shrink`] lets survivors agree on a new communicator containing
 //! only live ranks — the substrate for DDR's shrink-and-remap recovery.
 //!
+//! ## Correctness checking
+//!
+//! `Universe::builder().check(true)` (or `DDR_CHECK=1`) turns on two
+//! runtime analyses:
+//!
+//! * **Collective matching** — every collective records a fingerprint
+//!   (operation kind, root, datatype signature) keyed by its per-communicator
+//!   sequence number; the first rank whose fingerprint disagrees with its
+//!   peers fails immediately with [`Error::CollectiveDiverged`], naming both
+//!   ranks, both operations and both call sites, instead of deadlocking.
+//! * **Wait-for-graph deadlock detection** — blocked receives register
+//!   wait-for edges; a detector thread runs cycle detection and converts a
+//!   confirmed cycle into [`Error::Deadlock`] on every member, listing the
+//!   full cycle, long before the watchdog would fire.
+//!
+//! When checking is off (the default) the cost is one `Option` branch per
+//! operation and no detector thread exists.
+//!
 //! ## Example
 //!
 //! ```
@@ -62,6 +80,7 @@
 #![warn(missing_docs)]
 
 mod cart;
+mod check;
 mod collectives;
 mod comm;
 mod datatype;
@@ -74,6 +93,7 @@ mod request;
 mod universe;
 
 pub use cart::CartComm;
+pub use check::{CollFingerprint, CollectiveKind, DeadlockReport, DivergenceReport, PendingRecv};
 pub use collectives::ExchangeReport;
 pub use comm::{Comm, RecvStatus, Tag, ANY_SOURCE};
 pub use datatype::{Datatype, Subarray};

@@ -122,6 +122,13 @@ impl Mailbox {
         Self::pop(&mut self.lock(), key)
     }
 
+    /// Whether a message with `key` is currently queued (used by the
+    /// deadlock detector to rule out satisfiable waits — with eager sends,
+    /// an in-flight message is always already queued here).
+    pub fn contains(&self, key: MsgKey) -> bool {
+        self.lock().by_key.contains_key(&key)
+    }
+
     /// Block until a message with communicator `comm_id` and tag `tag` from
     /// *any* source is available. Scans in ascending source order for
     /// determinism when several are ready. Gives up early when `abort()`

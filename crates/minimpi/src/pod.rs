@@ -17,12 +17,17 @@ pub unsafe trait Pod: Copy + Send + Sync + 'static {}
 
 macro_rules! impl_pod {
     ($($t:ty),* $(,)?) => {
+        // SAFETY: primitive numeric types have no padding, accept every bit
+        // pattern (floats included — any bits are *a* float, possibly NaN),
+        // and hold no pointers or lifetimes.
         $(unsafe impl Pod for $t {})*
     };
 }
 
 impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, u128, i128, usize, isize, f32, f64);
 
+// SAFETY: an array is `N` contiguous `T`s with no extra padding (guaranteed
+// by the array layout), so it is Pod exactly when its element type is.
 unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 
 /// View a slice of POD values as raw bytes.

@@ -3,6 +3,7 @@
 use crate::comm::{default_timeout, Comm, WorldState};
 use crate::fault::FaultPlan;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,6 +30,7 @@ const RANK_STACK_BYTES: usize = 8 * 1024 * 1024;
 pub struct UniverseBuilder {
     timeout: Option<Duration>,
     fault_plan: Option<FaultPlan>,
+    check: Option<bool>,
 }
 
 impl UniverseBuilder {
@@ -43,6 +45,16 @@ impl UniverseBuilder {
     /// Install a deterministic fault plan, replayed identically every run.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enable (or force off) MPI-correctness checking: collective-matching
+    /// verification and wait-for-graph deadlock detection. When unset, the
+    /// `DDR_CHECK` environment variable decides (`1`/`true` = on, default
+    /// off). Disabled checking costs a single `Option` branch per operation
+    /// and spawns no detector thread.
+    pub fn check(mut self, on: bool) -> Self {
+        self.check = Some(on);
         self
     }
 
@@ -63,8 +75,18 @@ impl UniverseBuilder {
     {
         assert!(n > 0, "Universe::run requires at least one rank");
         let timeout = self.timeout.unwrap_or_else(default_timeout);
-        let world = Arc::new(WorldState::new(n, timeout, self.fault_plan.clone()));
+        let check_on = self.check.unwrap_or_else(crate::check::check_env_default);
+        let world = Arc::new(WorldState::new(n, timeout, self.fault_plan.clone(), check_on));
+        let shutdown = AtomicBool::new(false);
         std::thread::scope(|scope| {
+            let detector = world.check.is_some().then(|| {
+                let world = Arc::clone(&world);
+                let shutdown = &shutdown;
+                std::thread::Builder::new()
+                    .name("ddr-check-detector".into())
+                    .spawn_scoped(scope, move || crate::check::detector_loop(&world, shutdown))
+                    .expect("failed to spawn deadlock detector thread")
+            });
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
                 let world = Arc::clone(&world);
@@ -86,9 +108,17 @@ impl UniverseBuilder {
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
-            handles
+            // Collect every rank's outcome before re-raising any panic: the
+            // detector must be shut down and joined first, or resuming a
+            // panic here would leave the scope blocked on it forever.
+            let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            shutdown.store(true, Ordering::Release);
+            if let Some(d) = detector {
+                let _ = d.join();
+            }
+            outcomes
                 .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .map(|o| o.unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         })
     }
@@ -176,6 +206,15 @@ mod tests {
         let out =
             Universe::builder().timeout(Duration::from_millis(1234)).run(1, |comm| comm.timeout());
         assert_eq!(out, vec![Duration::from_millis(1234)]);
+    }
+
+    #[test]
+    fn check_enabled_runs_clean_programs_unchanged() {
+        // Matched collectives under full checking: same results, no reports.
+        let out = Universe::builder()
+            .check(true)
+            .run(3, |comm| comm.allreduce(&[comm.rank() as u64 + 1], |a, b| a + b)[0]);
+        assert_eq!(out, vec![6, 6, 6]);
     }
 
     #[test]

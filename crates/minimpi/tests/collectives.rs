@@ -292,7 +292,7 @@ fn recv_timeout_reports_deadlock() {
             None
         }
     });
-    assert!(matches!(out[1], Some(minimpi::Error::Timeout { rank: 1, src: Some(0), tag: 42 })));
+    assert!(matches!(out[1], Some(minimpi::Error::Timeout { rank: 1, src: Some(0), tag: 42, .. })));
 }
 
 #[test]

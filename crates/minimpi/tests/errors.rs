@@ -1,20 +1,40 @@
 //! Every [`minimpi::Error`] variant: its `Display` rendering and, where the
 //! runtime can be driven into it, the failure path that produces it.
 
-use minimpi::{Error, Universe};
+use minimpi::{
+    CollFingerprint, CollectiveKind, DeadlockReport, DivergenceReport, Error, PendingRecv, Universe,
+};
 use std::time::Duration;
+
+fn fingerprint(kind: CollectiveKind, root: usize, line: u32) -> CollFingerprint {
+    CollFingerprint { kind, root, sig: 0, file: "app.rs", line }
+}
 
 /// One representative value per variant — a match here fails to compile when
 /// a variant is added without extending this coverage.
 fn all_variants() -> Vec<Error> {
     let variants = vec![
         Error::RankOutOfRange { rank: 9, size: 4 },
-        Error::Timeout { rank: 1, src: Some(2), tag: 77 },
-        Error::Timeout { rank: 1, src: None, tag: 77 },
+        Error::Timeout { rank: 1, src: Some(2), tag: 77, comm_id: 5 },
+        Error::Timeout { rank: 1, src: None, tag: 77, comm_id: 5 },
         Error::PeerDead { rank: 3 },
         Error::SizeMismatch { expected: 16, got: 12 },
         Error::DatatypeMismatch { detail: "subarray exceeds buffer".into() },
         Error::CollectiveMismatch { detail: "counts differ".into() },
+        Error::CollectiveDiverged(Box::new(DivergenceReport {
+            comm_id: 5,
+            index: 3,
+            rank_a: 0,
+            fp_a: fingerprint(CollectiveKind::Barrier, usize::MAX, 10),
+            rank_b: 2,
+            fp_b: fingerprint(CollectiveKind::Broadcast, 0, 20),
+        })),
+        Error::Deadlock(Box::new(DeadlockReport {
+            cycle: vec![
+                PendingRecv { rank: 0, awaited: 1, comm_id: 0, tag: 7 },
+                PendingRecv { rank: 1, awaited: 0, comm_id: 0, tag: 7 },
+            ],
+        })),
     ];
     for v in &variants {
         match v {
@@ -23,7 +43,9 @@ fn all_variants() -> Vec<Error> {
             | Error::PeerDead { .. }
             | Error::SizeMismatch { .. }
             | Error::DatatypeMismatch { .. }
-            | Error::CollectiveMismatch { .. } => {}
+            | Error::CollectiveMismatch { .. }
+            | Error::CollectiveDiverged(_)
+            | Error::Deadlock(_) => {}
         }
     }
     variants
@@ -33,12 +55,16 @@ fn all_variants() -> Vec<Error> {
 fn display_is_informative_for_every_variant() {
     let expected = [
         "rank 9 out of range for communicator of size 4",
-        "rank 1: receive from rank 2 (tag 77) timed out — likely deadlock",
-        "rank 1: any-source receive (tag 77) timed out — likely deadlock",
+        "rank 1: receive from rank 2 (user tag 77 on comm 0x5) timed out — likely deadlock",
+        "rank 1: any-source receive (user tag 77 on comm 0x5) timed out — likely deadlock",
         "rank 3 is dead (fault-killed, panicked, or exited) — failing fast",
         "message size mismatch: expected 16 bytes, got 12",
         "datatype mismatch: subarray exceeds buffer",
         "collective mismatch: counts differ",
+        "collective divergence: collective #3 on comm 0x5: rank 0 called barrier at app.rs:10 \
+         but rank 2 called broadcast(root 0) at app.rs:20",
+        "deadlock cycle of 2 ranks: rank 0 waits on rank 1 (user tag 7 on comm 0x0); \
+         rank 1 waits on rank 0 (user tag 7 on comm 0x0)",
     ];
     for (e, want) in all_variants().iter().zip(expected) {
         assert_eq!(e.to_string(), want);
@@ -68,7 +94,7 @@ fn timeout_from_never_sent_message() {
         comm.set_timeout(Duration::from_millis(50));
         comm.recv_bytes(0, 42).unwrap_err()
     });
-    assert_eq!(out[0], Error::Timeout { rank: 0, src: Some(0), tag: 42 });
+    assert_eq!(out[0], Error::Timeout { rank: 0, src: Some(0), tag: 42, comm_id: 0 });
 }
 
 #[test]

@@ -13,8 +13,9 @@
 //! Run with: `cargo run --example ghost_exchange`
 
 use ddr::core::decompose::slab;
-use ddr::core::{Block, DataKind, Descriptor, ValidationPolicy};
+use ddr::core::{Block, DataKind, DdrError, Descriptor, ValidationPolicy};
 use ddr::minimpi::Universe;
+use std::process::ExitCode;
 
 const NX: usize = 64;
 const NY: usize = 48;
@@ -30,7 +31,7 @@ fn laplacian(get: impl Fn(usize, i64) -> f64, x: usize, y: i64) -> f64 {
     left + right + get(x, y - 1) + get(x, y + 1) - 4.0 * get(x, y)
 }
 
-fn main() {
+fn main() -> ExitCode {
     let domain = Block::d2([0, 0], [NX, NY]).unwrap();
 
     // Serial reference.
@@ -46,7 +47,9 @@ fn main() {
         })
         .collect();
 
-    let results = Universe::run(NPROCS, |comm| {
+    // Correctness checking on: a mismatched collective or send/recv cycle in
+    // the staging exchange fails fast with a structured report.
+    let outcomes = Universe::builder().check(true).run(NPROCS, |comm| {
         let r = comm.rank();
         let my_slab = slab(&domain, 1, NPROCS, r).unwrap();
         let owned = vec![my_slab];
@@ -62,15 +65,14 @@ fn main() {
             needs.push(Block::d2([0, y1], [NX, 1]).unwrap());
         }
 
-        let desc = Descriptor::for_type::<f64>(NPROCS, DataKind::D2).unwrap();
-        let plan =
-            desc.setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict).unwrap();
+        let desc = Descriptor::for_type::<f64>(NPROCS, DataKind::D2)?;
+        let plan = desc.setup_multi_mapping(comm, &owned, &needs, ValidationPolicy::Strict)?;
 
         let data: Vec<f64> = my_slab.coords().map(|c| field(c[0], c[1])).collect();
         let mut bufs: Vec<Vec<f64>> = needs.iter().map(|b| vec![0.0; b.count() as usize]).collect();
         {
             let mut refs: Vec<&mut [f64]> = bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
-            plan.reorganize(comm, &[&data], &mut refs).unwrap();
+            plan.reorganize(comm, &[&data], &mut refs)?;
         }
 
         // Stencil over the slab using the received halos.
@@ -97,8 +99,19 @@ fn main() {
             .flat_map(|ly| (0..NX).map(move |x| (x, ly)))
             .map(|(x, ly)| laplacian(get, x, ly))
             .collect();
-        (y0, rows, out, plan.num_rounds(), plan.total_sent_bytes())
+        Ok::<_, DdrError>((y0, rows, out, plan.num_rounds(), plan.total_sent_bytes()))
     });
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                eprintln!("ghost_exchange: rank {rank} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let mut stitched = vec![0f64; NX * NY];
     for (y0, rows, out, rounds, sent) in &results {
@@ -107,6 +120,10 @@ fn main() {
     }
     let max_err = stitched.iter().zip(&serial).map(|(a, b)| (a - b).abs()).fold(0f64, f64::max);
     println!("\nmax |distributed - serial| = {max_err:.3e}");
-    assert_eq!(stitched, serial, "stencil must match the serial reference exactly");
+    if stitched != serial {
+        eprintln!("ghost_exchange: stencil diverges from the serial reference");
+        return ExitCode::FAILURE;
+    }
     println!("OK: ghost-zone staging through DDR multi-need is exact.");
+    ExitCode::SUCCESS
 }

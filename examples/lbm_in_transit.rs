@@ -16,14 +16,16 @@
 //! demonstrates degraded-mode streaming — it skips ahead after the per-frame
 //! deadline, keeps rendering, and reports the skip in its stream stats.
 
-use ddr::core::Block;
-use ddr::lbm::{barrier_line, Config, DistributedLbm};
+use ddr::check::{has_errors, lint_mapping, render_report};
+use ddr::core::{Block, DataKind, Descriptor, Layout};
+use ddr::lbm::{barrier_line, split_rows, Config, DistributedLbm};
 use ddr::minimpi::{FaultPlan, Universe};
 use intransit::{
     analysis_block, consumer_sources, producer_targets, send_frame, split_resources, FrameReceiver,
     FrameRecvConfig, FrameStats, Repartitioner, Role, FRAME_TAG,
 };
 use jimage::{jpeg, Colormap, RgbImage};
+use std::process::ExitCode;
 use std::time::Duration;
 
 const M: usize = 10; // simulation ranks (Figure 4 uses 10 -> 4)
@@ -33,9 +35,36 @@ const NY: usize = 256;
 const STEPS: usize = 1000;
 const OUTPUT_EVERY: usize = 100;
 
-fn main() {
+/// The analysis-side redistribution this example will perform, as static
+/// layouts: analysis rank `c` owns the y-slabs its simulation sources
+/// stream and needs one near-square tile.
+fn analysis_layouts() -> Vec<Layout> {
+    (0..N)
+        .map(|c| {
+            let owned = consumer_sources(M, N, c)
+                .into_iter()
+                .map(|s| {
+                    let (y0, rows) = split_rows(NY, M, s);
+                    Block::d2([0, y0], [NX, rows]).unwrap()
+                })
+                .collect();
+            Layout { owned, need: analysis_block(NX, NY, N, c).unwrap() }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
     let out_dir = std::path::PathBuf::from("target/lbm_in_transit");
     std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    // Lint the analysis repartitioning before launching 14 rank threads.
+    let desc = Descriptor::for_type::<f32>(N, DataKind::D2).expect("descriptor");
+    let diags = lint_mapping(&desc, &analysis_layouts());
+    println!("{}\n", render_report("ddrcheck analysis mapping", &diags));
+    if has_errors(&diags) {
+        eprintln!("lbm_in_transit: analysis mapping rejected by the plan linter");
+        return ExitCode::FAILURE;
+    }
 
     println!("M-to-N mapping (Figure 4): {M} simulation ranks -> {N} analysis ranks");
     for c in 0..N {
@@ -48,7 +77,9 @@ fn main() {
     println!("analysis layout (Figure 5): {gx}x{gy} near-square grid over {NX}x{NY}\n");
 
     // DDR_FAULT_SEED drops one frame in flight, deterministically.
-    let mut builder = Universe::builder();
+    // Checking on: collective divergence or a send/recv cycle across the
+    // 14 ranks fails fast with a structured report instead of hanging.
+    let mut builder = Universe::builder().check(true);
     if let Ok(seed) = std::env::var("DDR_FAULT_SEED").map(|s| s.parse::<u64>().unwrap_or(0)) {
         let victim = (seed % M as u64) as usize;
         let consumer = M + producer_targets(M, N)[victim];
@@ -68,27 +99,29 @@ fn main() {
 
     let cfg = Config::wind_tunnel(NX, NY);
     let out_dir2 = out_dir.clone();
-    let results = builder.run(M + N, move |world| {
+    let outcomes = builder.run(M + N, move |world| -> Result<_, String> {
+        let err = |e: &dyn std::fmt::Display| e.to_string();
         let barrier = barrier_line(NX / 4, NY * 2 / 5, NY * 3 / 5);
-        let (role, group) = split_resources(world, M).unwrap();
+        let (role, group) = split_resources(world, M).map_err(|e| err(&e))?;
         match role {
             Role::Simulation => {
                 let mut sim = DistributedLbm::new(cfg, &group, &barrier);
                 let consumer = M + producer_targets(M, N)[group.rank()];
                 for step in 1..=STEPS {
-                    sim.step(&group).unwrap();
+                    sim.step(&group).map_err(|e| err(&e))?;
                     if step % OUTPUT_EVERY == 0 {
                         let (y0, rows) = sim.slab();
-                        let vort = sim.vorticity(&group).unwrap();
-                        let block = Block::d2([0, y0], [NX, rows]).unwrap();
-                        send_frame(world, consumer, step as u64, block, vort).unwrap();
+                        let vort = sim.vorticity(&group).map_err(|e| err(&e))?;
+                        let block = Block::d2([0, y0], [NX, rows]).map_err(|e| err(&e))?;
+                        send_frame(world, consumer, step as u64, block, vort)
+                            .map_err(|e| err(&e))?;
                     }
                 }
-                (0usize, 0usize, FrameStats::default())
+                Ok((0usize, 0usize, FrameStats::default()))
             }
             Role::Analysis => {
                 let c = group.rank();
-                let need = analysis_block(NX, NY, N, c).unwrap();
+                let need = analysis_block(NX, NY, N, c).map_err(|e| err(&e))?;
                 // Degraded mode: a step with a lost frame still redistributes
                 // and renders — undelivered cells stay at zero.
                 let mut rep = Repartitioner::degraded(need);
@@ -106,8 +139,8 @@ fn main() {
                 let mut raw_bytes = 0usize;
                 for step in 1..=STEPS {
                     if step % OUTPUT_EVERY == 0 {
-                        let frames = rx.recv_step(world, step as u64).unwrap();
-                        let field = rep.redistribute(&group, &frames).unwrap();
+                        let frames = rx.recv_step(world, step as u64).map_err(|e| err(&e))?;
+                        let field = rep.redistribute(&group, &frames).map_err(|e| err(&e))?;
                         raw_bytes += field.len() * 4;
                         let img = RgbImage::from_scalar_field(
                             need.dims[0],
@@ -117,16 +150,27 @@ fn main() {
                             0.08,
                             &cmap,
                         );
-                        let bytes = jpeg::encode(&img, 75).unwrap();
+                        let bytes = jpeg::encode(&img, 75).map_err(|e| err(&e))?;
                         jpeg_bytes += bytes.len();
                         let path = out_dir2.join(format!("frame_{step:05}_tile{c}.jpg"));
-                        std::fs::write(path, bytes).unwrap();
+                        std::fs::write(path, bytes).map_err(|e| err(&e))?;
                     }
                 }
-                (raw_bytes, jpeg_bytes, *rx.stats())
+                Ok((raw_bytes, jpeg_bytes, *rx.stats()))
             }
         }
     });
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                eprintln!("lbm_in_transit: rank {rank} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let raw: usize = results.iter().map(|(r, _, _)| r).sum();
     let jpg: usize = results.iter().map(|(_, j, _)| j).sum();
@@ -140,5 +184,9 @@ fn main() {
         "raw vorticity would be {raw} bytes; JPEG tiles are {jpg} bytes — {:.2}% data reduction (Table IV effect)",
         100.0 * (1.0 - jpg as f64 / raw as f64)
     );
-    assert!(jpg * 10 < raw, "expected at least 10x reduction");
+    if jpg * 10 >= raw {
+        eprintln!("lbm_in_transit: expected at least 10x data reduction");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -7,58 +7,97 @@
 //! performs the redistribution with the three DDR calls, and shows the data
 //! movement of Figure 1.
 //!
+//! The mapping is linted with `ddrcheck` before any rank starts, and the
+//! universe runs with correctness checking on; if either reports an error
+//! the example prints the diagnostic and exits non-zero.
+//!
 //! Run with: `cargo run --example quickstart`
 
+use ddr::check::{has_errors, lint_mapping, render_report};
 use ddr::core::papi::{ddr_new_data_descriptor, ddr_reorganize_data, ddr_setup_data_mapping};
-use ddr::core::DataKind;
+use ddr::core::{Block, DataKind, DdrError, Descriptor, Layout};
 use ddr::minimpi::Universe;
+use std::process::ExitCode;
 
-fn main() {
+fn e1_layouts() -> Vec<Layout> {
+    (0..4usize)
+        .map(|r| Layout {
+            owned: vec![Block::d2([0, r], [8, 1]).unwrap(), Block::d2([0, r + 4], [8, 1]).unwrap()],
+            need: Block::d2([4 * (r % 2), 4 * (r / 2)], [4, 4]).unwrap(),
+        })
+        .collect()
+}
+
+type RankResult = (usize, [usize; 2], usize, u64, Vec<f32>);
+
+fn rank_body(comm: &ddr::minimpi::Comm) -> Result<RankResult, DdrError> {
+    let rank = comm.rank();
+
+    // Algorithm 1, line 1: create the data descriptor.
+    let desc = ddr_new_data_descriptor(4, DataKind::D2, std::mem::size_of::<f32>())?;
+
+    // Lines 2-8: describe what this rank owns and what it needs.
+    let chunks_own = 2;
+    let dims_own = [8, 1, 8, 1];
+    let offsets_own = [0, rank, 0, rank + 4];
+    let right = rank % 2;
+    let bottom = rank / 2;
+    let dims_need = [4, 4];
+    let offsets_need = [4 * right, 4 * bottom];
+
+    // Line 9: set up the data mapping (collective).
+    let plan = ddr_setup_data_mapping(
+        comm,
+        rank,
+        4,
+        chunks_own,
+        &dims_own,
+        &offsets_own,
+        &dims_need,
+        &offsets_need,
+        &desc,
+    )?;
+
+    // The global grid holds value y*8 + x at column x, row y.
+    let row = |y: usize| -> Vec<f32> { (0..8).map(|x| (y * 8 + x) as f32).collect() };
+    let data_own = [row(rank), row(rank + 4)];
+    let refs: Vec<&[f32]> = data_own.iter().map(|v| v.as_slice()).collect();
+    let mut data_need = vec![0f32; 16];
+
+    // Line 10: exchange the data (collective, reusable per time step).
+    ddr_reorganize_data(comm, 4, &refs, &mut data_need, &plan)?;
+
+    Ok((rank, offsets_need, plan.num_rounds(), plan.total_sent_bytes(), data_need))
+}
+
+fn main() -> ExitCode {
     println!("E1: 4 ranks, 8x8 domain, rows {{r, r+4}} -> 4x4 quadrants\n");
+
+    // Static analysis first: lint the mapping before any rank exists. An
+    // error-severity finding means the plan must not run.
+    let desc = Descriptor::for_type::<f32>(4, DataKind::D2).expect("descriptor");
+    let diags = lint_mapping(&desc, &e1_layouts());
+    println!("{}\n", render_report("ddrcheck e1 mapping", &diags));
+    if has_errors(&diags) {
+        eprintln!("quickstart: mapping rejected by the plan linter");
+        return ExitCode::FAILURE;
+    }
+
     println!("Table I parameter values (P1 rank, P3 #chunks, P4/P5 owned dims/offsets,");
     println!("P6/P7 needed dims/offset):\n");
 
-    let results = Universe::run(4, |comm| {
-        let rank = comm.rank();
-
-        // Algorithm 1, line 1: create the data descriptor.
-        let desc = ddr_new_data_descriptor(4, DataKind::D2, std::mem::size_of::<f32>())
-            .expect("descriptor");
-
-        // Lines 2-8: describe what this rank owns and what it needs.
-        let chunks_own = 2;
-        let dims_own = [8, 1, 8, 1];
-        let offsets_own = [0, rank, 0, rank + 4];
-        let right = rank % 2;
-        let bottom = rank / 2;
-        let dims_need = [4, 4];
-        let offsets_need = [4 * right, 4 * bottom];
-
-        // Line 9: set up the data mapping (collective).
-        let plan = ddr_setup_data_mapping(
-            comm,
-            rank,
-            4,
-            chunks_own,
-            &dims_own,
-            &offsets_own,
-            &dims_need,
-            &offsets_need,
-            &desc,
-        )
-        .expect("mapping");
-
-        // The global grid holds value y*8 + x at column x, row y.
-        let row = |y: usize| -> Vec<f32> { (0..8).map(|x| (y * 8 + x) as f32).collect() };
-        let data_own = [row(rank), row(rank + 4)];
-        let refs: Vec<&[f32]> = data_own.iter().map(|v| v.as_slice()).collect();
-        let mut data_need = vec![0f32; 16];
-
-        // Line 10: exchange the data (collective, reusable per time step).
-        ddr_reorganize_data(comm, 4, &refs, &mut data_need, &plan).expect("reorganize");
-
-        (rank, offsets_need, plan.num_rounds(), plan.total_sent_bytes(), data_need)
-    });
+    // Runtime checking on: collective matching + deadlock detection.
+    let outcomes = Universe::builder().check(true).run(4, rank_body);
+    let mut results = Vec::with_capacity(outcomes.len());
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                eprintln!("quickstart: rank {rank} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     for (rank, need_off, rounds, sent, _) in &results {
         println!(
@@ -85,9 +124,13 @@ fn main() {
         for y in 0..4 {
             for x in 0..4 {
                 let expect = ((need_off[1] + y) * 8 + need_off[0] + x) as f32;
-                assert_eq!(quad[y * 4 + x], expect, "rank {rank} at ({x},{y})");
+                if quad[y * 4 + x] != expect {
+                    eprintln!("quickstart: rank {rank} holds wrong data at ({x},{y})");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
     println!("\nOK: every rank holds exactly its quadrant of the domain.");
+    ExitCode::SUCCESS
 }

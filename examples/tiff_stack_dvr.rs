@@ -7,23 +7,42 @@
 //! volume by brick-decomposed direct volume rendering and composites the
 //! final image.
 //!
+//! Both DDR load mappings are linted with `ddrcheck` up front, the
+//! universes run with correctness checking on, and any error exits
+//! non-zero with its diagnostic.
+//!
 //! Run with: `cargo run --release --example tiff_stack_dvr`
 //! Outputs: `target/tiff_stack_dvr/tooth.ppm` and `tooth.jpg`
 
+use ddr::check::{has_errors, lint_mapping, render_report};
+use ddr::core::{DataKind, Descriptor};
 use ddr::minimpi::Universe;
 use ddr_bench::loader::{load_stack, write_phantom_stack};
-use ddr_bench::tiffcase::Method;
+use ddr_bench::tiffcase::{layouts, Method};
+use std::process::ExitCode;
 use std::time::Instant;
 
 const VOL: [usize; 3] = [96, 96, 96];
 const NPROCS: usize = 8;
 
-fn main() {
+fn main() -> ExitCode {
     let out_dir = std::path::PathBuf::from("target/tiff_stack_dvr");
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let stack_dir = out_dir.join("stack");
 
-    println!("writing synthetic {}x{}x{} 16-bit TIFF stack…", VOL[0], VOL[1], VOL[2]);
+    // Lint both DDR image-assignment mappings before touching the disk.
+    let desc = Descriptor::new(NPROCS, DataKind::D3, 2).expect("descriptor");
+    for method in [Method::RoundRobin, Method::Consecutive] {
+        let ls = layouts(VOL, NPROCS, method).expect("DDR method has layouts");
+        let diags = lint_mapping(&desc, &ls);
+        println!("{}", render_report(&format!("ddrcheck {}", method.label()), &diags));
+        if has_errors(&diags) {
+            eprintln!("tiff_stack_dvr: {} mapping rejected by the plan linter", method.label());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("\nwriting synthetic {}x{}x{} 16-bit TIFF stack…", VOL[0], VOL[1], VOL[2]);
     write_phantom_stack(&stack_dir, VOL).expect("write stack");
 
     // Load three ways and time them (the Table II comparison in miniature).
@@ -31,9 +50,20 @@ fn main() {
     for method in [Method::NoDdr, Method::RoundRobin, Method::Consecutive] {
         let dir = stack_dir.clone();
         let t0 = Instant::now();
-        let results =
-            Universe::run(NPROCS, move |comm| load_stack(comm, &dir, VOL, method).unwrap().2);
+        let outcomes = Universe::builder().check(true).run(NPROCS, move |comm| {
+            load_stack(comm, &dir, VOL, method).map(|r| r.2).map_err(|e| e.to_string())
+        });
         let dt = t0.elapsed();
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (rank, o) in outcomes.into_iter().enumerate() {
+            match o {
+                Ok(s) => results.push(s),
+                Err(e) => {
+                    eprintln!("tiff_stack_dvr: {} rank {rank} failed: {e}", method.label());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         let reads: usize = results.iter().map(|s| s.images_read).sum();
         let sent: u64 = results.iter().map(|s| s.bytes_sent).sum();
         println!(
@@ -51,12 +81,23 @@ fn main() {
     // renderer runs.
     println!("\nrendering and compositing over the communicator…");
     let dir = stack_dir.clone();
-    let images = Universe::run(NPROCS, move |comm| {
-        let (block, data, _) = load_stack(comm, &dir, VOL, Method::Consecutive).unwrap();
+    let outcomes = Universe::builder().check(true).run(NPROCS, move |comm| {
+        let (block, data, _) =
+            load_stack(comm, &dir, VOL, Method::Consecutive).map_err(|e| e.to_string())?;
         let tf = volren::TransferFunction::tooth();
         let brick = volren::render_brick(&data, block.dims, block.offset, &tf);
-        volren::composite_gather(comm, 0, VOL[0], VOL[1], &brick).unwrap()
+        volren::composite_gather(comm, 0, VOL[0], VOL[1], &brick).map_err(|e| e.to_string())
     });
+    let mut images = Vec::with_capacity(outcomes.len());
+    for (rank, o) in outcomes.into_iter().enumerate() {
+        match o {
+            Ok(img) => images.push(img),
+            Err(e) => {
+                eprintln!("tiff_stack_dvr: render rank {rank} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let image = images.into_iter().flatten().next().expect("rank 0 composited");
     let rgb = image.to_rgb([0, 0, 0]);
 
@@ -76,6 +117,10 @@ fn main() {
 
     // Sanity: the tooth must actually be visible.
     let center = rgb.get(VOL[0] / 2, VOL[1] / 2);
-    assert!(center.iter().any(|&c| c > 40), "center pixel is black: {center:?}");
+    if !center.iter().any(|&c| c > 40) {
+        eprintln!("tiff_stack_dvr: center pixel is black: {center:?}");
+        return ExitCode::FAILURE;
+    }
     println!("OK: composited DVR image contains the phantom.");
+    ExitCode::SUCCESS
 }

@@ -8,6 +8,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`core`] | `Descriptor` / `setup_data_mapping` / `reorganize` — the DDR library |
+//! | [`check`] | static plan linter front end + example-layout catalog (`lint_examples`) |
 //! | [`minimpi`] | in-process MPI-like runtime (ranks, collectives, `alltoallw` + subarrays) |
 //! | [`netsim`] | calibrated Cooley cluster cost model for paper-scale projection |
 //! | [`dtiff`] | baseline TIFF codec (use case 1's image stacks) |
@@ -22,6 +23,7 @@
 pub use ddr_core as core;
 pub use ddr_lbm as lbm;
 pub use ddr_netsim as netsim;
+pub use ddrcheck as check;
 pub use dtiff;
 pub use intransit;
 pub use jimage;
