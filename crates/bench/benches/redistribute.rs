@@ -1,0 +1,184 @@
+//! Zero-copy vs staged data-movement plane, measured on the same
+//! redistribution cases (1-D/2-D/3-D, three sizes each, 4 ranks).
+//!
+//! Each measurement times only the `reorganize` loop *inside* the universe
+//! (between barriers), excluding thread spawn and mapping setup, and takes
+//! the slowest rank — the completion time of the collective.
+//!
+//! Besides the criterion console report, a full run (not `--test` smoke
+//! mode) rewrites `BENCH_redistribute.json` at the workspace root; the
+//! headline entry is the 2-D in-transit repartition (row slabs → column
+//! slabs), the paper's simulation→visualization hand-off pattern.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use ddr_core::decompose::{brick, near_cubic_grid, slab};
+use ddr_core::{Block, DataKind, Descriptor, ValidationPolicy};
+use minimpi::Universe;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const NPROCS: usize = 4;
+
+/// One redistribution case: a domain plus the producer→consumer layout rule.
+#[derive(Clone, Copy)]
+struct Case {
+    name: &'static str,
+    kind: DataKind,
+    domain: Block,
+    /// Inner `reorganize` repetitions per timed sample (amortizes small cases).
+    reps: u32,
+}
+
+fn cases() -> Vec<Case> {
+    let mut v = Vec::new();
+    for (name, len) in [
+        ("1d/repartition/64Ki", 1usize << 16),
+        ("1d/repartition/1Mi", 1 << 20),
+        ("1d/repartition/4Mi", 1 << 22),
+    ] {
+        v.push(Case { name, kind: DataKind::D1, domain: Block::d1(0, len).unwrap(), reps: 0 });
+    }
+    for (name, n) in [
+        ("2d/in_transit_repartition/256", 256usize),
+        ("2d/in_transit_repartition/1024", 1024),
+        ("2d/in_transit_repartition/2048", 2048),
+    ] {
+        v.push(Case {
+            name,
+            kind: DataKind::D2,
+            domain: Block::d2([0, 0], [n, n]).unwrap(),
+            reps: 0,
+        });
+    }
+    for (name, n) in [
+        ("3d/slabs_to_bricks/32", 32usize),
+        ("3d/slabs_to_bricks/64", 64),
+        ("3d/slabs_to_bricks/128", 128),
+    ] {
+        v.push(Case {
+            name,
+            kind: DataKind::D3,
+            domain: Block::d3([0, 0, 0], [n, n, n]).unwrap(),
+            reps: 0,
+        });
+    }
+    for c in &mut v {
+        let bytes = c.domain.count() * 4;
+        c.reps = ((4u64 << 20) / bytes.max(1)).clamp(1, 8) as u32;
+    }
+    v
+}
+
+/// Producer layout (what each rank owns) and consumer layout (what it needs).
+fn layouts(case: &Case, r: usize) -> (Block, Block) {
+    match case.kind {
+        // 1-D: reverse the rank order so every byte crosses ranks.
+        DataKind::D1 => (
+            slab(&case.domain, 0, NPROCS, r).unwrap(),
+            slab(&case.domain, 0, NPROCS, NPROCS - 1 - r).unwrap(),
+        ),
+        // 2-D: row slabs → column slabs, the in-transit repartition.
+        DataKind::D2 => {
+            (slab(&case.domain, 1, NPROCS, r).unwrap(), slab(&case.domain, 0, NPROCS, r).unwrap())
+        }
+        // 3-D: z-slabs → near-cubic bricks.
+        DataKind::D3 => (
+            slab(&case.domain, 2, NPROCS, r).unwrap(),
+            brick(&case.domain, near_cubic_grid(NPROCS), r).unwrap(),
+        ),
+    }
+}
+
+/// Time `reps` reorganizations through the selected plane; returns the
+/// slowest rank's per-reorganize time.
+fn inner_time(case: &Case, zerocopy: bool) -> Duration {
+    let case = *case;
+    let times = Universe::builder().zerocopy(zerocopy).run(NPROCS, move |comm| {
+        let r = comm.rank();
+        let (owned, need) = layouts(&case, r);
+        let desc = Descriptor::for_type::<f32>(NPROCS, case.kind).unwrap();
+        let plan =
+            desc.setup_data_mapping_with(comm, &[owned], need, ValidationPolicy::Skip).unwrap();
+        let data = vec![r as f32 + 0.5; owned.count() as usize];
+        let mut out = vec![0f32; need.count() as usize];
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..case.reps {
+            plan.reorganize(comm, &[&data], &mut out).unwrap();
+        }
+        let elapsed = start.elapsed();
+        black_box(&out);
+        elapsed / case.reps
+    });
+    times.into_iter().max().unwrap()
+}
+
+fn bench_redistribute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redistribute");
+    g.sample_size(7);
+    for case in cases() {
+        g.throughput(Throughput::Bytes(case.domain.count() * 4));
+        for path in ["zerocopy", "staged"] {
+            g.bench_with_input(BenchmarkId::new(case.name, path), &case, |b, case| {
+                b.iter_custom(|_| inner_time(case, path == "zerocopy"));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Pair up `<case>/zerocopy` and `<case>/staged` results and write the
+/// machine-readable report the acceptance gate reads.
+fn emit_json(c: &Criterion) {
+    let results = c.results();
+    let lookup = |name: &str, path: &str| -> Option<Duration> {
+        let key = format!("redistribute/{name}/{path}");
+        results.iter().find(|(id, _)| *id == key).map(|(_, d)| *d)
+    };
+    let mut entries = Vec::new();
+    for case in cases() {
+        let (Some(zc), Some(st)) = (lookup(case.name, "zerocopy"), lookup(case.name, "staged"))
+        else {
+            continue;
+        };
+        let speedup = st.as_secs_f64() / zc.as_secs_f64().max(1e-12);
+        entries.push((case, zc, st, speedup));
+    }
+    let headline = "2d/in_transit_repartition/2048";
+    let mut json = String::from("{\n  \"bench\": \"redistribute\",\n  \"element\": \"f32\",\n");
+    json.push_str(&format!("  \"nprocs\": {NPROCS},\n"));
+    if let Some((_, zc, st, sp)) = entries.iter().find(|(c, ..)| c.name == headline) {
+        json.push_str(&format!(
+            "  \"headline\": {{\n    \"case\": \"{headline}\",\n    \"zerocopy_ns\": {},\n    \
+             \"staged_ns\": {},\n    \"speedup\": {:.3}\n  }},\n",
+            zc.as_nanos(),
+            st.as_nanos(),
+            sp
+        ));
+    }
+    json.push_str("  \"cases\": [\n");
+    for (i, (case, zc, st, sp)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"zerocopy_ns\": {}, \"staged_ns\": {}, \
+             \"speedup\": {:.3}}}{}\n",
+            case.name,
+            case.domain.count() * 4,
+            zc.as_nanos(),
+            st.as_nanos(),
+            sp,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_redistribute.json");
+    std::fs::write(path, json).expect("write BENCH_redistribute.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_redistribute(&mut c);
+    if !c.is_test_mode() {
+        emit_json(&c);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::error::{DdrError, Result};
 use crate::plan::Plan;
 use crate::recover::PartialCompletion;
+use crate::stats::RedistStats;
 use minimpi::{bytes_of, bytes_of_mut, Comm, Datatype, Pod};
 
 /// Marker trait for element types DDR can move: any plain-old-data type.
@@ -127,6 +128,21 @@ impl Plan {
         need: &mut [T],
         strategy: Strategy,
     ) -> Result<PartialCompletion> {
+        self.reorganize_with_stats(comm, owned, need, strategy).map(|(report, _)| report)
+    }
+
+    /// Like [`Plan::reorganize_salvage_with`], but also returns the
+    /// [`RedistStats`] accounting of what this call moved. The stats are
+    /// derived from the plan and the recorded failures — never from wire
+    /// observations — so they are identical whichever data-movement path
+    /// (zero-copy or staged) carried the bytes.
+    pub fn reorganize_with_stats<T: Element>(
+        &self,
+        comm: &Comm,
+        owned: &[&[T]],
+        need: &mut [T],
+        strategy: Strategy,
+    ) -> Result<(PartialCompletion, RedistStats)> {
         if comm.size() != self.nprocs || comm.rank() != self.rank {
             return Err(DdrError::ProcessCountMismatch {
                 descriptor: self.nprocs,
@@ -139,7 +155,15 @@ impl Plan {
             Strategy::PointToPoint => self.reorganize_p2p(comm, owned, need)?,
             Strategy::Auto => unreachable!("resolved above"),
         };
-        Ok(PartialCompletion::from_failures(self, &failures))
+        let stats = RedistStats::from_plan(self, &failures);
+        Ok((PartialCompletion::from_failures(self, &failures), stats))
+    }
+
+    /// The [`RedistStats`] a fully successful execution of this plan will
+    /// report (what [`Plan::reorganize_with_stats`] returns when nothing
+    /// fails).
+    pub fn expected_stats(&self) -> RedistStats {
+        RedistStats::from_plan(self, &[])
     }
 
     /// The concrete strategy [`Strategy::Auto`] resolves to for this plan.
@@ -200,7 +224,10 @@ impl Plan {
             let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]);
             let mut sends = Vec::with_capacity(round.sends.len());
             for t in &round.sends {
-                let mut packed = Vec::with_capacity(t.subarray.packed_len());
+                // Stage through the universe's shared buffer pool: receivers
+                // recycle the buffer after unpacking, so repeated
+                // redistributions reuse a bounded working set.
+                let mut packed = comm.acquire_staging(t.subarray.packed_len());
                 t.subarray.pack_into(send_buf, &mut packed)?;
                 sends.push((t.peer, packed));
             }
@@ -209,7 +236,11 @@ impl Plan {
             for (t, (src, payload)) in round.recvs.iter().zip(received) {
                 debug_assert_eq!(t.peer, src);
                 match payload {
-                    Ok(p) => t.subarray.unpack(&p, need_bytes)?,
+                    Ok(p) => {
+                        let res = t.subarray.unpack(&p, need_bytes);
+                        comm.release_staging(p);
+                        res?;
+                    }
                     Err(_) => failures.push((r, src)),
                 }
             }

@@ -81,5 +81,5 @@ pub use mapping::compute_local_plan;
 pub use multi::{compute_multi_plan, MultiLayout, MultiPlan, MultiTransfer};
 pub use plan::{Plan, RoundPlan, Transfer};
 pub use recover::{PartialCompletion, RoundReport};
-pub use stats::GlobalStats;
+pub use stats::{GlobalStats, RedistStats};
 pub use validate::{validate, Domain, ValidationPolicy};

@@ -7,6 +7,70 @@
 //! evaluate paper-scale configurations (216 ranks, 128 GB) analytically.
 
 use crate::layout::Layout;
+use crate::plan::Plan;
+
+/// Per-rank accounting of one *executed* redistribution.
+///
+/// Derived from the plan's transfer list minus the recorded per-round
+/// failures — never from wire observations — so two executions of the same
+/// plan report identical stats regardless of which data-movement path
+/// (zero-copy or staged) carried the bytes. The differential test harness
+/// relies on exactly this property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RedistStats {
+    /// Number of communication rounds executed.
+    pub rounds: usize,
+    /// Bytes shipped to other ranks.
+    pub sent_bytes: u64,
+    /// Bytes successfully received from other ranks.
+    pub recv_bytes: u64,
+    /// Bytes satisfied locally (owned ∩ needed overlap).
+    pub local_bytes: u64,
+    /// Non-empty messages sent to other ranks.
+    pub messages_sent: u64,
+    /// Non-empty messages received from other ranks.
+    pub messages_recv: u64,
+    /// Receives that failed (peer dead / dropped / timed out).
+    pub failed_recvs: u64,
+    /// Bytes those failed receives would have delivered.
+    pub lost_bytes: u64,
+}
+
+impl RedistStats {
+    /// Account an executed redistribution of `plan` given the `(round, peer)`
+    /// receive failures its exchange reported.
+    pub fn from_plan(plan: &Plan, failures: &[(usize, usize)]) -> RedistStats {
+        let mut s = RedistStats { rounds: plan.rounds.len(), ..RedistStats::default() };
+        for (r, round) in plan.rounds.iter().enumerate() {
+            for t in &round.sends {
+                if t.peer == plan.rank {
+                    s.local_bytes += t.bytes();
+                } else {
+                    s.sent_bytes += t.bytes();
+                    s.messages_sent += 1;
+                }
+            }
+            for t in &round.recvs {
+                if t.peer == plan.rank {
+                    continue; // the self-overlap is counted on the send side
+                }
+                if failures.contains(&(r, t.peer)) {
+                    s.failed_recvs += 1;
+                    s.lost_bytes += t.bytes();
+                } else {
+                    s.recv_bytes += t.bytes();
+                    s.messages_recv += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Total bytes this rank moved (network + local) on the receive side.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.recv_bytes + self.local_bytes
+    }
+}
 
 /// Exact per-round, per-rank communication volumes for a redistribution.
 #[derive(Debug, Clone, PartialEq, Eq)]

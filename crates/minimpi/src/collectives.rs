@@ -8,9 +8,14 @@
 
 use crate::check::{CollFingerprint, CollectiveKind};
 use crate::comm::{coll_key_tag, Comm};
-use crate::datatype::Datatype;
+use crate::datatype::{copy_selection, for_each_run_pair, Datatype};
 use crate::error::{Error, Result};
+use crate::mailbox::{Envelope, Payload};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
+use crate::zerocopy::{CopyPool, ZcCell, ZcWait, PARALLEL_COPY_MIN_BYTES};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Encode a list of byte buffers into one buffer (u64 count + u64 lengths +
 /// concatenated payloads). Used to ship gathered results through broadcast.
@@ -382,7 +387,16 @@ impl Comm {
     /// Unlike MPI, zero-length transfers are elided entirely — the contract
     /// is that `send_types[d]` on rank `r` is non-empty **iff** `recv_types[r]`
     /// on rank `d` is non-empty (DDR's mapping guarantees this by
-    /// construction). The self-transfer is a direct pack/unpack copy.
+    /// construction). The self-transfer is a direct selection-to-selection
+    /// copy.
+    ///
+    /// When the universe's zero-copy fast path is active (the default; see
+    /// [`crate::UniverseBuilder::zerocopy`] and `DDR_NO_ZEROCOPY`), each
+    /// message is delivered by the *receiver* copying contiguous runs
+    /// straight out of the sender's `send_buf` — no pack/unpack staging
+    /// buffers exist anywhere. With a fault plan installed, or with the fast
+    /// path disabled, messages stage through the universe's shared buffer
+    /// pool instead.
     #[track_caller]
     pub fn alltoallw(
         &self,
@@ -391,6 +405,21 @@ impl Comm {
         recv_buf: &mut [u8],
         recv_types: &[Datatype],
     ) -> Result<()> {
+        self.alltoallw_impl(send_buf, send_types, recv_buf, recv_types, false).map(|_| ())
+    }
+
+    /// Shared engine of [`Comm::alltoallw`] and [`Comm::alltoallw_salvage`]:
+    /// `salvage` decides whether a failed source aborts the exchange or is
+    /// recorded in the report while the remaining sources are drained.
+    #[track_caller]
+    fn alltoallw_impl(
+        &self,
+        send_buf: &[u8],
+        send_types: &[Datatype],
+        recv_buf: &mut [u8],
+        recv_types: &[Datatype],
+        salvage: bool,
+    ) -> Result<ExchangeReport> {
         let n = self.size();
         if send_types.len() != n || recv_types.len() != n {
             return Err(Error::CollectiveMismatch {
@@ -402,34 +431,131 @@ impl Comm {
             });
         }
         let seq = self.next_coll_seq();
+        // Salvage is wire-compatible with the plain variant, so both record
+        // the same kind: they may legitimately pair across ranks.
         self.record_collective(seq, CollFingerprint::here(CollectiveKind::Alltoallw, None, 0))?;
         let me = self.rank();
+        let tag = coll_key_tag(seq, 0);
+        let zerocopy = self.world.zerocopy_active();
 
-        // Send phase (buffered, never blocks).
+        // Send phase (buffered, never blocks). A deposit only fails if this
+        // rank itself is dead — that is a hard error even under salvage.
+        // The guard guarantees that on *every* exit path below we stay on
+        // this stack frame until each lent region was copied or revoked —
+        // the zero-copy borrow must not outlive `send_buf`.
+        let mut loans = ZcSendGuard::new(self);
         for (d, dt) in send_types.iter().enumerate() {
             if d == me || dt.packed_len() == 0 {
                 continue;
             }
-            let mut packed = Vec::with_capacity(dt.packed_len());
-            dt.pack_into(send_buf, &mut packed)?;
-            self.deposit_to(d, coll_key_tag(seq, 0), packed)?;
+            if zerocopy {
+                // Validate sender-side bounds eagerly, where the legacy path
+                // would have failed packing.
+                dt.check_bounds(send_buf.len())?;
+                let cell = self.deposit_shared(d, tag, send_buf, *dt)?;
+                loans.push(d, cell);
+            } else {
+                let mut packed = self.world.pool.acquire(dt.packed_len());
+                dt.pack_into(send_buf, &mut packed)?;
+                self.deposit_to(d, tag, packed)?;
+            }
         }
 
-        // Self-transfer.
+        // Self-transfer: direct selection-to-selection copy (no staging in
+        // either mode — faults never apply to self-messages).
         if send_types[me].packed_len() > 0 || recv_types[me].packed_len() > 0 {
-            let mut packed = Vec::with_capacity(send_types[me].packed_len());
-            send_types[me].pack_into(send_buf, &mut packed)?;
-            recv_types[me].unpack(&packed, recv_buf)?;
+            copy_selection(send_buf, &send_types[me], recv_buf, &recv_types[me])?;
         }
 
-        // Receive phase.
+        // Receive phase: under salvage, drain every source and record
+        // failures; otherwise abort on the first one.
+        let mut failed = Vec::new();
         for (s, dt) in recv_types.iter().enumerate() {
             if s == me || dt.packed_len() == 0 {
                 continue;
             }
-            let packed = self.take_from(s, coll_key_tag(seq, 0))?;
-            dt.unpack(&packed, recv_buf)?;
+            let res = self
+                .take_envelope_from(s, tag)
+                .and_then(|env| self.deliver_alltoallw(s, env, dt, recv_buf));
+            match res {
+                Ok(()) => {}
+                // Malformed local arguments are hard errors in both modes.
+                Err(e @ (Error::DatatypeMismatch { .. } | Error::SizeMismatch { .. })) => {
+                    return Err(e)
+                }
+                // Killed mid-drain: everything still missing is lost.
+                Err(Error::PeerDead { rank }) if rank == me && !self.is_alive(me) => {
+                    return Err(Error::PeerDead { rank })
+                }
+                Err(e) if salvage => failed.push((s, e)),
+                Err(e) => return Err(e),
+            }
         }
+
+        // Completion: wait until every lent region was consumed (or revoke
+        // loans to receivers that can no longer claim them).
+        let revoked = loans.complete();
+        if revoked > 0 {
+            self.world.transport.revoked_msgs.fetch_add(revoked, Ordering::Relaxed);
+        }
+        Ok(ExchangeReport { failed })
+    }
+
+    /// Place one received alltoallw message into `recv_buf` through `dt`.
+    /// Staged payloads unpack and return their buffer to the pool; zero-copy
+    /// loans are claimed and copied straight out of the sender's buffer.
+    fn deliver_alltoallw(
+        &self,
+        src: usize,
+        env: Envelope,
+        dt: &Datatype,
+        recv_buf: &mut [u8],
+    ) -> Result<()> {
+        match env.payload {
+            Payload::Bytes(packed) => {
+                let res = dt.unpack(&packed, recv_buf);
+                // The buffer came from the sender's pool.acquire; the pool is
+                // world-shared, so recycling here closes the loop.
+                self.world.pool.release(packed);
+                res
+            }
+            Payload::Shared(h) => {
+                if !h.cell.try_claim() {
+                    // The sender revoked the loan before we got here.
+                    return Err(Error::PeerDead { rank: src });
+                }
+                // SAFETY: the claim succeeded, so the sender is blocked in
+                // ZcCell::wait and `send_buf` stays alive until finish().
+                let src_buf = unsafe { h.src_slice() };
+                let res = self.zc_copy_in(src_buf, &h.dt, dt, recv_buf);
+                h.cell.finish();
+                res
+            }
+        }
+    }
+
+    /// Copy `src_dt`'s selection of the sender's buffer into `dst_dt`'s
+    /// selection of `recv_buf`, fanning the runs out across the copy pool
+    /// for large messages.
+    fn zc_copy_in(
+        &self,
+        src_buf: &[u8],
+        src_dt: &Datatype,
+        dst_dt: &Datatype,
+        recv_buf: &mut [u8],
+    ) -> Result<()> {
+        if src_dt.packed_len() < PARALLEL_COPY_MIN_BYTES {
+            return copy_selection(src_buf, src_dt, recv_buf, dst_dt);
+        }
+        src_dt.check_bounds(src_buf.len())?;
+        dst_dt.check_bounds(recv_buf.len())?;
+        let mut pairs = Vec::new();
+        for_each_run_pair(src_dt, dst_dt, |s, d, len| pairs.push((s, d, len)))?;
+        // The destination runs of one selection are pairwise disjoint, so
+        // sharding them across workers is race-free.
+        let shards = shard_runs(pairs);
+        CopyPool::global().run_batch(src_buf.as_ptr(), recv_buf.as_mut_ptr(), shards);
+        self.world.transport.parallel_copies.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -542,58 +668,7 @@ impl Comm {
         recv_buf: &mut [u8],
         recv_types: &[Datatype],
     ) -> Result<ExchangeReport> {
-        let n = self.size();
-        if send_types.len() != n || recv_types.len() != n {
-            return Err(Error::CollectiveMismatch {
-                detail: format!(
-                    "alltoallw: expected {n} send and recv types, got {} and {}",
-                    send_types.len(),
-                    recv_types.len()
-                ),
-            });
-        }
-        let seq = self.next_coll_seq();
-        // Wire-compatible with `alltoallw`, so it records the same kind: a
-        // salvage call on one rank may legitimately pair with the plain
-        // variant on another.
-        self.record_collective(seq, CollFingerprint::here(CollectiveKind::Alltoallw, None, 0))?;
-        let me = self.rank();
-
-        // Send phase (buffered, never blocks). A deposit only fails if this
-        // rank itself is dead — that is a hard error.
-        for (d, dt) in send_types.iter().enumerate() {
-            if d == me || dt.packed_len() == 0 {
-                continue;
-            }
-            let mut packed = Vec::with_capacity(dt.packed_len());
-            dt.pack_into(send_buf, &mut packed)?;
-            self.deposit_to(d, coll_key_tag(seq, 0), packed)?;
-        }
-
-        // Self-transfer.
-        if send_types[me].packed_len() > 0 || recv_types[me].packed_len() > 0 {
-            let mut packed = Vec::with_capacity(send_types[me].packed_len());
-            send_types[me].pack_into(send_buf, &mut packed)?;
-            recv_types[me].unpack(&packed, recv_buf)?;
-        }
-
-        // Receive phase: drain every source, recording failures instead of
-        // bailing on the first one.
-        let mut failed = Vec::new();
-        for (s, dt) in recv_types.iter().enumerate() {
-            if s == me || dt.packed_len() == 0 {
-                continue;
-            }
-            match self.take_from(s, coll_key_tag(seq, 0)) {
-                Ok(packed) => dt.unpack(&packed, recv_buf)?,
-                // Killed mid-drain: everything still missing is lost.
-                Err(Error::PeerDead { rank }) if rank == me && !self.is_alive(me) => {
-                    return Err(Error::PeerDead { rank })
-                }
-                Err(e) => failed.push((s, e)),
-            }
-        }
-        Ok(ExchangeReport { failed })
+        self.alltoallw_impl(send_buf, send_types, recv_buf, recv_types, true)
     }
 
     /// Like [`Comm::sparse_exchange`], but failures on individual sources
@@ -640,6 +715,81 @@ impl Comm {
         }
         Ok(out)
     }
+}
+
+/// Tracks the zero-copy loans a rank has outstanding during one exchange.
+///
+/// Soundness anchor of the whole fast path: `send_buf` is lent to peers as
+/// raw pointers, so control must not leave the exchange's stack frame while
+/// any peer might still read it. The happy path calls
+/// [`ZcSendGuard::complete`]; every early return (error, panic) hits the
+/// `Drop` impl, which revokes unclaimed loans immediately and waits out
+/// in-flight copies (a bounded memcpy).
+struct ZcSendGuard<'a> {
+    comm: &'a Comm,
+    loans: Vec<(usize, Arc<ZcCell>)>,
+}
+
+impl<'a> ZcSendGuard<'a> {
+    fn new(comm: &'a Comm) -> Self {
+        ZcSendGuard { comm, loans: Vec::new() }
+    }
+
+    fn push(&mut self, dest: usize, cell: Arc<ZcCell>) {
+        self.loans.push((dest, cell));
+    }
+
+    /// Wait until every loan was copied or revoked, giving receivers until
+    /// the communicator watchdog deadline. Returns the number revoked.
+    fn complete(mut self) -> u64 {
+        self.drain(Instant::now() + self.comm.timeout())
+    }
+
+    fn drain(&mut self, deadline: Instant) -> u64 {
+        let comm = self.comm;
+        let mut revoked = 0;
+        for (dest, cell) in self.loans.drain(..) {
+            // A dead receiver can never claim the loan — revoke right away
+            // rather than burning the watchdog.
+            if cell.wait(deadline, || !comm.is_alive(dest)) == ZcWait::Revoked {
+                revoked += 1;
+            }
+        }
+        revoked
+    }
+}
+
+impl Drop for ZcSendGuard<'_> {
+    fn drop(&mut self) {
+        // Early exit: revoke anything still unclaimed *now*; claims already
+        // in flight are waited out so the borrow stays sound.
+        self.drain(Instant::now());
+    }
+}
+
+/// Split run-copy triples into up to four byte-balanced contiguous shards
+/// for [`CopyPool::run_batch`]. Contiguous chunking preserves the per-shard
+/// ascending destination order (friendlier to the prefetcher than
+/// round-robin).
+fn shard_runs(pairs: Vec<(usize, usize, usize)>) -> Vec<Vec<(usize, usize, usize)>> {
+    const SHARDS: usize = 4;
+    let total: usize = pairs.iter().map(|&(_, _, n)| n).sum();
+    let target = total.div_ceil(SHARDS).max(1);
+    let mut shards: Vec<Vec<(usize, usize, usize)>> = Vec::with_capacity(SHARDS);
+    let mut cur = Vec::new();
+    let mut cur_bytes = 0usize;
+    for run in pairs {
+        cur_bytes += run.2;
+        cur.push(run);
+        if cur_bytes >= target && shards.len() + 1 < SHARDS {
+            shards.push(std::mem::take(&mut cur));
+            cur_bytes = 0;
+        }
+    }
+    if !cur.is_empty() {
+        shards.push(cur);
+    }
+    shards
 }
 
 /// Per-source outcome of a salvaged exchange: which sources failed to

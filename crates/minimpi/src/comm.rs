@@ -1,11 +1,16 @@
 //! Communicators and point-to-point messaging.
 
 use crate::check::{CheckState, CollFingerprint};
+use crate::datatype::Datatype;
 use crate::error::{Error, Result};
 use crate::fault::{mix64, FaultPlan, FaultState, MessageVerdict};
 use crate::life::{Liveness, ShrinkBarrier};
-use crate::mailbox::{Envelope, Mailbox, MsgKey, TakeOutcome};
+use crate::mailbox::{Envelope, Mailbox, MsgKey, Payload, TakeOutcome};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
+use crate::zerocopy::{
+    zerocopy_env_default, BufferPool, PoolStats, TransportCells, TransportCounters, ZcCell,
+    ZcHandle,
+};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,6 +48,14 @@ pub(crate) struct WorldState {
     /// clean run can be used to place kills in a faulty one.
     pub ops: Vec<AtomicU64>,
     pub default_timeout: Duration,
+    /// Whether the zero-copy fast path is allowed for this universe (builder
+    /// override, else `DDR_NO_ZEROCOPY`). Fault plans additionally force the
+    /// staged path at use sites — see [`WorldState::zerocopy_active`].
+    pub zerocopy: bool,
+    /// Shared staging-buffer pool for the pack/unpack path.
+    pub pool: BufferPool,
+    /// Wire-path counters (zero-copy vs staged deliveries).
+    pub transport: TransportCells,
 }
 
 impl WorldState {
@@ -51,6 +64,7 @@ impl WorldState {
         default_timeout: Duration,
         fault_plan: Option<FaultPlan>,
         check: bool,
+        zerocopy: Option<bool>,
     ) -> Self {
         WorldState {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
@@ -60,7 +74,17 @@ impl WorldState {
             check: check.then(|| CheckState::new(n)),
             ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
             default_timeout,
+            zerocopy: zerocopy.unwrap_or_else(zerocopy_env_default),
+            pool: BufferPool::default(),
+            transport: TransportCells::default(),
         }
+    }
+
+    /// Whether exchanges should take the zero-copy fast path. Fault plans
+    /// force staging: message faults (drop/corrupt/delay) operate on owned
+    /// packed bytes, and a lent region must never be mutated.
+    pub fn zerocopy_active(&self) -> bool {
+        self.zerocopy && self.faults.is_none()
     }
 
     pub fn is_alive(&self, world_rank: usize) -> bool {
@@ -234,12 +258,69 @@ impl Comm {
                 MessageVerdict::DeliverAfter(d) => std::thread::sleep(d),
             }
         }
+        self.world.transport.staged_msgs.fetch_add(1, Ordering::Relaxed);
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
-        self.world.mailboxes[self.members[dest]].deposit(key, Envelope { src: self.rank, payload });
+        self.world.mailboxes[self.members[dest]]
+            .deposit(key, Envelope { src: self.rank, payload: Payload::Bytes(payload) });
         Ok(())
     }
 
+    /// Deposit a zero-copy loan of `dt`'s selection of `buf` into `dest`'s
+    /// mailbox. Returns the completion cell the caller **must** drive to
+    /// `Done` or `Revoked` (via [`ZcCell::wait`]) before `buf`'s borrow ends
+    /// — that wait is what makes the receiver's raw-pointer read sound.
+    ///
+    /// Callers must have checked [`WorldState::zerocopy_active`]: a message
+    /// fault plan would need to mutate the payload, which a loan forbids.
+    pub(crate) fn deposit_shared(
+        &self,
+        dest: usize,
+        key_tag: u64,
+        buf: &[u8],
+        dt: Datatype,
+    ) -> Result<Arc<ZcCell>> {
+        // Same op accounting as `deposit_to`, so op positions (the fault
+        // plan coordinate system) are identical across wire paths.
+        self.fault_tick()?;
+        self.world.transport.zerocopy_msgs.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(ZcCell::default());
+        let handle = ZcHandle::new(buf, dt, Arc::clone(&cell));
+        let key: MsgKey = (self.comm_id, self.rank, key_tag);
+        self.world.mailboxes[self.members[dest]]
+            .deposit(key, Envelope { src: self.rank, payload: Payload::Shared(handle) });
+        Ok(cell)
+    }
+
+    /// Turn a received payload into owned bytes. For zero-copy loans this is
+    /// the slow path (generic receives don't have a destination selection to
+    /// copy into directly): claim, pack out of the sender's buffer, release.
+    pub(crate) fn materialize(&self, src: usize, payload: Payload) -> Result<Vec<u8>> {
+        match payload {
+            Payload::Bytes(b) => Ok(b),
+            Payload::Shared(h) => {
+                if !h.cell.try_claim() {
+                    // The sender revoked the loan (timeout / death) before we
+                    // got here; the payload is unrecoverable.
+                    return Err(Error::PeerDead { rank: src });
+                }
+                // SAFETY: the claim succeeded, so the sender is blocked in
+                // ZcCell::wait and its buffer stays alive until finish().
+                let src_buf = unsafe { h.src_slice() };
+                let mut out = Vec::with_capacity(h.packed_len());
+                let packed = h.dt.pack_into(src_buf, &mut out);
+                h.cell.finish();
+                packed?;
+                Ok(out)
+            }
+        }
+    }
+
     pub(crate) fn take_from(&self, src: usize, key_tag: u64) -> Result<Vec<u8>> {
+        let env = self.take_envelope_from(src, key_tag)?;
+        self.materialize(src, env.payload)
+    }
+
+    pub(crate) fn take_envelope_from(&self, src: usize, key_tag: u64) -> Result<Envelope> {
         self.fault_tick()?;
         let key: MsgKey = (self.comm_id, src, key_tag);
         let src_world = self.members[src];
@@ -256,7 +337,7 @@ impl Comm {
                 c.finish_wait(me_world, matches!(outcome, TakeOutcome::Delivered(_)))
             });
         match outcome {
-            TakeOutcome::Delivered(env) => Ok(env.payload),
+            TakeOutcome::Delivered(env) => Ok(env),
             TakeOutcome::TimedOut => Err(Error::Timeout {
                 rank: self.rank,
                 src: Some(src),
@@ -268,6 +349,37 @@ impl Comm {
                 None => Err(Error::PeerDead { rank: src }),
             },
         }
+    }
+
+    /// Occupancy and traffic counters of the universe's shared
+    /// staging-buffer pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.world.pool.stats()
+    }
+
+    /// Get a cleared buffer with at least `cap` capacity from the universe's
+    /// shared staging pool. Pair with [`Comm::release_staging`] — the pool
+    /// is shared across ranks, so a buffer sent to a peer can be recycled by
+    /// the receiver.
+    pub fn acquire_staging(&self, cap: usize) -> Vec<u8> {
+        self.world.pool.acquire(cap)
+    }
+
+    /// Return a staging buffer to the universe's shared pool (its content is
+    /// discarded; oversized capacity may be trimmed).
+    pub fn release_staging(&self, buf: Vec<u8>) {
+        self.world.pool.release(buf)
+    }
+
+    /// Counters of which wire path messages took so far in this universe.
+    pub fn transport_counters(&self) -> TransportCounters {
+        self.world.transport.snapshot()
+    }
+
+    /// Whether exchanges on this universe currently take the zero-copy fast
+    /// path (builder / `DDR_NO_ZEROCOPY` opt-out, and no fault plan).
+    pub fn zerocopy_active(&self) -> bool {
+        self.world.zerocopy_active()
     }
 
     // ------------------------------------------------------------------
@@ -311,7 +423,9 @@ impl Comm {
         );
         match outcome {
             TakeOutcome::Delivered(env) => {
-                Ok((RecvStatus { src: env.src, len: env.payload.len() }, env.payload))
+                let src = env.src;
+                let bytes = self.materialize(src, env.payload)?;
+                Ok((RecvStatus { src, len: bytes.len() }, bytes))
             }
             TakeOutcome::TimedOut => Err(Error::Timeout {
                 rank: self.rank,
@@ -349,10 +463,10 @@ impl Comm {
     pub fn try_recv_bytes(&self, src: usize, tag: Tag) -> Result<Option<Vec<u8>>> {
         self.check_rank(src)?;
         self.fault_tick()?;
-        Ok(self
-            .my_mailbox()
-            .try_take((self.comm_id, src, user_key_tag(tag)))
-            .map(|env| env.payload))
+        match self.my_mailbox().try_take((self.comm_id, src, user_key_tag(tag))) {
+            Some(env) => Ok(Some(self.materialize(src, env.payload)?)),
+            None => Ok(None),
+        }
     }
 
     /// Combined send+receive, safe against head-of-line blocking because

@@ -63,10 +63,10 @@ impl Subarray {
             starts[d] = 0;
         }
         for d in 0..ndims {
-            if subsizes[d] == 0 || starts[d] + subsizes[d] > sizes[d] {
+            if starts[d] + subsizes[d] > sizes[d] {
                 return Err(Error::DatatypeMismatch {
                     detail: format!(
-                        "dim {d}: start {} + subsize {} exceeds size {} (or subsize is 0)",
+                        "dim {d}: start {} + subsize {} exceeds size {}",
                         starts[d], subsizes[d], sizes[d]
                     ),
                 });
@@ -138,22 +138,47 @@ impl Subarray {
         Ok(())
     }
 
+    /// Iterate the selection as maximal contiguous byte runs
+    /// `(byte_offset, byte_len)`, in packed (row-major, coordinate 0
+    /// fastest) order. Fully covered leading dimensions are merged into
+    /// longer runs, so a full-array selection yields exactly one run.
+    pub fn byte_runs(&self) -> ByteRuns {
+        let es = self.elem_size;
+        if self.count() == 0 {
+            return ByteRuns { run_bytes: 0, base: 0, dims: [(0, 0); 2], idx: [0; 2], left: 0 };
+        }
+        // Longest prefix of dimensions the rectangle covers completely: those
+        // merge into the contiguous run (their start is necessarily 0).
+        let mut p = 0;
+        while p < MAX_DIMS && self.subsizes[p] == self.sizes[p] {
+            p += 1;
+        }
+        let stride = |d: usize| -> usize { self.sizes[..d].iter().product::<usize>() };
+        let mut run_elems: usize = self.sizes[..p].iter().product();
+        let mut base_elems = 0usize;
+        if p < MAX_DIMS {
+            run_elems *= self.subsizes[p];
+            base_elems += self.starts[p] * stride(p);
+        }
+        // At most two dimensions remain to iterate over (p+1.. / MAX_DIMS=3);
+        // dims[0] is the inner (faster-varying) one.
+        let mut dims = [(1usize, 0usize); 2];
+        for (slot, d) in ((p + 1)..MAX_DIMS).enumerate() {
+            dims[slot] = (self.subsizes[d], stride(d) * es);
+            base_elems += self.starts[d] * stride(d);
+        }
+        let left = dims[0].0 * dims[1].0;
+        ByteRuns { run_bytes: run_elems * es, base: base_elems * es, dims, idx: [0; 2], left }
+    }
+
     /// Pack the selected rectangle out of `src` (the full array, as bytes)
-    /// and append it to `out`. Rows contiguous in dimension 0 are copied with
-    /// single `copy_from_slice` calls.
+    /// and append it to `out`. Each maximal contiguous run is copied with a
+    /// single `copy_from_slice`.
     pub fn pack_into(&self, src: &[u8], out: &mut Vec<u8>) -> Result<()> {
         self.check_buf(src.len())?;
-        let es = self.elem_size;
-        let row_bytes = self.subsizes[0] * es;
-        let sx = self.sizes[0];
-        let sy = self.sizes[1];
         out.reserve(self.packed_len());
-        for z in 0..self.subsizes[2] {
-            let zoff = (self.starts[2] + z) * sx * sy;
-            for y in 0..self.subsizes[1] {
-                let base = (zoff + (self.starts[1] + y) * sx + self.starts[0]) * es;
-                out.extend_from_slice(&src[base..base + row_bytes]);
-            }
+        for (off, len) in self.byte_runs() {
+            out.extend_from_slice(&src[off..off + len]);
         }
         Ok(())
     }
@@ -172,25 +197,18 @@ impl Subarray {
         if packed.len() != self.packed_len() {
             return Err(Error::SizeMismatch { expected: self.packed_len(), got: packed.len() });
         }
-        let es = self.elem_size;
-        let row_bytes = self.subsizes[0] * es;
-        let sx = self.sizes[0];
-        let sy = self.sizes[1];
         let mut cursor = 0usize;
-        for z in 0..self.subsizes[2] {
-            let zoff = (self.starts[2] + z) * sx * sy;
-            for y in 0..self.subsizes[1] {
-                let base = (zoff + (self.starts[1] + y) * sx + self.starts[0]) * es;
-                dst[base..base + row_bytes].copy_from_slice(&packed[cursor..cursor + row_bytes]);
-                cursor += row_bytes;
-            }
+        for (off, len) in self.byte_runs() {
+            dst[off..off + len].copy_from_slice(&packed[cursor..cursor + len]);
+            cursor += len;
         }
         Ok(())
     }
 
     /// Copy the rectangle directly from `src` into the rectangle described by
-    /// `dst_type` in `dst`, without an intermediate packed buffer where
-    /// possible. Used for self-sends inside collectives.
+    /// `dst_type` in `dst`, without an intermediate packed buffer: source and
+    /// destination runs are walked in lockstep, one `copy_from_slice` per
+    /// overlapping stretch. Used for self-sends and the zero-copy exchange.
     pub fn copy_to(&self, src: &[u8], dst_type: &Subarray, dst: &mut [u8]) -> Result<()> {
         if self.count() != dst_type.count() || self.elem_size != dst_type.elem_size {
             return Err(Error::DatatypeMismatch {
@@ -203,9 +221,103 @@ impl Subarray {
                 ),
             });
         }
-        let packed = self.pack(src)?;
-        dst_type.unpack(&packed, dst)
+        copy_selection(src, &Datatype::Subarray(*self), dst, &Datatype::Subarray(*dst_type))
     }
+}
+
+/// Iterator over the maximal contiguous byte runs of a [`Subarray`]
+/// selection, in packed order. See [`Subarray::byte_runs`].
+#[derive(Debug, Clone)]
+pub struct ByteRuns {
+    run_bytes: usize,
+    base: usize,
+    /// Non-merged dimensions as `(count, byte stride)`; `dims[0]` is inner.
+    dims: [(usize, usize); 2],
+    idx: [usize; 2],
+    left: usize,
+}
+
+impl Iterator for ByteRuns {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.left == 0 {
+            return None;
+        }
+        let off = self.base + self.idx[0] * self.dims[0].1 + self.idx[1] * self.dims[1].1;
+        self.idx[0] += 1;
+        if self.idx[0] == self.dims[0].0 {
+            self.idx[0] = 0;
+            self.idx[1] += 1;
+        }
+        self.left -= 1;
+        Some((off, self.run_bytes))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.left, Some(self.left))
+    }
+}
+
+impl ExactSizeIterator for ByteRuns {}
+
+/// Walk the runs of two equal-length selections in lockstep, invoking
+/// `f(src_offset, dst_offset, len)` for every maximal stretch that is
+/// contiguous in *both*. This is the engine of the zero-copy exchange: one
+/// callback per `copy_from_slice`, no staging buffer anywhere.
+pub(crate) fn for_each_run_pair(
+    src_dt: &Datatype,
+    dst_dt: &Datatype,
+    mut f: impl FnMut(usize, usize, usize),
+) -> Result<()> {
+    if src_dt.packed_len() != dst_dt.packed_len() {
+        return Err(Error::SizeMismatch {
+            expected: dst_dt.packed_len(),
+            got: src_dt.packed_len(),
+        });
+    }
+    let mut src_runs = src_dt.byte_runs();
+    let mut dst_runs = dst_dt.byte_runs();
+    let (mut so, mut sl) = (0usize, 0usize);
+    let (mut doff, mut dl) = (0usize, 0usize);
+    loop {
+        if sl == 0 {
+            match src_runs.next() {
+                Some((o, l)) => (so, sl) = (o, l),
+                None => return Ok(()),
+            }
+            continue;
+        }
+        if dl == 0 {
+            match dst_runs.next() {
+                Some((o, l)) => (doff, dl) = (o, l),
+                // Equal packed lengths: the destination cannot run dry first.
+                None => unreachable!("run streams of equal packed length diverged"),
+            }
+            continue;
+        }
+        let n = sl.min(dl);
+        f(so, doff, n);
+        so += n;
+        sl -= n;
+        doff += n;
+        dl -= n;
+    }
+}
+
+/// Copy `src_dt`'s selection of `src` directly into `dst_dt`'s selection of
+/// `dst`. Both buffers are validated against their datatypes up front.
+pub(crate) fn copy_selection(
+    src: &[u8],
+    src_dt: &Datatype,
+    dst: &mut [u8],
+    dst_dt: &Datatype,
+) -> Result<()> {
+    src_dt.check_bounds(src.len())?;
+    dst_dt.check_bounds(dst.len())?;
+    for_each_run_pair(src_dt, dst_dt, |s, d, n| {
+        dst[d..d + n].copy_from_slice(&src[s..s + n]);
+    })
 }
 
 /// Wire-facing datatype used by [`crate::Comm::alltoallw`].
@@ -231,6 +343,44 @@ impl Datatype {
             Datatype::Empty => 0,
             Datatype::Contiguous { len_bytes, .. } => *len_bytes,
             Datatype::Subarray(s) => s.packed_len(),
+        }
+    }
+
+    /// Iterate this datatype's selection as contiguous `(offset, len)` byte
+    /// runs in packed order (see [`Subarray::byte_runs`]).
+    pub fn byte_runs(&self) -> ByteRuns {
+        match self {
+            Datatype::Empty => {
+                ByteRuns { run_bytes: 0, base: 0, dims: [(0, 0); 2], idx: [0; 2], left: 0 }
+            }
+            Datatype::Contiguous { len_bytes, offset } => ByteRuns {
+                run_bytes: *len_bytes,
+                base: *offset,
+                dims: [(1, 0); 2],
+                idx: [0; 2],
+                left: usize::from(*len_bytes > 0),
+            },
+            Datatype::Subarray(s) => s.byte_runs(),
+        }
+    }
+
+    /// Validate that a buffer of `buf_len` bytes is large enough to hold this
+    /// datatype's full underlying extent.
+    pub(crate) fn check_bounds(&self, buf_len: usize) -> Result<()> {
+        match self {
+            Datatype::Empty => Ok(()),
+            Datatype::Contiguous { len_bytes, offset } => {
+                let end = offset + len_bytes;
+                if end > buf_len {
+                    return Err(Error::DatatypeMismatch {
+                        detail: format!(
+                            "contiguous range {offset}..{end} exceeds buffer of {buf_len} bytes"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            Datatype::Subarray(s) => s.check_buf(buf_len),
         }
     }
 
@@ -351,9 +501,48 @@ mod tests {
     #[test]
     fn rejects_out_of_bounds_rect() {
         assert!(Subarray::d2([4, 4], [2, 2], [3, 0], 1).is_err());
-        assert!(Subarray::d2([4, 4], [0, 2], [0, 0], 1).is_err());
         assert!(Subarray::new(4, [1; 3], [1; 3], [0; 3], 1).is_err());
         assert!(Subarray::d1(4, 2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn zero_extent_rect_is_valid_and_empty() {
+        let s = Subarray::d2([4, 4], [0, 2], [0, 0], 1).unwrap();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.packed_len(), 0);
+        assert_eq!(s.byte_runs().count(), 0);
+        let a = arr2d(4, 4);
+        assert_eq!(s.pack(&a).unwrap(), Vec::<u8>::new());
+        let mut b = a.clone();
+        s.unpack(&[], &mut b).unwrap();
+        assert_eq!(b, a);
+        // A zero-extent rectangle may sit on the far edge.
+        assert!(Subarray::d1(4, 0, 4, 1).is_ok());
+        assert!(Subarray::d1(4, 0, 5, 1).is_err());
+    }
+
+    #[test]
+    fn byte_runs_merge_fully_covered_dims() {
+        // Full-array selection: one run.
+        let s = Subarray::d3([4, 3, 2], [4, 3, 2], [0, 0, 0], 2).unwrap();
+        assert_eq!(s.byte_runs().collect::<Vec<_>>(), vec![(0, 48)]);
+        // Full rows, partial y: runs merge across y, split across z.
+        let s = Subarray::d3([4, 3, 2], [4, 2, 2], [0, 1, 0], 1).unwrap();
+        assert_eq!(s.byte_runs().collect::<Vec<_>>(), vec![(4, 8), (16, 8)]);
+        // Partial x: one run per (y, z) row.
+        let s = Subarray::d3([4, 3, 2], [2, 2, 1], [1, 0, 1], 1).unwrap();
+        assert_eq!(s.byte_runs().collect::<Vec<_>>(), vec![(13, 2), (17, 2)]);
+    }
+
+    #[test]
+    fn byte_runs_match_pack_order() {
+        let a = arr2d(5, 4);
+        let s = Subarray::d2([5, 4], [3, 2], [1, 1], 1).unwrap();
+        let mut via_runs = Vec::new();
+        for (off, len) in s.byte_runs() {
+            via_runs.extend_from_slice(&a[off..off + len]);
+        }
+        assert_eq!(via_runs, s.pack(&a).unwrap());
     }
 
     #[test]

@@ -91,14 +91,16 @@ mod mailbox;
 mod pod;
 mod request;
 mod universe;
+mod zerocopy;
 
 pub use cart::CartComm;
 pub use check::{CollFingerprint, CollectiveKind, DeadlockReport, DivergenceReport, PendingRecv};
 pub use collectives::ExchangeReport;
 pub use comm::{Comm, RecvStatus, Tag, ANY_SOURCE};
-pub use datatype::{Datatype, Subarray};
+pub use datatype::{ByteRuns, Datatype, Subarray};
 pub use error::{Error, Result};
 pub use fault::{FaultAction, FaultPlan, MessageMatcher};
 pub use pod::{bytes_of, bytes_of_mut, Pod};
 pub use request::RecvRequest;
 pub use universe::{Universe, UniverseBuilder};
+pub use zerocopy::{PoolStats, TransportCounters};

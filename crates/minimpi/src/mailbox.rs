@@ -1,5 +1,6 @@
 //! Per-rank message stores with blocking, tag-matched retrieval.
 
+use crate::zerocopy::ZcHandle;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -9,11 +10,22 @@ use std::time::{Duration, Instant};
 /// internal collective sequence numbers by [`crate::comm`].
 pub(crate) type MsgKey = (u64, usize, u64);
 
+/// What a queued message carries: either owned bytes (the staged path), or a
+/// zero-copy loan of the sender's buffer that the receiver copies out of
+/// directly (see [`crate::zerocopy`]).
+pub(crate) enum Payload {
+    /// Owned packed bytes, transferred with the envelope.
+    Bytes(Vec<u8>),
+    /// A lent region of the sender's buffer; the sender blocks until the
+    /// receiver copies it (or the loan is revoked).
+    Shared(ZcHandle),
+}
+
 /// A message queued for delivery. `src` is re-recorded so any-source
 /// receives can report where a message came from.
 pub(crate) struct Envelope {
     pub src: usize,
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 #[derive(Default)]
@@ -197,14 +209,25 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn bytes_env(src: usize, bytes: Vec<u8>) -> Envelope {
+        Envelope { src, payload: Payload::Bytes(bytes) }
+    }
+
+    fn into_bytes(env: Envelope) -> Vec<u8> {
+        match env.payload {
+            Payload::Bytes(b) => b,
+            Payload::Shared(_) => panic!("expected an owned-bytes payload"),
+        }
+    }
+
     #[test]
     fn deposit_take_fifo() {
         let mb = Mailbox::default();
         let key = (1, 0, 7);
-        mb.deposit(key, Envelope { src: 0, payload: vec![1] });
-        mb.deposit(key, Envelope { src: 0, payload: vec![2] });
-        assert_eq!(mb.take(key, Duration::from_secs(1)).unwrap().payload, vec![1]);
-        assert_eq!(mb.take(key, Duration::from_secs(1)).unwrap().payload, vec![2]);
+        mb.deposit(key, bytes_env(0, vec![1]));
+        mb.deposit(key, bytes_env(0, vec![2]));
+        assert_eq!(into_bytes(mb.take(key, Duration::from_secs(1)).unwrap()), vec![1]);
+        assert_eq!(into_bytes(mb.take(key, Duration::from_secs(1)).unwrap()), vec![2]);
         assert_eq!(mb.pending(), 0);
     }
 
@@ -215,8 +238,8 @@ mod tests {
         let mb2 = Arc::clone(&mb);
         let h = std::thread::spawn(move || mb2.take(key, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(30));
-        mb.deposit(key, Envelope { src: 3, payload: vec![42] });
-        assert_eq!(h.join().unwrap().unwrap().payload, vec![42]);
+        mb.deposit(key, bytes_env(3, vec![42]));
+        assert_eq!(into_bytes(h.join().unwrap().unwrap()), vec![42]);
     }
 
     #[test]
@@ -230,15 +253,15 @@ mod tests {
         let mb = Mailbox::default();
         let key = (1, 1, 1);
         assert!(mb.try_take(key).is_none());
-        mb.deposit(key, Envelope { src: 1, payload: vec![5] });
-        assert_eq!(mb.try_take(key).unwrap().payload, vec![5]);
+        mb.deposit(key, bytes_env(1, vec![5]));
+        assert_eq!(into_bytes(mb.try_take(key).unwrap()), vec![5]);
     }
 
     #[test]
     fn take_any_prefers_lowest_source() {
         let mb = Mailbox::default();
-        mb.deposit((2, 4, 8), Envelope { src: 4, payload: vec![4] });
-        mb.deposit((2, 1, 8), Envelope { src: 1, payload: vec![1] });
+        mb.deposit((2, 4, 8), bytes_env(4, vec![4]));
+        mb.deposit((2, 1, 8), bytes_env(1, vec![1]));
         let env = match mb.take_any_watched(2, 8, 8, Duration::from_secs(1), || false) {
             TakeOutcome::Delivered(env) => env,
             _ => panic!("expected delivery"),

@@ -31,6 +31,7 @@ pub struct UniverseBuilder {
     timeout: Option<Duration>,
     fault_plan: Option<FaultPlan>,
     check: Option<bool>,
+    zerocopy: Option<bool>,
 }
 
 impl UniverseBuilder {
@@ -58,6 +59,17 @@ impl UniverseBuilder {
         self
     }
 
+    /// Enable (or force off) the zero-copy exchange fast path for this
+    /// universe, overriding the `DDR_NO_ZEROCOPY` environment variable.
+    /// Unlike the (process-global, race-prone in parallel test runners)
+    /// environment variable, this override is scoped to one universe — the
+    /// differential test harness uses it to run the same exchange through
+    /// both wire paths. Fault plans force the staged path regardless.
+    pub fn zerocopy(mut self, on: bool) -> Self {
+        self.zerocopy = Some(on);
+        self
+    }
+
     /// Run `f` on `n` ranks, each on its own thread with a world [`Comm`].
     /// Returns the per-rank results in rank order.
     ///
@@ -76,7 +88,8 @@ impl UniverseBuilder {
         assert!(n > 0, "Universe::run requires at least one rank");
         let timeout = self.timeout.unwrap_or_else(default_timeout);
         let check_on = self.check.unwrap_or_else(crate::check::check_env_default);
-        let world = Arc::new(WorldState::new(n, timeout, self.fault_plan.clone(), check_on));
+        let world =
+            Arc::new(WorldState::new(n, timeout, self.fault_plan.clone(), check_on, self.zerocopy));
         let shutdown = AtomicBool::new(false);
         std::thread::scope(|scope| {
             let detector = world.check.is_some().then(|| {

@@ -1,0 +1,533 @@
+//! The zero-copy data-movement plane.
+//!
+//! minimpi ranks are threads in one address space, so a non-contiguous
+//! message does not need MPI's pack → send → unpack staging: the *receiver*
+//! can copy each contiguous run straight out of the sender's source buffer
+//! into its own destination buffer — one `copy_from_slice` per run, zero
+//! intermediate allocations. This module provides the three pieces that make
+//! that safe and fast:
+//!
+//! * [`ZcCell`] / [`ZcHandle`] — a rendezvous protocol for lending a borrowed
+//!   send buffer across threads. The sender deposits a handle (raw pointer +
+//!   datatype + completion cell) and **blocks at the end of the collective**
+//!   until every lent region was either copied (`Done`) or provably never
+//!   will be (`Revoked`). The receiver must *claim* a region before touching
+//!   it, so a sender that gives up (peer death, watchdog) can revoke safely:
+//!   either the claim wins and the sender waits out the (bounded) memcpy, or
+//!   the revoke wins and the receiver never dereferences the pointer.
+//! * [`BufferPool`] — reusable staging buffers for the paths that still must
+//!   pack (fault-injected routes, explicit opt-out), with a high-water-mark
+//!   trim so a one-off huge exchange does not pin memory forever.
+//! * [`CopyPool`] — a small lazily-spawned worker pool that fans the per-peer
+//!   run copies of large exchanges out across cores.
+
+use crate::datatype::Datatype;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Rendezvous cells
+// ---------------------------------------------------------------------------
+
+const PENDING: u8 = 0;
+const COPYING: u8 = 1;
+const DONE: u8 = 2;
+const REVOKED: u8 = 3;
+
+/// Completion state of one lent region, shared between the sending and
+/// receiving rank. State machine: `Pending → Copying → Done` (receiver) or
+/// `Pending → Revoked` (sender giving up). The claim CAS makes the two
+/// races — revoke-vs-claim and wait-vs-finish — well ordered.
+#[derive(Debug, Default)]
+pub(crate) struct ZcCell {
+    state: AtomicU8,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Outcome of a sender's wait on a lent region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ZcWait {
+    /// The receiver copied the region.
+    Done,
+    /// The sender revoked the loan; the pointer was never (and will never
+    /// be) dereferenced.
+    Revoked,
+}
+
+impl ZcCell {
+    /// Receiver side: claim the region for copying. Returns `false` if the
+    /// sender already revoked it (the payload is lost).
+    pub fn try_claim(&self) -> bool {
+        self.state.compare_exchange(PENDING, COPYING, Ordering::Acquire, Ordering::Acquire).is_ok()
+    }
+
+    /// Receiver side: mark the copy complete and wake the sender.
+    pub fn finish(&self) {
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.state.store(DONE, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Sender side: block until the region is copied, revoking the loan if
+    /// `deadline` passes or `abort()` reports the receiver can no longer
+    /// claim it. Never returns while the receiver might still dereference
+    /// the lent pointer — that is the zero-copy soundness invariant.
+    pub fn wait(&self, deadline: Instant, abort: impl Fn() -> bool) -> ZcWait {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                DONE => return ZcWait::Done,
+                // Expired or aborted: revoke. Losing the CAS race means the
+                // receiver just claimed it — its memcpy is in flight and
+                // bounded, so fall through, loop, and wait for Done.
+                PENDING
+                    if (abort() || Instant::now() >= deadline)
+                        && self
+                            .state
+                            .compare_exchange(PENDING, REVOKED, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok() =>
+                {
+                    return ZcWait::Revoked;
+                }
+                _ => {}
+            }
+            let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            if self.state.load(Ordering::Acquire) != DONE {
+                // Re-check under the lock so a finish() cannot slot between
+                // the state load and the wait. Bounded wait keeps the abort
+                // condition live even if no notification ever comes.
+                let _ = self
+                    .cv
+                    .wait_timeout(guard, Duration::from_millis(25))
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+/// A lent region travelling through a mailbox: the sender's whole send
+/// buffer (as raw parts) plus the datatype selecting the message's bytes
+/// within it, and the completion cell the sender is waiting on.
+pub(crate) struct ZcHandle {
+    ptr: *const u8,
+    len: usize,
+    /// Selection of the message within the lent buffer.
+    pub dt: Datatype,
+    /// Completion cell shared with the sender.
+    pub cell: Arc<ZcCell>,
+}
+
+// SAFETY: the raw pointer crosses threads by design. The sender guarantees
+// the pointed-to buffer outlives the rendezvous (it blocks in ZcCell::wait
+// until Done/Revoked before the borrow ends), and the receiver only reads
+// it between a successful try_claim() and finish().
+unsafe impl Send for ZcHandle {}
+
+impl ZcHandle {
+    /// Lend `buf` with selection `dt`, reporting completion through `cell`.
+    pub fn new(buf: &[u8], dt: Datatype, cell: Arc<ZcCell>) -> Self {
+        ZcHandle { ptr: buf.as_ptr(), len: buf.len(), dt, cell }
+    }
+
+    /// The lent buffer.
+    ///
+    /// # Safety
+    /// Callable only between a successful [`ZcCell::try_claim`] and the
+    /// matching [`ZcCell::finish`], while the sender is still blocked in
+    /// [`ZcCell::wait`] — that is what keeps the borrow alive.
+    pub unsafe fn src_slice(&self) -> &[u8] {
+        // SAFETY: per the function contract the sender's buffer is alive and
+        // not mutated for the duration of the claim.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Number of payload bytes this handle carries.
+    pub fn packed_len(&self) -> usize {
+        self.dt.packed_len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Staging-buffer pool
+// ---------------------------------------------------------------------------
+
+/// Snapshot of [`BufferPool`] occupancy and traffic, for tests, benches and
+/// diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers currently parked in the free list.
+    pub free_buffers: usize,
+    /// Bytes of capacity currently parked in the free list.
+    pub free_bytes: usize,
+    /// Largest `free_bytes` ever observed.
+    pub high_water_bytes: usize,
+    /// Total acquisitions served.
+    pub acquires: u64,
+    /// Acquisitions served by reuse instead of allocation.
+    pub reuse_hits: u64,
+    /// Bytes of capacity released back to the allocator by the trim policy.
+    pub trimmed_bytes: u64,
+}
+
+#[derive(Default)]
+struct PoolInner {
+    /// Free buffers, kept sorted by capacity (ascending) for best-fit.
+    free: Vec<Vec<u8>>,
+    free_bytes: usize,
+    /// Largest single request seen in the current / previous demand epoch.
+    epoch_demand: usize,
+    prev_demand: usize,
+    epoch_acquires: u32,
+    stats: PoolStats,
+}
+
+/// How many acquisitions one demand epoch spans. Two epochs after a demand
+/// spike ends, the high-water mark has fully decayed and the trim policy
+/// releases the excess capacity.
+const POOL_EPOCH: u32 = 64;
+/// Retained capacity is bounded by `POOL_SLACK ×` the recent peak request
+/// (enough to stage every concurrent round of a typical exchange).
+const POOL_SLACK: usize = 8;
+/// Capacity floor below which the pool never bothers trimming.
+const POOL_MIN_RETAIN: usize = 64 * 1024;
+/// Hard cap on parked buffer count.
+const POOL_MAX_BUFFERS: usize = 64;
+
+/// A shared pool of staging buffers for the pack/unpack (legacy) path.
+///
+/// `acquire` hands out a cleared `Vec<u8>` with at least the requested
+/// capacity; `release` parks it for reuse. The release path trims the free
+/// list against a decaying high-water mark of recent demand, so pool memory
+/// stays bounded by current traffic instead of the historical maximum
+/// (the fix for `pack_into`-era unbounded staging growth).
+#[derive(Default)]
+pub(crate) struct BufferPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    fn lock(&self) -> MutexGuard<'_, PoolInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get a cleared buffer with capacity at least `cap` (best fit, else a
+    /// fresh allocation).
+    pub fn acquire(&self, cap: usize) -> Vec<u8> {
+        let mut inner = self.lock();
+        inner.stats.acquires += 1;
+        inner.epoch_acquires += 1;
+        inner.epoch_demand = inner.epoch_demand.max(cap);
+        if inner.epoch_acquires >= POOL_EPOCH {
+            inner.prev_demand = inner.epoch_demand;
+            inner.epoch_demand = 0;
+            inner.epoch_acquires = 0;
+        }
+        // Best fit: first free buffer (sorted ascending) that can hold `cap`.
+        if let Some(i) = inner.free.iter().position(|b| b.capacity() >= cap) {
+            let mut buf = inner.free.remove(i);
+            inner.free_bytes -= buf.capacity();
+            inner.stats.reuse_hits += 1;
+            buf.clear();
+            return buf;
+        }
+        drop(inner);
+        Vec::with_capacity(cap)
+    }
+
+    /// Return a buffer to the pool (content is discarded). Oversized
+    /// capacity beyond the recent-demand watermark is released immediately.
+    pub fn release(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut inner = self.lock();
+        let cap = buf.capacity();
+        let at = inner.free.partition_point(|b| b.capacity() < cap);
+        inner.free.insert(at, buf);
+        inner.free_bytes += cap;
+        inner.stats.high_water_bytes = inner.stats.high_water_bytes.max(inner.free_bytes);
+        let bound = (inner.epoch_demand.max(inner.prev_demand) * POOL_SLACK).max(POOL_MIN_RETAIN);
+        // Trim largest-first: big stale buffers are the ones that pin memory.
+        while inner.free_bytes > bound || inner.free.len() > POOL_MAX_BUFFERS {
+            match inner.free.pop() {
+                Some(b) => {
+                    inner.free_bytes -= b.capacity();
+                    inner.stats.trimmed_bytes += b.capacity() as u64;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Current occupancy / traffic counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.lock();
+        let mut s = inner.stats;
+        s.free_buffers = inner.free.len();
+        s.free_bytes = inner.free_bytes;
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport counters
+// ---------------------------------------------------------------------------
+
+/// Which wire path messages took, for tests and benches to introspect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Messages delivered by the zero-copy rendezvous.
+    pub zerocopy_msgs: u64,
+    /// Messages staged through pack buffers.
+    pub staged_msgs: u64,
+    /// Zero-copy loans that were revoked before the receiver copied them.
+    pub revoked_msgs: u64,
+    /// Receive-side copy batches executed on the parallel copy pool.
+    pub parallel_copies: u64,
+}
+
+/// Atomic backing store for [`TransportCounters`], kept on the world state.
+#[derive(Debug, Default)]
+pub(crate) struct TransportCells {
+    pub zerocopy_msgs: AtomicU64,
+    pub staged_msgs: AtomicU64,
+    pub revoked_msgs: AtomicU64,
+    pub parallel_copies: AtomicU64,
+}
+
+impl TransportCells {
+    pub fn snapshot(&self) -> TransportCounters {
+        TransportCounters {
+            zerocopy_msgs: self.zerocopy_msgs.load(Ordering::Relaxed),
+            staged_msgs: self.staged_msgs.load(Ordering::Relaxed),
+            revoked_msgs: self.revoked_msgs.load(Ordering::Relaxed),
+            parallel_copies: self.parallel_copies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel copy pool
+// ---------------------------------------------------------------------------
+
+/// Byte-run copy job: `(src_offset, dst_offset, len)` triples between two
+/// raw base pointers. The submitter blocks on the latch until every job of
+/// the batch finished, which keeps both borrows alive.
+struct CopyJob {
+    src: *const u8,
+    dst: *mut u8,
+    runs: Vec<(usize, usize, usize)>,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: jobs carry raw pointers across threads by design. The submitter
+// (ZcBatch::run) guarantees src/dst outlive the batch by blocking on the
+// latch, and that concurrently executing jobs write disjoint dst ranges.
+unsafe impl Send for CopyJob {}
+
+/// Countdown latch: `add` before submitting, workers `count_down`, the
+/// submitter `wait`s for zero.
+#[derive(Default)]
+struct Latch {
+    left: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn add(&self, n: usize) {
+        *self.left.lock().unwrap_or_else(|e| e.into_inner()) += n;
+    }
+
+    fn count_down(&self) {
+        let mut left = self.left.lock().unwrap_or_else(|e| e.into_inner());
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.left.lock().unwrap_or_else(|e| e.into_inner());
+        while *left != 0 {
+            left = self.cv.wait(left).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Number of helper threads. The submitting rank copies its own shard too,
+/// so a batch uses at most `COPY_WORKERS + 1` cores.
+const COPY_WORKERS: usize = 3;
+
+/// Per-batch byte threshold below which fan-out is not worth the handoff.
+pub(crate) const PARALLEL_COPY_MIN_BYTES: usize = 4 << 20;
+
+/// A small process-global pool of copy workers, spawned on first use. The
+/// workers are detached and spend their idle life blocked on the job
+/// channel — they hold no references to any universe.
+pub(crate) struct CopyPool {
+    tx: Sender<CopyJob>,
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<CopyJob>>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let Ok(job) = job else { return };
+        run_job(&job);
+        job.latch.count_down();
+    }
+}
+
+fn run_job(job: &CopyJob) {
+    for &(s, d, n) in &job.runs {
+        // SAFETY: the submitter keeps src/dst alive until the latch opens
+        // and guarantees [d, d+n) ranges of concurrent jobs are disjoint;
+        // src and dst buffers are themselves disjoint (send vs recv buffer).
+        unsafe {
+            std::ptr::copy_nonoverlapping(job.src.add(s), job.dst.add(d), n);
+        }
+    }
+}
+
+impl CopyPool {
+    /// The process-global pool.
+    pub fn global() -> &'static CopyPool {
+        static POOL: OnceLock<CopyPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let (tx, rx) = channel::<CopyJob>();
+            let rx = Arc::new(Mutex::new(rx));
+            for i in 0..COPY_WORKERS {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("minimpi-copy-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("failed to spawn copy worker");
+            }
+            CopyPool { tx }
+        })
+    }
+
+    /// Execute `shards` of run-copies between `src` and `dst` bases, using
+    /// the workers for all but the first shard (which runs on the calling
+    /// thread). Blocks until every shard completed.
+    ///
+    /// Caller contract: `src`/`dst` stay valid for the duration of the call
+    /// and the dst ranges of distinct shards are pairwise disjoint.
+    pub fn run_batch(&self, src: *const u8, dst: *mut u8, shards: Vec<Vec<(usize, usize, usize)>>) {
+        let latch = Arc::new(Latch::default());
+        let mut local: Option<CopyJob> = None;
+        for (i, runs) in shards.into_iter().enumerate() {
+            if runs.is_empty() {
+                continue;
+            }
+            let job = CopyJob { src, dst, runs, latch: Arc::clone(&latch) };
+            if i == 0 {
+                local = Some(job);
+            } else {
+                latch.add(1);
+                // A send only fails if every worker died (impossible: they
+                // never exit while the channel is open) — run inline then.
+                if let Err(e) = self.tx.send(job) {
+                    run_job(&e.0);
+                }
+            }
+        }
+        if let Some(job) = local {
+            run_job(&job);
+        }
+        latch.wait();
+    }
+}
+
+/// Reads `DDR_NO_ZEROCOPY`: `1`/`true`/`yes` (any case) disables the
+/// zero-copy fast path for the whole process.
+pub(crate) fn zerocopy_env_default() -> bool {
+    !matches!(
+        std::env::var("DDR_NO_ZEROCOPY").ok().as_deref().map(str::trim),
+        Some("1") | Some("true") | Some("TRUE") | Some("yes") | Some("YES")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_done_path() {
+        let cell = Arc::new(ZcCell::default());
+        let c2 = Arc::clone(&cell);
+        let h = std::thread::spawn(move || {
+            assert!(c2.try_claim());
+            c2.finish();
+        });
+        let out = cell.wait(Instant::now() + Duration::from_secs(5), || false);
+        assert_eq!(out, ZcWait::Done);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn cell_revoke_on_timeout_blocks_claim() {
+        let cell = ZcCell::default();
+        let out = cell.wait(Instant::now(), || false);
+        assert_eq!(out, ZcWait::Revoked);
+        assert!(!cell.try_claim());
+    }
+
+    #[test]
+    fn cell_abort_revokes() {
+        let cell = ZcCell::default();
+        let out = cell.wait(Instant::now() + Duration::from_secs(60), || true);
+        assert_eq!(out, ZcWait::Revoked);
+    }
+
+    #[test]
+    fn pool_reuses_and_clears() {
+        let pool = BufferPool::default();
+        let mut a = pool.acquire(100);
+        a.extend_from_slice(&[1, 2, 3]);
+        let cap = a.capacity();
+        pool.release(a);
+        let b = pool.acquire(50);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(pool.stats().reuse_hits, 1);
+    }
+
+    #[test]
+    fn pool_trims_oversized_capacity_after_demand_decays() {
+        let pool = BufferPool::default();
+        // One huge staging buffer, then two epochs of small traffic.
+        let huge = pool.acquire(32 << 20);
+        pool.release(huge);
+        for _ in 0..(2 * POOL_EPOCH) {
+            let b = pool.acquire(1024);
+            pool.release(b);
+        }
+        let s = pool.stats();
+        assert!(
+            s.free_bytes <= (1024 * POOL_SLACK).max(POOL_MIN_RETAIN),
+            "pool retained {} bytes after demand decayed",
+            s.free_bytes
+        );
+        assert!(s.trimmed_bytes >= (32 << 20) as u64);
+    }
+
+    #[test]
+    fn copy_pool_runs_disjoint_shards() {
+        let src: Vec<u8> = (0..=255u8).cycle().take(1 << 16).collect();
+        let mut dst = vec![0u8; 1 << 16];
+        let shards: Vec<Vec<(usize, usize, usize)>> = (0..4)
+            .map(|i| {
+                let base = i * (1 << 14);
+                vec![(base, base, 1 << 14)]
+            })
+            .collect();
+        CopyPool::global().run_batch(src.as_ptr(), dst.as_mut_ptr(), shards);
+        assert_eq!(src, dst);
+    }
+}

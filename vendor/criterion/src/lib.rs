@@ -57,13 +57,20 @@ impl From<String> for BenchmarkId {
 /// Measurement driver handed to benchmark closures.
 pub struct Bencher {
     samples: usize,
+    test_mode: bool,
     elapsed: Vec<Duration>,
 }
 
 impl Bencher {
     /// Time `f`, running enough iterations per sample to get a stable
-    /// wall-clock reading.
+    /// wall-clock reading. In `--test` smoke mode `f` runs exactly once.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            std_black_box(f());
+            self.elapsed.push(start.elapsed());
+            return;
+        }
         // Calibrate: how many iterations fit in ~5 ms?
         let start = Instant::now();
         std_black_box(f());
@@ -76,6 +83,17 @@ impl Bencher {
                 std_black_box(f());
             }
             self.elapsed.push(start.elapsed() / per_sample);
+        }
+    }
+
+    /// Like the real crate's `iter_custom`: `f` receives an iteration count
+    /// and returns the measured duration for that many iterations. Used when
+    /// the workload must time an inner region itself (e.g. excluding thread
+    /// spawn). In `--test` smoke mode `f` runs exactly once.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let samples = if self.test_mode { 1 } else { self.samples };
+        for _ in 0..samples {
+            self.elapsed.push(f(1));
         }
     }
 
@@ -93,7 +111,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -115,7 +133,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { samples: self.sample_size, elapsed: Vec::new() };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            elapsed: Vec::new(),
+        };
         f(&mut b);
         self.report(&id, b.median());
         self
@@ -132,13 +154,17 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher { samples: self.sample_size, elapsed: Vec::new() };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            elapsed: Vec::new(),
+        };
         f(&mut b, input);
         self.report(&id, b.median());
         self
     }
 
-    fn report(&self, id: &BenchmarkId, median: Duration) {
+    fn report(&mut self, id: &BenchmarkId, median: Duration) {
         let mut line = format!("{}/{:<40} {:>12.3?}", self.name, id.id, median);
         if let Some(t) = self.throughput {
             let secs = median.as_secs_f64().max(1e-12);
@@ -151,7 +177,11 @@ impl BenchmarkGroup<'_> {
                 }
             }
         }
+        if self.criterion.test_mode {
+            line.push_str("  (test mode: 1 run, timing not meaningful)");
+        }
         println!("{line}");
+        self.criterion.results.push((format!("{}/{}", self.name, id.id), median));
     }
 
     /// End the group (printing happened per-benchmark).
@@ -159,13 +189,43 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Top-level benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+///
+/// `Criterion::default()` honours the real crate's `--test` flag (as passed
+/// by `cargo bench -- --test`): every benchmark body runs exactly once as a
+/// smoke test, with no calibration loop.
+pub struct Criterion {
+    test_mode: bool,
+    results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test"), results: Vec::new() }
+    }
+}
 
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, criterion: self }
+    }
+
+    /// Force smoke-test mode on or off (overriding the `--test` flag).
+    pub fn test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    /// Whether this run is a `--test` smoke run.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Median durations recorded so far, as `(group/id, median)` pairs, in
+    /// execution order. (Shim extension: the real crate persists results to
+    /// disk instead; our benches use this to emit machine-readable reports.)
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
     }
 
     /// Run one stand-alone benchmark.
@@ -217,6 +277,34 @@ mod tests {
         });
         g.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_exactly_once() {
+        let mut c = Criterion::default().test_mode(true);
+        let mut runs = 0usize;
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(50).bench_function("counted", |b| {
+            b.iter(|| runs += 1);
+        });
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                runs += 1;
+                Duration::from_micros(1)
+            });
+        });
+        g.finish();
+        assert_eq!(runs, 2);
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[1].1, Duration::from_micros(1));
+    }
+
+    #[test]
+    fn results_record_group_and_id() {
+        let mut c = Criterion::default().test_mode(true);
+        c.benchmark_group("g").bench_function("x", |b| b.iter(|| 1));
+        assert_eq!(c.results()[0].0, "g/x");
     }
 
     #[test]
