@@ -150,12 +150,19 @@ impl Plan {
             });
         }
         self.check_buffers(owned, need)?;
+        let _reorg = ddrtrace::span_arg("redist", "reorganize", "rounds", self.rounds.len() as i64);
         let failures = match self.resolve_strategy(strategy) {
             Strategy::Alltoallw => self.reorganize_alltoallw(comm, owned, need)?,
             Strategy::PointToPoint => self.reorganize_p2p(comm, owned, need)?,
             Strategy::Auto => unreachable!("resolved above"),
         };
         let stats = RedistStats::from_plan(self, &failures);
+        if ddrtrace::enabled() {
+            ddrtrace::metrics::add("redist", "sent_bytes", stats.sent_bytes);
+            ddrtrace::metrics::add("redist", "local_bytes", stats.local_bytes);
+            ddrtrace::metrics::add("redist", "messages_sent", stats.messages_sent);
+            ddrtrace::metrics::add("redist", "failed_recvs", stats.failed_recvs);
+        }
         Ok((PartialCompletion::from_failures(self, &failures), stats))
     }
 
@@ -197,6 +204,7 @@ impl Plan {
         let need_bytes = bytes_of_mut(need);
         let mut failures = Vec::new();
         for (r, round) in self.rounds.iter().enumerate() {
+            let _round = ddrtrace::span_arg("redist", "round", "round", r as i64);
             let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]);
             let mut send_types = vec![Datatype::Empty; n];
             let mut recv_types = vec![Datatype::Empty; n];
@@ -221,6 +229,7 @@ impl Plan {
         let need_bytes = bytes_of_mut(need);
         let mut failures = Vec::new();
         for (r, round) in self.rounds.iter().enumerate() {
+            let _round = ddrtrace::span_arg("redist", "round", "round", r as i64);
             let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]);
             let mut sends = Vec::with_capacity(round.sends.len());
             for t in &round.sends {

@@ -132,12 +132,20 @@ impl Descriptor {
                 actual: comm.size(),
             });
         }
+        let _setup = ddrtrace::span("redist", "setup_mapping");
         let mine = Layout { owned: owned.to_vec(), need };
-        let layouts = exchange_layouts(comm, &mine)?;
-        validate(&layouts, policy)?;
-        if crate::lint::is_audit(policy) {
-            crate::lint::audit(self, &layouts)?;
+        let layouts = {
+            let _x = ddrtrace::span("redist", "layout_exchange");
+            exchange_layouts(comm, &mine)?
+        };
+        {
+            let _v = ddrtrace::span("redist", "validate_layouts");
+            validate(&layouts, policy)?;
+            if crate::lint::is_audit(policy) {
+                crate::lint::audit(self, &layouts)?;
+            }
         }
+        let _p = ddrtrace::span("redist", "compute_plan");
         compute_local_plan(comm.rank(), &layouts, self)
     }
 }

@@ -109,12 +109,14 @@ impl GlobalStats {
                 let Some(chunk) = src.owned.get(r) else { continue };
                 for (d, dst) in layouts.iter().enumerate() {
                     if let Some(region) = chunk.intersect(&dst.need) {
-                        let bytes = region.count() * elem_size as u64;
+                        // Saturating: a count near u64::MAX times the element
+                        // size must clamp, not wrap to a tiny byte total.
+                        let bytes = region.count().saturating_mul(elem_size as u64);
                         if s == d {
-                            local_r[s] += bytes;
+                            local_r[s] = local_r[s].saturating_add(bytes);
                         } else {
-                            sent_r[s] += bytes;
-                            recv_r[d] += bytes;
+                            sent_r[s] = sent_r[s].saturating_add(bytes);
+                            recv_r[d] = recv_r[d].saturating_add(bytes);
                             msgs_r[s] += 1;
                         }
                     }
@@ -136,7 +138,7 @@ impl GlobalStats {
                     continue;
                 }
                 if let Some(region) = chunk.intersect(&dst.need) {
-                    m[s * nprocs + d] = region.count() * elem_size as u64;
+                    m[s * nprocs + d] = region.count().saturating_mul(elem_size as u64);
                 }
             }
         }
@@ -262,6 +264,28 @@ mod tests {
         let s = GlobalStats::compute(&e1_layouts(), 4);
         assert!(s.mean_sent_per_rank_per_round() >= 16.0);
         assert!(s.max_sent_per_rank_per_round() <= 32);
+    }
+
+    #[test]
+    fn byte_totals_saturate_instead_of_wrapping() {
+        // 2^21 cells per axis -> 2^63 elements; at 16 bytes per element the
+        // byte count exceeds u64 and must clamp to u64::MAX, not wrap (the
+        // unchecked multiply used to panic in debug and wrap to 0 in
+        // release).
+        let huge = Block::d3([0, 0, 0], [1 << 21, 1 << 21, 1 << 21]).unwrap();
+        let tiny = Block::d3([0, 0, 0], [1, 1, 1]).unwrap();
+        let layouts = vec![
+            Layout { owned: vec![huge], need: huge },
+            Layout { owned: vec![tiny], need: huge },
+        ];
+        let s = GlobalStats::compute(&layouts, 16);
+        // Rank 0 satisfies its own need locally and sends the same region to
+        // rank 1 — both accumulations overflow and must saturate.
+        assert_eq!(s.local[0][0], u64::MAX);
+        assert_eq!(s.sent[0][0], u64::MAX);
+        assert_eq!(s.recv[0][1], u64::MAX);
+        let m = GlobalStats::pair_bytes(&layouts, 16, 0);
+        assert_eq!(m[1], u64::MAX);
     }
 
     #[test]

@@ -136,9 +136,13 @@ struct RankRun {
 /// Execute `case` through one wire path. `zerocopy` selects the plane under
 /// test; everything else (layouts, data, strategy) is held identical.
 fn run_path(case: &Case, zerocopy: bool, check: bool, strategy: Strategy) -> Vec<RankRun> {
+    // Threshold 0: loan every cross-rank message regardless of size, so the
+    // fast path under test is pure zero-copy (the differential cases are far
+    // smaller than the production 64 KiB staging floor).
     let layouts = &case.layouts;
     let (kind, nprocs) = (case.kind, case.nprocs);
-    Universe::builder().zerocopy(zerocopy).check(check).run(nprocs, move |comm| {
+    let builder = Universe::builder().zerocopy(zerocopy).zerocopy_threshold(0).check(check);
+    builder.run(nprocs, move |comm| {
         let me = &layouts[comm.rank()];
         let desc = Descriptor::for_type::<u64>(nprocs, kind).unwrap();
         let plan = desc
@@ -200,6 +204,41 @@ fn differential_holds_under_check_mode() {
         let fast = run_path(&case, true, true, Strategy::Alltoallw);
         let legacy = run_path(&case, false, true, Strategy::Alltoallw);
         assert_paths_agree(seed, &fast, &legacy);
+    }
+}
+
+/// Under the production default threshold (64 KiB), per-pair messages of the
+/// seeded cases straddle the staging floor, so one exchange mixes loaned and
+/// staged deliveries. The mixed run must stay byte-identical to a pure
+/// staged run.
+#[test]
+fn default_threshold_mixes_paths_and_stays_byte_identical() {
+    let run_with_default_threshold = |case: &Case| {
+        let layouts = &case.layouts;
+        let (kind, nprocs) = (case.kind, case.nprocs);
+        Universe::builder().zerocopy(true).run(nprocs, move |comm| {
+            let me = &layouts[comm.rank()];
+            let desc = Descriptor::for_type::<u64>(nprocs, kind).unwrap();
+            let plan = desc
+                .setup_data_mapping_with(comm, &me.owned, me.need, ValidationPolicy::Strict)
+                .unwrap();
+            let data: Vec<Vec<u64>> =
+                me.owned.iter().map(|b| b.coords().map(cell_value).collect()).collect();
+            let refs: Vec<&[u64]> = data.iter().map(|v| v.as_slice()).collect();
+            let mut need = vec![u64::MAX; me.need.count() as usize];
+            let (report, _) =
+                plan.reorganize_with_stats(comm, &refs, &mut need, Strategy::Alltoallw).unwrap();
+            assert!(report.is_complete());
+            need
+        })
+    };
+    for seed in 0..10u64 {
+        let case = case_from_seed(seed);
+        let mixed = run_with_default_threshold(&case);
+        let legacy = run_path(&case, false, false, Strategy::Alltoallw);
+        for (r, (m, l)) in mixed.iter().zip(&legacy).enumerate() {
+            assert_eq!(m, &l.need, "seed {seed}: rank {r} mixed-path buffer diverges");
+        }
     }
 }
 

@@ -1,0 +1,188 @@
+//! Chrome trace-event JSON serialization.
+//!
+//! The output is the classic `{"traceEvents": [...]}` object format, which
+//! both `chrome://tracing` and Perfetto (<https://ui.perfetto.dev>) load
+//! directly. Every thread becomes one track: a `"M"` (metadata) event names
+//! it, spans are `"X"` (complete) events, instants `"i"`, counters `"C"`.
+//! Timestamps are microseconds with nanosecond fractions, relative to the
+//! capture epoch. Two extra top-level keys carry data the format has no slot
+//! for: `"metrics"` (the unified metrics registry) and `"dropped"` (events
+//! lost to ring overflow).
+
+use crate::{EventKind, Trace, TraceEvent};
+use std::fmt::Write;
+
+/// All events share one process track; threads are distinguished by tid.
+const PID: u32 = 1;
+
+/// Escape a string for embedding in a JSON string literal.
+pub(crate) fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_event(out: &mut String, e: &TraceEvent) {
+    let ph = match e.kind {
+        EventKind::Span => "X",
+        EventKind::Instant => "i",
+        EventKind::Counter => "C",
+    };
+    let _ = write!(
+        out,
+        "    {{\"ph\":\"{ph}\",\"pid\":{PID},\"tid\":{},\"cat\":\"{}\",\"name\":\"{}\",\"ts\":{}",
+        e.track,
+        e.cat,
+        e.name,
+        micros(e.ts_ns)
+    );
+    match e.kind {
+        EventKind::Span => {
+            let _ = write!(out, ",\"dur\":{}", micros(e.dur_ns));
+            if !e.arg_key.is_empty() {
+                let _ = write!(out, ",\"args\":{{\"{}\":{}}}", e.arg_key, e.arg);
+            }
+        }
+        EventKind::Instant => {
+            // Thread-scoped instant.
+            out.push_str(",\"s\":\"t\"");
+            if !e.arg_key.is_empty() {
+                let _ = write!(out, ",\"args\":{{\"{}\":{}}}", e.arg_key, e.arg);
+            }
+        }
+        EventKind::Counter => {
+            let _ = write!(out, ",\"args\":{{\"value\":{}}}", e.arg);
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize a [`Trace`] as Chrome trace-event JSON.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.events.len() * 120);
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n");
+    let _ = writeln!(out, "  \"dropped\": {},", trace.dropped);
+    out.push_str("  \"metrics\": {");
+    for (i, (key, value)) in trace.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    \"");
+        escape(key, &mut out);
+        let _ = write!(out, "\": {value}");
+    }
+    if !trace.metrics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"traceEvents\": [\n");
+    let mut first = true;
+    for (track, name) in &trace.tracks {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "    {{\"ph\":\"M\",\"pid\":{PID},\"tid\":{track},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\""
+        );
+        escape(name, &mut out);
+        out.push_str("\"}}");
+    }
+    for e in &trace.events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        push_event(&mut out, e);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent {
+                    ts_ns: 1500,
+                    dur_ns: 2500,
+                    kind: EventKind::Span,
+                    cat: "redist",
+                    name: "pack",
+                    track: 0,
+                    arg_key: "round",
+                    arg: 2,
+                },
+                TraceEvent {
+                    ts_ns: 4200,
+                    dur_ns: 0,
+                    kind: EventKind::Instant,
+                    cat: "intransit",
+                    name: "frame_skip",
+                    track: 1,
+                    arg_key: "",
+                    arg: 0,
+                },
+                TraceEvent {
+                    ts_ns: 5000,
+                    dur_ns: 0,
+                    kind: EventKind::Counter,
+                    cat: "counter",
+                    name: "pool_free_bytes",
+                    track: 1,
+                    arg_key: "value",
+                    arg: 65536,
+                },
+            ],
+            tracks: vec![(0, "rank-0".into()), (1, "rank-1".into())],
+            dropped: 0,
+            metrics: vec![("minimpi.transport.zerocopy_msgs".into(), 12)],
+        }
+    }
+
+    #[test]
+    fn output_parses_and_preserves_structure() {
+        let json = to_chrome_json(&sample_trace());
+        let v = crate::json::parse(&json).expect("chrome output must be valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        // 2 metadata + 3 data events.
+        assert_eq!(events.len(), 5);
+        let span = events.iter().find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"));
+        let span = span.unwrap();
+        assert_eq!(span.get("name").and_then(|n| n.as_str()), Some("pack"));
+        assert_eq!(span.get("ts").and_then(|t| t.as_f64()), Some(1.5));
+        assert_eq!(span.get("dur").and_then(|t| t.as_f64()), Some(2.5));
+        assert_eq!(
+            v.get("metrics")
+                .and_then(|m| m.get("minimpi.transport.zerocopy_msgs"))
+                .and_then(|x| x.as_f64()),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn thread_names_are_escaped() {
+        let mut t = sample_trace();
+        t.tracks[0].1 = "weird \"name\"\n".into();
+        let json = to_chrome_json(&t);
+        assert!(crate::json::parse(&json).is_ok());
+    }
+}

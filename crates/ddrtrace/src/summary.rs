@@ -1,0 +1,167 @@
+//! Per-phase aggregation of a collected trace — the reproduction's analogue
+//! of the paper's per-phase timing tables (mapping vs packing vs exchange
+//! rounds).
+
+use crate::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregated timing of one phase (`category/name`) across all tracks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// `category/name`, e.g. `"redist/pack"`.
+    pub phase: String,
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Summed duration over all spans, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+    /// Number of distinct tracks (ranks) that recorded this phase.
+    pub tracks: u64,
+}
+
+impl PhaseRow {
+    /// Mean span duration in nanoseconds.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The per-phase summary table of one capture, plus instant-event counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// One row per span phase, ordered by total time descending.
+    pub rows: Vec<PhaseRow>,
+    /// `(category/name, occurrences)` for instant events.
+    pub instants: Vec<(String, u64)>,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl Summary {
+    /// Aggregate resolved events into per-phase rows.
+    pub fn from_events(events: &[TraceEvent]) -> Summary {
+        let mut spans: BTreeMap<String, (u64, u64, u64, std::collections::BTreeSet<u32>)> =
+            BTreeMap::new();
+        let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+        for e in events {
+            let key = format!("{}/{}", e.cat, e.name);
+            match e.kind {
+                EventKind::Span => {
+                    let entry = spans.entry(key).or_default();
+                    entry.0 += 1;
+                    entry.1 += e.dur_ns;
+                    entry.2 = entry.2.max(e.dur_ns);
+                    entry.3.insert(e.track);
+                }
+                EventKind::Instant => *instants.entry(key).or_default() += 1,
+                EventKind::Counter => {}
+            }
+        }
+        let mut rows: Vec<PhaseRow> = spans
+            .into_iter()
+            .map(|(phase, (count, total_ns, max_ns, tracks))| PhaseRow {
+                phase,
+                count,
+                total_ns,
+                max_ns,
+                tracks: tracks.len() as u64,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.phase.cmp(&b.phase)));
+        Summary { rows, instants: instants.into_iter().collect() }
+    }
+
+    /// Look up one phase's row by its `category/name` key.
+    pub fn row(&self, phase: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.phase == phase)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>7}",
+            "phase", "count", "total", "mean", "max", "tracks"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>7}",
+                r.phase,
+                r.count,
+                fmt_ns(r.total_ns),
+                fmt_ns(r.mean_ns()),
+                fmt_ns(r.max_ns),
+                r.tracks
+            )?;
+        }
+        if !self.instants.is_empty() {
+            writeln!(f, "{:<28} {:>8}", "events", "count")?;
+            for (name, count) in &self.instants {
+                writeln!(f, "{name:<28} {count:>8}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(cat: &'static str, name: &'static str, track: u32, dur: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 0,
+            dur_ns: dur,
+            kind: EventKind::Span,
+            cat,
+            name,
+            track,
+            arg_key: "",
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_phase_and_orders_by_total() {
+        let events = vec![
+            span("redist", "pack", 0, 100),
+            span("redist", "pack", 1, 300),
+            span("redist", "unpack", 0, 150),
+            TraceEvent {
+                ts_ns: 5,
+                dur_ns: 0,
+                kind: EventKind::Instant,
+                cat: "intransit",
+                name: "frame_skip",
+                track: 0,
+                arg_key: "",
+                arg: 0,
+            },
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.rows[0].phase, "redist/pack");
+        assert_eq!(s.rows[0].count, 2);
+        assert_eq!(s.rows[0].total_ns, 400);
+        assert_eq!(s.rows[0].mean_ns(), 200);
+        assert_eq!(s.rows[0].max_ns, 300);
+        assert_eq!(s.rows[0].tracks, 2);
+        assert_eq!(s.row("redist/unpack").unwrap().total_ns, 150);
+        assert_eq!(s.instants, vec![("intransit/frame_skip".to_string(), 1)]);
+        let table = s.to_string();
+        assert!(table.contains("redist/pack") && table.contains("frame_skip"), "{table}");
+    }
+}

@@ -53,6 +53,7 @@ impl Repartitioner {
     /// If the incoming layout changes between steps the mapping is rebuilt
     /// transparently.
     pub fn redistribute(&mut self, analysis: &Comm, frames: &[Frame]) -> Result<Vec<f32>> {
+        let _span = ddrtrace::span_arg("intransit", "repartition", "frames", frames.len() as i64);
         let owned: Vec<Block> = frames.iter().map(|f| f.block).collect();
         // Layout changes (including the first call) trigger a mapping setup;
         // all ranks must agree, so the "changed" flag is agreed collectively.

@@ -127,6 +127,7 @@ impl FrameReceiver {
     }
 
     fn recv_one(&mut self, comm: &Comm, src: usize, step: u64) -> Result<Option<Frame>> {
+        let _wait = ddrtrace::span_arg("intransit", "frame_wait", "src", src as i64);
         // A frame stashed during an earlier skip may already settle this step.
         if let Some(stashed) = self.stash.get(&src) {
             if stashed.step == step {
@@ -146,6 +147,7 @@ impl FrameReceiver {
         for attempt in 0..=self.cfg.retries {
             if attempt > 0 {
                 self.stats.retries += 1;
+                ddrtrace::instant_arg("intransit", "frame_retry", "attempt", attempt as i64);
                 std::thread::sleep(self.cfg.backoff * attempt);
             }
             let deadline = Instant::now() + self.cfg.deadline;
@@ -183,6 +185,7 @@ impl FrameReceiver {
     /// Record and log a skipped frame; always yields `None`.
     fn skip(&mut self, comm: &Comm, src: usize, step: u64, why: &str) -> Option<Frame> {
         self.stats.skipped += 1;
+        ddrtrace::instant_arg("intransit", "frame_skip", "src", src as i64);
         eprintln!(
             "[intransit] rank {}: no frame from rank {src} for step {step} ({why}) — skipping ahead",
             comm.rank()

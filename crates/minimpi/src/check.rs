@@ -435,7 +435,7 @@ pub(crate) fn detector_loop(world: &WorldState, shutdown: &AtomicBool) {
 /// `DDR_CHECK=1` (or `true`) turns checking on when the builder did not
 /// decide explicitly.
 pub(crate) fn check_env_default() -> bool {
-    matches!(std::env::var("DDR_CHECK").as_deref(), Ok("1") | Ok("true"))
+    crate::env::flag("DDR_CHECK").unwrap_or(false)
 }
 
 #[cfg(test)]

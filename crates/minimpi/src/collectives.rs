@@ -74,6 +74,7 @@ impl Comm {
         }
         let seq = self.next_coll_seq();
         self.record_collective(seq, CollFingerprint::here(CollectiveKind::Barrier, None, 0))?;
+        let _coll = ddrtrace::span("minimpi", "barrier");
         let mut dist = 1usize;
         let mut phase = 0u64;
         while dist < n {
@@ -120,7 +121,12 @@ impl Comm {
             mask <<= 1;
         }
         // Send phase: forward to children below our identifying bit.
-        let payload = payload.expect("bcast: payload must be set after receive phase");
+        let payload = payload.ok_or_else(|| Error::Internal {
+            detail: format!(
+                "bcast: rank {} has no payload after the receive phase (root {root}, n {n})",
+                self.rank()
+            ),
+        })?;
         let mut mask = mask >> 1;
         while mask > 0 {
             if relative + mask < n {
@@ -437,6 +443,7 @@ impl Comm {
         let me = self.rank();
         let tag = coll_key_tag(seq, 0);
         let zerocopy = self.world.zerocopy_active();
+        let _coll = ddrtrace::span_arg("minimpi", "alltoallw", "seq", seq as i64);
 
         // Send phase (buffered, never blocks). A deposit only fails if this
         // rank itself is dead — that is a hard error even under salvage.
@@ -448,13 +455,17 @@ impl Comm {
             if d == me || dt.packed_len() == 0 {
                 continue;
             }
-            if zerocopy {
+            // Below the threshold the rendezvous handshake costs more than
+            // the copy it avoids, so small messages stage even in zero-copy
+            // mode (threshold 0 loans everything).
+            if zerocopy && dt.packed_len() >= self.world.zc_threshold {
                 // Validate sender-side bounds eagerly, where the legacy path
                 // would have failed packing.
                 dt.check_bounds(send_buf.len())?;
                 let cell = self.deposit_shared(d, tag, send_buf, *dt)?;
                 loans.push(d, cell);
             } else {
+                let _pack = ddrtrace::span_arg("minimpi", "pack", "bytes", dt.packed_len() as i64);
                 let mut packed = self.world.pool.acquire(dt.packed_len());
                 dt.pack_into(send_buf, &mut packed)?;
                 self.deposit_to(d, tag, packed)?;
@@ -464,6 +475,12 @@ impl Comm {
         // Self-transfer: direct selection-to-selection copy (no staging in
         // either mode — faults never apply to self-messages).
         if send_types[me].packed_len() > 0 || recv_types[me].packed_len() > 0 {
+            let _copy = ddrtrace::span_arg(
+                "minimpi",
+                "self_copy",
+                "bytes",
+                send_types[me].packed_len() as i64,
+            );
             copy_selection(send_buf, &send_types[me], recv_buf, &recv_types[me])?;
         }
 
@@ -494,6 +511,7 @@ impl Comm {
 
         // Completion: wait until every lent region was consumed (or revoke
         // loans to receivers that can no longer claim them).
+        let _complete = ddrtrace::span("minimpi", "zc_complete");
         let revoked = loans.complete();
         if revoked > 0 {
             self.world.transport.revoked_msgs.fetch_add(revoked, Ordering::Relaxed);
@@ -513,6 +531,7 @@ impl Comm {
     ) -> Result<()> {
         match env.payload {
             Payload::Bytes(packed) => {
+                let _unpack = ddrtrace::span_arg("minimpi", "unpack", "bytes", packed.len() as i64);
                 let res = dt.unpack(&packed, recv_buf);
                 // The buffer came from the sender's pool.acquire; the pool is
                 // world-shared, so recycling here closes the loop.
@@ -520,6 +539,8 @@ impl Comm {
                 res
             }
             Payload::Shared(h) => {
+                let _zc =
+                    ddrtrace::span_arg("minimpi", "zc_copy", "bytes", h.dt.packed_len() as i64);
                 if !h.cell.try_claim() {
                     // The sender revoked the loan before we got here.
                     return Err(Error::PeerDead { rank: src });
@@ -752,6 +773,7 @@ impl<'a> ZcSendGuard<'a> {
             // A dead receiver can never claim the loan — revoke right away
             // rather than burning the watchdog.
             if cell.wait(deadline, || !comm.is_alive(dest)) == ZcWait::Revoked {
+                ddrtrace::instant_arg("minimpi", "zc_revoke", "dest", dest as i64);
                 revoked += 1;
             }
         }

@@ -52,6 +52,11 @@ pub(crate) struct WorldState {
     /// override, else `DDR_NO_ZEROCOPY`). Fault plans additionally force the
     /// staged path at use sites — see [`WorldState::zerocopy_active`].
     pub zerocopy: bool,
+    /// Per-message byte floor for loaning: messages strictly smaller than
+    /// this are staged even when zero-copy is on, because the rendezvous
+    /// handshake costs more than the copy it avoids (builder override, else
+    /// `DDR_ZC_THRESHOLD`, else 64 KiB).
+    pub zc_threshold: usize,
     /// Shared staging-buffer pool for the pack/unpack path.
     pub pool: BufferPool,
     /// Wire-path counters (zero-copy vs staged deliveries).
@@ -65,6 +70,7 @@ impl WorldState {
         fault_plan: Option<FaultPlan>,
         check: bool,
         zerocopy: Option<bool>,
+        zc_threshold: Option<usize>,
     ) -> Self {
         WorldState {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
@@ -75,6 +81,7 @@ impl WorldState {
             ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
             default_timeout,
             zerocopy: zerocopy.unwrap_or_else(zerocopy_env_default),
+            zc_threshold: zc_threshold.unwrap_or_else(crate::zerocopy::zc_threshold_env_default),
             pool: BufferPool::default(),
             transport: TransportCells::default(),
         }
@@ -328,10 +335,12 @@ impl Comm {
         if let Some(check) = &self.world.check {
             check.begin_wait(me_world, src_world, key);
         }
+        let wait = ddrtrace::span_arg("minimpi", "mailbox_wait", "src", src as i64);
         let outcome = self.my_mailbox().take_watched(key, self.timeout.get(), || {
             !self.world.is_alive(src_world)
                 || self.world.check.as_ref().is_some_and(|c| c.is_deadlocked(me_world))
         });
+        drop(wait);
         let deadlock =
             self.world.check.as_ref().and_then(|c| {
                 c.finish_wait(me_world, matches!(outcome, TakeOutcome::Delivered(_)))
@@ -414,6 +423,7 @@ impl Comm {
     pub fn recv_bytes_any(&self, tag: Tag) -> Result<(RecvStatus, Vec<u8>)> {
         self.fault_tick()?;
         let me = self.rank;
+        let wait = ddrtrace::span("minimpi", "mailbox_wait_any");
         let outcome = self.my_mailbox().take_any_watched(
             self.comm_id,
             user_key_tag(tag),
@@ -421,6 +431,7 @@ impl Comm {
             self.timeout.get(),
             || (0..self.size()).all(|r| r == me || !self.is_alive(r)),
         );
+        drop(wait);
         match outcome {
             TakeOutcome::Delivered(env) => {
                 let src = env.src;
@@ -495,10 +506,14 @@ impl Comm {
             self.allgather(&[color])?.into_iter().enumerate().map(|(r, c)| (c[0], r)).collect();
         let members: Vec<usize> =
             all.iter().filter(|(c, _)| *c == color).map(|(_, r)| self.members[*r]).collect();
-        let new_rank = members
-            .iter()
-            .position(|&w| w == self.world_rank())
-            .expect("split: calling rank missing from its own color group");
+        let new_rank = members.iter().position(|&w| w == self.world_rank()).ok_or_else(|| {
+            Error::Internal {
+                detail: format!(
+                    "split: world rank {} missing from its own color group (color {color})",
+                    self.world_rank()
+                ),
+            }
+        })?;
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
         let child_id = mix64(mix64(self.comm_id ^ seq.wrapping_mul(0x9e37)) ^ color);
@@ -553,10 +568,14 @@ impl Comm {
                 tag: SHRINK_TAG,
                 comm_id: self.comm_id,
             })?;
-        let new_rank = survivors
-            .iter()
-            .position(|&w| w == self.world_rank())
-            .expect("shrink: calling rank is alive, must be a survivor");
+        let new_rank = survivors.iter().position(|&w| w == self.world_rank()).ok_or_else(|| {
+            Error::Internal {
+                detail: format!(
+                    "shrink: world rank {} absent from the agreed survivor set",
+                    self.world_rank()
+                ),
+            }
+        })?;
         // Derive the child id identically on every survivor.
         let mut child_id = mix64(self.comm_id ^ mix64(0x5421_494e_4b21 ^ generation));
         for &w in survivors.iter() {
@@ -597,10 +616,10 @@ impl Comm {
 /// builder: `DDR_TIMEOUT_MS` (milliseconds), else the legacy
 /// `MINIMPI_TIMEOUT_SECS` (seconds), else 120 s.
 pub(crate) fn default_timeout() -> Duration {
-    if let Some(ms) = std::env::var("DDR_TIMEOUT_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
+    if let Some(ms) = crate::env::u64_var("DDR_TIMEOUT_MS") {
         return Duration::from_millis(ms);
     }
-    match std::env::var("MINIMPI_TIMEOUT_SECS").ok().and_then(|v| v.parse::<u64>().ok()) {
+    match crate::env::u64_var("MINIMPI_TIMEOUT_SECS") {
         Some(s) => Duration::from_secs(s),
         None => Duration::from_secs(120),
     }

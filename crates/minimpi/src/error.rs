@@ -70,6 +70,14 @@ pub enum Error {
     /// a confirmed receive cycle. The report lists every member of the cycle
     /// and what it was waiting for — the watchdog never needs to fire.
     Deadlock(Box<DeadlockReport>),
+    /// A runtime invariant was violated (e.g. a rendezvous protocol state
+    /// that should be unreachable). Converted from what used to be panics in
+    /// hot paths, so a broken invariant on one rank fails that rank's
+    /// operation instead of aborting the process.
+    Internal {
+        /// Which invariant broke, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -103,6 +111,9 @@ impl fmt::Display for Error {
                 write!(f, "collective divergence: {report}")
             }
             Error::Deadlock(report) => write!(f, "{report}"),
+            Error::Internal { detail } => {
+                write!(f, "internal runtime invariant violated: {detail}")
+            }
         }
     }
 }

@@ -84,6 +84,7 @@ mod check;
 mod collectives;
 mod comm;
 mod datatype;
+pub mod env;
 mod error;
 mod fault;
 mod life;

@@ -3,6 +3,7 @@
 use crate::comm::{default_timeout, Comm, WorldState};
 use crate::fault::FaultPlan;
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +33,8 @@ pub struct UniverseBuilder {
     fault_plan: Option<FaultPlan>,
     check: Option<bool>,
     zerocopy: Option<bool>,
+    zc_threshold: Option<usize>,
+    trace: Option<PathBuf>,
 }
 
 impl UniverseBuilder {
@@ -70,6 +73,29 @@ impl UniverseBuilder {
         self
     }
 
+    /// Per-message byte floor for zero-copy loans: messages strictly smaller
+    /// than `bytes` are staged even when zero-copy is on, because for small
+    /// payloads the rendezvous handshake costs more than the copy it avoids.
+    /// `0` loans everything. When unset, `DDR_ZC_THRESHOLD` decides (with
+    /// `K`/`M`/`G` suffixes), defaulting to 64 KiB.
+    pub fn zerocopy_threshold(mut self, bytes: usize) -> Self {
+        self.zc_threshold = Some(bytes);
+        self
+    }
+
+    /// Capture a trace of this universe run and write it to `path` as
+    /// Chrome trace-event JSON (loadable in Perfetto). Equivalent to setting
+    /// `DDR_TRACE=<path>`; the builder takes precedence. When tracing is off,
+    /// the instrumentation compiles down to one relaxed atomic load per site.
+    ///
+    /// If a [`ddrtrace::capture`] window is already active (e.g. a bench
+    /// harness tracing across several universes), this run contributes its
+    /// events to that window instead of writing its own file.
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// Run `f` on `n` ranks, each on its own thread with a world [`Comm`].
     /// Returns the per-rank results in rank order.
     ///
@@ -88,8 +114,23 @@ impl UniverseBuilder {
         assert!(n > 0, "Universe::run requires at least one rank");
         let timeout = self.timeout.unwrap_or_else(default_timeout);
         let check_on = self.check.unwrap_or_else(crate::check::check_env_default);
-        let world =
-            Arc::new(WorldState::new(n, timeout, self.fault_plan.clone(), check_on, self.zerocopy));
+        let world = Arc::new(WorldState::new(
+            n,
+            timeout,
+            self.fault_plan.clone(),
+            check_on,
+            self.zerocopy,
+            self.zc_threshold,
+        ));
+        // Tracing: the builder's path wins over `DDR_TRACE`. If a capture
+        // window is already open (a bench tracing across several universes),
+        // this run only contributes events — the window's owner writes them.
+        let trace_path =
+            self.trace.clone().or_else(|| crate::env::path_var("DDR_TRACE").map(PathBuf::from));
+        let own_capture = trace_path.is_some() && !ddrtrace::capture::active();
+        if own_capture {
+            ddrtrace::capture::start();
+        }
         let shutdown = AtomicBool::new(false);
         std::thread::scope(|scope| {
             let detector = world.check.is_some().then(|| {
@@ -108,6 +149,8 @@ impl UniverseBuilder {
                     .name(format!("rank-{rank}"))
                     .stack_size(RANK_STACK_BYTES)
                     .spawn_scoped(scope, move || {
+                        ddrtrace::set_track(rank as u32, &format!("rank-{rank}"));
+                        let _body = ddrtrace::span("rank", "rank_body");
                         let comm = Comm::world_comm(Arc::clone(&world), rank);
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
                         // Departed (or crashed) ranks count as dead: peers
@@ -129,6 +172,26 @@ impl UniverseBuilder {
             if let Some(d) = detector {
                 let _ = d.join();
             }
+            if ddrtrace::enabled() {
+                record_world_metrics(&world);
+            }
+            if own_capture {
+                let trace = ddrtrace::capture::stop();
+                if let Some(path) = &trace_path {
+                    match trace.write_chrome(path) {
+                        Ok(()) => eprintln!(
+                            "minimpi: wrote trace ({} events, {} tracks) to {}\n{}",
+                            trace.events.len(),
+                            trace.tracks.len(),
+                            path.display(),
+                            trace.summary()
+                        ),
+                        Err(e) => {
+                            eprintln!("minimpi: failed to write trace to {}: {e}", path.display())
+                        }
+                    }
+                }
+            }
             outcomes
                 .into_iter()
                 .map(|o| o.unwrap_or_else(|e| std::panic::resume_unwind(e)))
@@ -146,6 +209,23 @@ impl UniverseBuilder {
     {
         self.run(n, f).into_iter().collect()
     }
+}
+
+/// Fold this world's pool and transport counters into the unified metrics
+/// registry. Traffic counters accumulate across universes within one capture
+/// window; occupancy values are gauges and overwrite.
+fn record_world_metrics(world: &WorldState) {
+    let t = world.transport.snapshot();
+    ddrtrace::metrics::add("minimpi.transport", "zerocopy_msgs", t.zerocopy_msgs);
+    ddrtrace::metrics::add("minimpi.transport", "staged_msgs", t.staged_msgs);
+    ddrtrace::metrics::add("minimpi.transport", "revoked_msgs", t.revoked_msgs);
+    ddrtrace::metrics::add("minimpi.transport", "parallel_copies", t.parallel_copies);
+    let p = world.pool.stats();
+    ddrtrace::metrics::add("minimpi.pool", "acquires", p.acquires);
+    ddrtrace::metrics::add("minimpi.pool", "reuse_hits", p.reuse_hits);
+    ddrtrace::metrics::add("minimpi.pool", "trimmed_bytes", p.trimmed_bytes);
+    ddrtrace::metrics::set("minimpi.pool", "free_bytes", p.free_bytes as u64);
+    ddrtrace::metrics::set("minimpi.pool", "high_water_bytes", p.high_water_bytes as u64);
 }
 
 impl Universe {

@@ -233,6 +233,8 @@ impl BufferPool {
             return buf;
         }
         drop(inner);
+        // A checkout the free list could not serve: fresh allocation.
+        ddrtrace::instant_arg("minimpi", "pool_alloc", "bytes", cap as i64);
         Vec::with_capacity(cap)
     }
 
@@ -251,14 +253,22 @@ impl BufferPool {
         inner.stats.high_water_bytes = inner.stats.high_water_bytes.max(inner.free_bytes);
         let bound = (inner.epoch_demand.max(inner.prev_demand) * POOL_SLACK).max(POOL_MIN_RETAIN);
         // Trim largest-first: big stale buffers are the ones that pin memory.
+        let mut trimmed = 0u64;
         while inner.free_bytes > bound || inner.free.len() > POOL_MAX_BUFFERS {
             match inner.free.pop() {
                 Some(b) => {
                     inner.free_bytes -= b.capacity();
                     inner.stats.trimmed_bytes += b.capacity() as u64;
+                    trimmed += b.capacity() as u64;
                 }
                 None => break,
             }
+        }
+        if ddrtrace::enabled() {
+            if trimmed > 0 {
+                ddrtrace::instant_arg("minimpi", "pool_trim", "bytes", trimmed as i64);
+            }
+            ddrtrace::counter("pool_free_bytes", inner.free_bytes as i64);
         }
     }
 
@@ -403,10 +413,16 @@ impl CopyPool {
             let rx = Arc::new(Mutex::new(rx));
             for i in 0..COPY_WORKERS {
                 let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
+                // Degraded mode, not a crash: with zero workers every shard
+                // runs inline on the submitting thread (run_batch falls back
+                // when the channel send fails), so copies stay correct —
+                // just without parallelism.
+                if let Err(e) = std::thread::Builder::new()
                     .name(format!("minimpi-copy-{i}"))
                     .spawn(move || worker_loop(rx))
-                    .expect("failed to spawn copy worker");
+                {
+                    eprintln!("minimpi: could not spawn copy worker {i}: {e}; copying inline");
+                }
             }
             CopyPool { tx }
         })
@@ -444,13 +460,22 @@ impl CopyPool {
     }
 }
 
-/// Reads `DDR_NO_ZEROCOPY`: `1`/`true`/`yes` (any case) disables the
-/// zero-copy fast path for the whole process.
+/// Reads `DDR_NO_ZEROCOPY`: a truthy value disables the zero-copy fast path
+/// for the whole process.
 pub(crate) fn zerocopy_env_default() -> bool {
-    !matches!(
-        std::env::var("DDR_NO_ZEROCOPY").ok().as_deref().map(str::trim),
-        Some("1") | Some("true") | Some("TRUE") | Some("yes") | Some("YES")
-    )
+    !crate::env::flag("DDR_NO_ZEROCOPY").unwrap_or(false)
+}
+
+/// Per-message byte threshold below which the sender stages even when
+/// zero-copy is enabled: small loans cost more in rendezvous handshakes than
+/// the copy they avoid. Default 64 KiB, overridable via `DDR_ZC_THRESHOLD`
+/// (supports `K`/`M`/`G` suffixes; `0` loans everything).
+pub(crate) const ZC_THRESHOLD_DEFAULT: usize = 64 << 10;
+
+/// The process-wide threshold from the environment, used when the builder
+/// did not decide explicitly.
+pub(crate) fn zc_threshold_env_default() -> usize {
+    crate::env::bytes_var("DDR_ZC_THRESHOLD").unwrap_or(ZC_THRESHOLD_DEFAULT)
 }
 
 #[cfg(test)]

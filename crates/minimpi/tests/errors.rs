@@ -35,6 +35,7 @@ fn all_variants() -> Vec<Error> {
                 PendingRecv { rank: 1, awaited: 0, comm_id: 0, tag: 7 },
             ],
         })),
+        Error::Internal { detail: "split: world rank 2 missing from its own color group".into() },
     ];
     for v in &variants {
         match v {
@@ -45,7 +46,8 @@ fn all_variants() -> Vec<Error> {
             | Error::DatatypeMismatch { .. }
             | Error::CollectiveMismatch { .. }
             | Error::CollectiveDiverged(_)
-            | Error::Deadlock(_) => {}
+            | Error::Deadlock(_)
+            | Error::Internal { .. } => {}
         }
     }
     variants
@@ -65,6 +67,7 @@ fn display_is_informative_for_every_variant() {
          but rank 2 called broadcast(root 0) at app.rs:20",
         "deadlock cycle of 2 ranks: rank 0 waits on rank 1 (user tag 7 on comm 0x0); \
          rank 1 waits on rank 0 (user tag 7 on comm 0x0)",
+        "internal runtime invariant violated: split: world rank 2 missing from its own color group",
     ];
     for (e, want) in all_variants().iter().zip(expected) {
         assert_eq!(e.to_string(), want);

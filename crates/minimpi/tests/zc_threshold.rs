@@ -1,0 +1,69 @@
+//! The per-message zero-copy threshold: small messages must take the staged
+//! path even with zero-copy enabled, large ones must still loan.
+
+use minimpi::{Datatype, Subarray, Universe};
+
+/// Run one contiguous alltoallw of `elems` u64 elements per pair under
+/// zero-copy with the given loan threshold; return rank 0's counters.
+fn exchange(n: usize, elems: usize, threshold: usize) -> minimpi::TransportCounters {
+    let out =
+        Universe::builder().zerocopy(true).zerocopy_threshold(threshold).run(n, move |comm| {
+            let n = comm.size();
+            let send: Vec<u64> = (0..elems * n).map(|i| i as u64).collect();
+            let mut recv = vec![0u64; elems * n];
+            let types: Vec<Datatype> = (0..n)
+                .map(|p| {
+                    Datatype::Subarray(
+                        Subarray::d1(elems * n, elems, p * elems, 8).expect("valid subarray"),
+                    )
+                })
+                .collect();
+            comm.alltoallw(
+                minimpi::bytes_of(&send),
+                &types,
+                minimpi::bytes_of_mut(&mut recv),
+                &types,
+            )
+            .expect("exchange succeeds");
+            // Every rank holds the same pattern and sends its block at offset
+            // `me*elems` to us, so each received chunk equals our own block.
+            let me = comm.rank();
+            let mine = &send[me * elems..(me + 1) * elems];
+            for chunk in recv.chunks(elems) {
+                assert_eq!(chunk, mine);
+            }
+            comm.transport_counters()
+        });
+    out[0]
+}
+
+#[test]
+fn small_messages_stage_under_default_style_threshold() {
+    // 128 u64 = 1 KiB per pair, well under a 64 KiB threshold.
+    let c = exchange(4, 128, 64 << 10);
+    assert_eq!(c.zerocopy_msgs, 0, "sub-threshold messages must not loan: {c:?}");
+    assert!(c.staged_msgs > 0, "sub-threshold messages must stage: {c:?}");
+}
+
+#[test]
+fn large_messages_still_loan() {
+    // 16 Ki u64 = 128 KiB per pair, over a 64 KiB threshold.
+    let c = exchange(4, 16 << 10, 64 << 10);
+    assert!(c.zerocopy_msgs > 0, "above-threshold messages must loan: {c:?}");
+    assert_eq!(c.staged_msgs, 0, "above-threshold messages must not stage: {c:?}");
+}
+
+#[test]
+fn zero_threshold_loans_everything() {
+    let c = exchange(4, 8, 0);
+    assert!(c.zerocopy_msgs > 0, "threshold 0 must loan even tiny messages: {c:?}");
+    assert_eq!(c.staged_msgs, 0, "{c:?}");
+}
+
+#[test]
+fn threshold_boundary_is_inclusive() {
+    // Exactly at the threshold: 8 Ki u64 = 64 KiB. `>=` loans.
+    let c = exchange(2, 8 << 10, 64 << 10);
+    assert!(c.zerocopy_msgs > 0, "messages exactly at the threshold loan: {c:?}");
+    assert_eq!(c.staged_msgs, 0, "{c:?}");
+}

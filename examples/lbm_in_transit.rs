@@ -80,7 +80,7 @@ fn main() -> ExitCode {
     // Checking on: collective divergence or a send/recv cycle across the
     // 14 ranks fails fast with a structured report instead of hanging.
     let mut builder = Universe::builder().check(true);
-    if let Ok(seed) = std::env::var("DDR_FAULT_SEED").map(|s| s.parse::<u64>().unwrap_or(0)) {
+    if let Some(seed) = ddr::minimpi::env::u64_var("DDR_FAULT_SEED") {
         let victim = (seed % M as u64) as usize;
         let consumer = M + producer_targets(M, N)[victim];
         let nth = seed % (STEPS / OUTPUT_EVERY) as u64;

@@ -16,6 +16,7 @@
 //! | [`lbm`] | distributed D2Q9 Lattice-Boltzmann solver (use case 2's simulation) |
 //! | [`volren`] | brick-decomposed CPU volume renderer (use case 1's consumer) |
 //! | [`intransit`] | M-to-N streaming + DDR repartitioning between rank groups |
+//! | [`trace`] | per-rank tracing/metrics plane (`DDR_TRACE`, Chrome/Perfetto JSON) |
 //!
 //! See `examples/quickstart.rs` for the paper's E1 walkthrough and
 //! DESIGN.md / EXPERIMENTS.md for the experiment-by-experiment index.
@@ -24,6 +25,7 @@ pub use ddr_core as core;
 pub use ddr_lbm as lbm;
 pub use ddr_netsim as netsim;
 pub use ddrcheck as check;
+pub use ddrtrace as trace;
 pub use dtiff;
 pub use intransit;
 pub use jimage;
