@@ -31,9 +31,18 @@
 //! that raced the disable flag can at worst be mid-append: the reader then
 //! sees either the old length (slot invisible) or the new one (slot fully
 //! written before the release store). Rings are reset only in
-//! [`capture::start`], which requires tracing to be off and any previous
-//! capture's writers to have quiesced (rank threads join before their
-//! universe returns).
+//! [`capture::start`]; a writer that raced the reset (loaded `enabled()`
+//! before the disable and republished a stale length afterwards) cannot
+//! corrupt the new window, because every event is stamped with the capture
+//! generation at append time and [`capture::stop`] skips slots from older
+//! generations.
+//!
+//! The registry keeps one [`Arc<Ring>`] per thread that ever recorded; the
+//! thread-local holds the other reference. When a thread exits its
+//! thread-local drops, and the next [`capture::start`]/[`capture::stop`]
+//! prunes rings with no remaining writer (after draining them), so repeated
+//! captures across short-lived rank threads do not grow memory without
+//! bound.
 
 #![warn(missing_docs)]
 
@@ -48,16 +57,27 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Events one thread can buffer between capture start and stop. At ~64 bytes
-/// per event a full ring costs ~2 MiB; overflow increments a drop counter
-/// instead of blocking or reallocating.
+/// Events one thread can buffer between capture start and stop. At ~72 bytes
+/// per event a full ring costs ~2.3 MiB; overflow increments a drop counter
+/// instead of blocking or reallocating. Rings of exited threads are
+/// reclaimed by the capture start/stop prune, so this bounds memory per
+/// *live* thread, not per thread ever traced.
 const RING_CAPACITY: usize = 1 << 15;
 
 /// Track ids below this are reserved for explicitly registered tracks
 /// (ranks); auto-assigned tracks (main thread, copy workers) start here.
-const AUTO_TRACK_BASE: u32 = 1 << 10;
+/// [`set_track`] pushes the auto allocator above any pinned id, so pinning
+/// past this base is safe too — but launchers that pin one track per rank
+/// should keep rank counts below it (see `minimpi::Universe::run`).
+pub const AUTO_TRACK_BASE: u32 = 1 << 10;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Capture-window generation, bumped by every [`capture::start`]. Writers
+/// stamp it into each event; the collector drops events from older windows,
+/// so a writer racing a ring reset cannot republish stale slots into the new
+/// trace.
+static CAPTURE_GEN: AtomicU64 = AtomicU64::new(0);
 
 /// Is a capture window currently open? One relaxed load — this is the entire
 /// cost of every disabled `span!`/`instant!`/`counter!` site.
@@ -91,6 +111,9 @@ struct Event {
     /// here.
     arg_key: &'static str,
     arg: i64,
+    /// Capture generation at append time; the collector skips events from
+    /// older windows (stamped by [`Ring::push`], never by callers).
+    gen: u64,
 }
 
 /// A resolved event in a collected [`Trace`]: timestamps are nanoseconds
@@ -146,12 +169,13 @@ impl Ring {
     }
 
     /// Single-writer append; drops (and counts) on overflow.
-    fn push(&self, ev: Event) {
+    fn push(&self, mut ev: Event) {
         let i = self.len.load(Ordering::Relaxed);
         if i >= self.slots.len() {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        ev.gen = CAPTURE_GEN.load(Ordering::Relaxed);
         // SAFETY: only the owning thread writes this ring, `i` is below the
         // published length of nothing yet (the slot is unobservable until
         // the release store below), and `i < slots.len()` was checked.
@@ -159,15 +183,24 @@ impl Ring {
         self.len.store(i + 1, Ordering::Release);
     }
 
-    /// Collector-side read of every published event.
-    fn drain(&self, epoch: Instant, out: &mut Vec<TraceEvent>) {
+    /// Collector-side read of every published event from the current capture
+    /// generation. Slots stamped with an older generation are stale entries a
+    /// racing writer republished across a [`capture::start`] reset; skipping
+    /// them keeps the previous window's garbage out of this trace.
+    fn drain(&self, epoch: Instant, out: &mut Vec<TraceEvent>) -> usize {
         let n = self.len.load(Ordering::Acquire);
         let track = self.track.load(Ordering::Relaxed);
+        let gen = CAPTURE_GEN.load(Ordering::Relaxed);
+        let mut drained = 0;
         for slot in &self.slots[..n] {
             // SAFETY: slots below the acquire-loaded length were fully
             // written before their release store; the single writer never
             // rewrites a published slot within one capture.
             let ev = unsafe { (*slot.0.get()).assume_init() };
+            if ev.gen != gen {
+                continue;
+            }
+            drained += 1;
             out.push(TraceEvent {
                 ts_ns: ev.ts.saturating_duration_since(epoch).as_nanos() as u64,
                 dur_ns: ev.dur_ns,
@@ -179,6 +212,7 @@ impl Ring {
                 arg: ev.arg,
             });
         }
+        drained
     }
 
     fn reset(&self) {
@@ -229,6 +263,10 @@ pub fn set_track(track: u32, name: &str) {
     if !enabled() {
         return;
     }
+    // Keep future auto-assigned tracks above every pinned id, so a job
+    // pinning ids at or past AUTO_TRACK_BASE cannot collide with helper
+    // threads registered later.
+    registry().next_auto_track.fetch_max(track.saturating_add(1), Ordering::Relaxed);
     my_ring(|ring| {
         ring.track.store(track, Ordering::Relaxed);
         *ring.name.lock().unwrap_or_else(|e| e.into_inner()) = name.to_string();
@@ -263,6 +301,7 @@ impl Drop for SpanGuard {
                         name: s.name,
                         arg_key: s.arg_key,
                         arg: s.arg,
+                        gen: 0,
                     })
                 });
             }
@@ -311,6 +350,7 @@ pub fn instant_arg(cat: &'static str, name: &'static str, arg_key: &'static str,
             name,
             arg_key,
             arg,
+            gen: 0,
         })
     });
 }
@@ -330,6 +370,7 @@ pub fn counter(name: &'static str, value: i64) {
             name,
             arg_key: "value",
             arg: value,
+            gen: 0,
         })
     });
 }
@@ -405,17 +446,33 @@ pub mod capture {
 
     static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
 
-    /// Open a capture window: reset every ring and the metrics registry,
-    /// stamp the epoch, and enable recording. The previous capture's writers
-    /// must have quiesced (ranks join before their universe returns).
+    /// Open a capture window: prune rings whose writer thread has exited,
+    /// reset the survivors and the metrics registry, stamp the epoch, bump
+    /// the capture generation, and enable recording. A straggling writer
+    /// from the previous window cannot pollute this one: its republished
+    /// slots carry the old generation and the collector skips them.
     pub fn start() {
         ENABLED.store(false, Ordering::SeqCst);
-        for ring in registry().rings.lock().unwrap_or_else(|e| e.into_inner()).iter() {
-            ring.reset();
+        {
+            let mut rings = registry().rings.lock().unwrap_or_else(|e| e.into_inner());
+            prune_dead(&mut rings);
+            for ring in rings.iter() {
+                ring.reset();
+            }
         }
         metrics::reset();
         *EPOCH.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
+        CAPTURE_GEN.fetch_add(1, Ordering::SeqCst);
         ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Drop rings whose owning thread has exited. The thread-local held the
+    /// only other strong reference, so a count of 1 means no writer can ever
+    /// touch the ring again — safe to reclaim, and necessary so repeated
+    /// captures across short-lived rank threads do not grow the registry
+    /// (and its ~2 MiB rings) without bound.
+    fn prune_dead(rings: &mut Vec<Arc<Ring>>) {
+        rings.retain(|r| Arc::strong_count(r) > 1);
     }
 
     /// Is a capture window currently open?
@@ -425,7 +482,9 @@ pub mod capture {
 
     /// Close the capture window and collect everything recorded since
     /// [`start`]. Safe to call when no capture is active (returns an empty
-    /// trace).
+    /// trace). Rings are drained before dead ones are pruned, so threads
+    /// that exited during the capture (rank threads join before their
+    /// universe returns) still contribute their events.
     pub fn stop() -> Trace {
         ENABLED.store(false, Ordering::SeqCst);
         let epoch =
@@ -433,16 +492,19 @@ pub mod capture {
         let mut events = Vec::new();
         let mut tracks = Vec::new();
         let mut dropped = 0;
-        for ring in registry().rings.lock().unwrap_or_else(|e| e.into_inner()).iter() {
-            let before = events.len();
-            ring.drain(epoch, &mut events);
-            dropped += ring.dropped.load(Ordering::Relaxed);
-            if events.len() > before {
-                tracks.push((
-                    ring.track.load(Ordering::Relaxed),
-                    ring.name.lock().unwrap_or_else(|e| e.into_inner()).clone(),
-                ));
+        {
+            let mut rings = registry().rings.lock().unwrap_or_else(|e| e.into_inner());
+            for ring in rings.iter() {
+                let drained = ring.drain(epoch, &mut events);
+                dropped += ring.dropped.load(Ordering::Relaxed);
+                if drained > 0 {
+                    tracks.push((
+                        ring.track.load(Ordering::Relaxed),
+                        ring.name.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+                    ));
+                }
             }
+            prune_dead(&mut rings);
         }
         tracks.sort();
         tracks.dedup_by(|a, b| a.0 == b.0);
@@ -515,6 +577,72 @@ mod tests {
         let trace = capture::stop();
         assert!(trace.events.iter().all(|e| e.name != "first_window"));
         assert!(trace.events.iter().any(|e| e.name == "second_window"));
+    }
+
+    #[test]
+    fn rings_of_exited_threads_are_drained_then_pruned() {
+        let _g = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        capture::start();
+        let baseline = registry().rings.lock().unwrap_or_else(|e| e.into_inner()).len();
+        for i in 0..4u32 {
+            std::thread::spawn(move || {
+                set_track(100 + i, &format!("worker-{i}"));
+                instant!("t", "from_worker");
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(
+            registry().rings.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            baseline + 4,
+            "each worker registers one ring"
+        );
+        let trace = capture::stop();
+        // Exited writers' events survive the stop that reclaims their rings…
+        assert_eq!(trace.events.iter().filter(|e| e.name == "from_worker").count(), 4);
+        // …and the rings themselves do not accumulate across captures.
+        assert_eq!(
+            registry().rings.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            baseline,
+            "dead rings must be pruned once drained"
+        );
+    }
+
+    #[test]
+    fn republished_stale_slots_are_skipped_by_generation() {
+        let _g = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        capture::start();
+        instant!("t", "stale_a");
+        instant!("t", "stale_b");
+        capture::stop();
+        capture::start();
+        // Simulate a writer that raced the start() reset: it loaded a
+        // pre-reset length and republishes the previous window's slots by
+        // storing it back before appending its own event.
+        my_ring(|ring| ring.len.store(2, Ordering::Release));
+        instant!("t", "fresh");
+        let trace = capture::stop();
+        assert!(
+            trace.events.iter().all(|e| e.name != "stale_a" && e.name != "stale_b"),
+            "stale slots from the previous generation leaked into the trace"
+        );
+        assert!(trace.events.iter().any(|e| e.name == "fresh"));
+    }
+
+    #[test]
+    fn auto_tracks_allocate_above_pinned_ids() {
+        let _g = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        capture::start();
+        let high = AUTO_TRACK_BASE + 500;
+        std::thread::spawn(move || set_track(high, "pinned-high")).join().unwrap();
+        std::thread::spawn(|| instant!("t", "auto_after_pin")).join().unwrap();
+        let trace = capture::stop();
+        let auto = trace.events.iter().find(|e| e.name == "auto_after_pin").unwrap();
+        assert!(
+            auto.track > high,
+            "auto track {} must not collide with or fall below pinned id {high}",
+            auto.track
+        );
     }
 
     #[test]

@@ -455,10 +455,11 @@ impl Comm {
             if d == me || dt.packed_len() == 0 {
                 continue;
             }
-            // Below the threshold the rendezvous handshake costs more than
-            // the copy it avoids, so small messages stage even in zero-copy
-            // mode (threshold 0 loans everything).
-            if zerocopy && dt.packed_len() >= self.world.zc_threshold {
+            // At or below the threshold the rendezvous handshake costs as
+            // much as (or more than) the copy it avoids, so small messages
+            // stage even in zero-copy mode; only strictly larger messages
+            // loan (threshold 0 loans everything).
+            if zerocopy && dt.packed_len() > self.world.zc_threshold {
                 // Validate sender-side bounds eagerly, where the legacy path
                 // would have failed packing.
                 dt.check_bounds(send_buf.len())?;

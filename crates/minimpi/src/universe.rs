@@ -73,11 +73,12 @@ impl UniverseBuilder {
         self
     }
 
-    /// Per-message byte floor for zero-copy loans: messages strictly smaller
-    /// than `bytes` are staged even when zero-copy is on, because for small
-    /// payloads the rendezvous handshake costs more than the copy it avoids.
-    /// `0` loans everything. When unset, `DDR_ZC_THRESHOLD` decides (with
-    /// `K`/`M`/`G` suffixes), defaulting to 64 KiB.
+    /// Per-message byte floor for zero-copy loans: messages of `bytes` or
+    /// smaller are staged even when zero-copy is on, because for small
+    /// payloads the rendezvous handshake costs as much as (or more than) the
+    /// copy it avoids — only strictly larger messages loan. `0` loans
+    /// everything. When unset, `DDR_ZC_THRESHOLD` decides (with `K`/`M`/`G`
+    /// suffixes), defaulting to 64 KiB.
     pub fn zerocopy_threshold(mut self, bytes: usize) -> Self {
         self.zc_threshold = Some(bytes);
         self
@@ -130,6 +131,19 @@ impl UniverseBuilder {
         let own_capture = trace_path.is_some() && !ddrtrace::capture::active();
         if own_capture {
             ddrtrace::capture::start();
+        }
+        // Rank tracks are pinned at their rank number; auto-assigned tracks
+        // (main thread, copy workers) start at AUTO_TRACK_BASE. A world big
+        // enough for the two ranges to overlap would silently merge
+        // unrelated threads onto one track, so refuse it loudly.
+        if ddrtrace::enabled() {
+            assert!(
+                n <= ddrtrace::AUTO_TRACK_BASE as usize,
+                "tracing supports at most {} ranks per universe: rank {} would collide \
+                 with auto-assigned helper-thread tracks",
+                ddrtrace::AUTO_TRACK_BASE,
+                n - 1,
+            );
         }
         let shutdown = AtomicBool::new(false);
         std::thread::scope(|scope| {

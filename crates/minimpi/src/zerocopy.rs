@@ -466,9 +466,10 @@ pub(crate) fn zerocopy_env_default() -> bool {
     !crate::env::flag("DDR_NO_ZEROCOPY").unwrap_or(false)
 }
 
-/// Per-message byte threshold below which the sender stages even when
-/// zero-copy is enabled: small loans cost more in rendezvous handshakes than
-/// the copy they avoid. Default 64 KiB, overridable via `DDR_ZC_THRESHOLD`
+/// Per-message byte threshold at or below which the sender stages even when
+/// zero-copy is enabled: small loans cost as much in rendezvous handshakes
+/// as the copy they avoid (measured breakeven at 64 KiB), so only strictly
+/// larger messages loan. Default 64 KiB, overridable via `DDR_ZC_THRESHOLD`
 /// (supports `K`/`M`/`G` suffixes; `0` loans everything).
 pub(crate) const ZC_THRESHOLD_DEFAULT: usize = 64 << 10;
 

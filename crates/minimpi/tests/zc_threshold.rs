@@ -61,9 +61,19 @@ fn zero_threshold_loans_everything() {
 }
 
 #[test]
-fn threshold_boundary_is_inclusive() {
-    // Exactly at the threshold: 8 Ki u64 = 64 KiB. `>=` loans.
+fn threshold_boundary_stages() {
+    // Exactly at the threshold: 8 Ki u64 = 64 KiB. The rendezvous handshake
+    // only pays for itself strictly above the threshold (measured breakeven
+    // at the boundary), so at-threshold messages take the staged path.
     let c = exchange(2, 8 << 10, 64 << 10);
-    assert!(c.zerocopy_msgs > 0, "messages exactly at the threshold loan: {c:?}");
+    assert_eq!(c.zerocopy_msgs, 0, "messages exactly at the threshold must stage: {c:?}");
+    assert!(c.staged_msgs > 0, "{c:?}");
+}
+
+#[test]
+fn just_above_threshold_loans() {
+    // One element over the boundary: (8 Ki + 1) u64 = 64 KiB + 8 bytes.
+    let c = exchange(2, (8 << 10) + 1, 64 << 10);
+    assert!(c.zerocopy_msgs > 0, "messages above the threshold must loan: {c:?}");
     assert_eq!(c.staged_msgs, 0, "{c:?}");
 }

@@ -127,15 +127,17 @@ fn tracing_off_adds_less_than_one_percent() {
     assert!(!ddr::trace::enabled(), "tracing must be off for the overhead guard");
 
     // Per-site cost while disabled: span creation + drop and an instant.
-    const OPS: u32 = 200_000;
-    let start = Instant::now();
-    for i in 0..OPS {
-        let g = ddr::trace::span_arg("bench", "disabled", "i", i as i64);
-        std::hint::black_box(&g);
-        drop(g);
-        ddr::trace::instant("bench", "disabled");
-    }
-    let per_site = start.elapsed().as_secs_f64() / (2.0 * OPS as f64);
+    let measure_per_site = || {
+        const OPS: u32 = 200_000;
+        let start = Instant::now();
+        for i in 0..OPS {
+            let g = ddr::trace::span_arg("bench", "disabled", "i", i as i64);
+            std::hint::black_box(&g);
+            drop(g);
+            ddr::trace::instant("bench", "disabled");
+        }
+        start.elapsed().as_secs_f64() / (2.0 * OPS as f64)
+    };
 
     // The exact number of instrumentation sites this workload hits: run it
     // once traced and count the events (no guessing).
@@ -152,20 +154,37 @@ fn tracing_off_adds_less_than_one_percent() {
         start.elapsed().as_secs_f64()
     };
     measure(); // warm up thread spawn, pool, allocator
-    let mut samples: Vec<f64> = (0..5).map(|_| measure()).collect();
-    samples.sort_by(f64::total_cmp);
-    let median = samples[samples.len() / 2];
+    let median_redistribution = || {
+        let mut samples: Vec<f64> = (0..5).map(|_| measure()).collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
 
     // The documented bound is <1% in optimized builds; debug builds pay an
     // order of magnitude more per atomic load (nothing inlines), so the
     // guard loosens there while still catching a disabled path that
     // allocates, locks, or writes the ring (all of which cost far more).
+    // Both sides are wall-clock microbenchmarks, so a loaded CI runner can
+    // jitter one attempt past the bound: re-measure a few times and fail
+    // only if every attempt blows the budget — a real regression (an
+    // allocation, a lock, a ring write on the disabled path) costs orders
+    // of magnitude more and fails all of them.
     let budget = if cfg!(debug_assertions) { 0.10 } else { 0.01 };
-    let overhead = per_site * sites;
-    assert!(
-        overhead < median * budget,
-        "disabled instrumentation too expensive: {sites} sites x {:.1} ns = {:.4} ms \
-         vs {:.0}% of redistribution ({:.4} ms)",
+    const ATTEMPTS: usize = 3;
+    let mut worst = (f64::INFINITY, 0.0, 0.0); // (per_site, overhead, median)
+    for _ in 0..ATTEMPTS {
+        let per_site = measure_per_site();
+        let median = median_redistribution();
+        let overhead = per_site * sites;
+        if overhead < median * budget {
+            return;
+        }
+        worst = (per_site, overhead, median);
+    }
+    let (per_site, overhead, median) = worst;
+    panic!(
+        "disabled instrumentation too expensive in all {ATTEMPTS} attempts: \
+         {sites} sites x {:.1} ns = {:.4} ms vs {:.0}% of redistribution ({:.4} ms)",
         per_site * 1e9,
         overhead * 1e3,
         budget * 100.0,
