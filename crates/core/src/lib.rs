@@ -78,8 +78,12 @@ pub use lint::{
     Severity,
 };
 pub use mapping::compute_local_plan;
-pub use multi::{compute_multi_plan, MultiLayout, MultiPlan, MultiTransfer};
+pub use multi::{
+    compute_multi_plan, recover_multi_mappings, remap_multi, MultiLayout, MultiPlan, MultiTransfer,
+    RemapSpec,
+};
 pub use plan::{Plan, RoundPlan, Transfer};
 pub use recover::{PartialCompletion, RoundReport};
-pub use stats::{GlobalStats, RedistStats};
+pub use serialize::MappingSnapshot;
+pub use stats::{GlobalStats, RedistStats, RemapStats};
 pub use validate::{validate, Domain, ValidationPolicy};

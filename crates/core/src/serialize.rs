@@ -9,11 +9,15 @@
 //! external serializer involved, so it stays stable and auditable.
 
 use crate::block::Block;
+use crate::descriptor::{DataKind, Descriptor};
 use crate::error::{DdrError, Result};
+use crate::layout::{exchange_layouts, Layout};
+use crate::mapping::compute_local_plan;
 use crate::plan::{Plan, RoundPlan, Transfer};
-use minimpi::Subarray;
+use minimpi::{Comm, Subarray};
 
 const MAGIC: u64 = 0x4444_5250_4C41_4E31; // "DDRPLAN1"
+const SNAP_MAGIC: u64 = 0x4444_5253_4E50_3031; // "DDRSNP01"
 
 struct Writer(Vec<u8>);
 
@@ -162,12 +166,121 @@ impl Plan {
     }
 }
 
+/// A complete, portable picture of one mapping epoch: every rank's layout,
+/// the descriptor parameters, and the membership epoch it was gathered in.
+///
+/// This is how a rank that *rejoins* the job (a respawn after a failure, or
+/// a late-arriving consumer) is brought up to date without re-running the
+/// collective layout exchange: any up-to-date rank serializes the snapshot
+/// with [`MappingSnapshot::to_bytes`], ships it over a point-to-point
+/// message (or leaves it on shared storage), and the newcomer reconstructs
+/// its own plan locally with [`MappingSnapshot::plan_for`]. The embedded
+/// `epoch` lets the receiver reject a snapshot from before the most recent
+/// reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingSnapshot {
+    /// Membership epoch of the communicator the layouts were gathered on.
+    pub epoch: u64,
+    /// Dimensionality of the mapped data.
+    pub kind: DataKind,
+    /// Element size in bytes.
+    pub elem_size: usize,
+    /// Every rank's declared layout, indexed by rank.
+    pub layouts: Vec<Layout>,
+}
+
+impl MappingSnapshot {
+    /// Collective: allgather every rank's layout and stamp the communicator's
+    /// current epoch. Call with the same arguments as the mapping setup it
+    /// mirrors.
+    pub fn gather(desc: &Descriptor, comm: &Comm, owned: &[Block], need: Block) -> Result<Self> {
+        if comm.size() != desc.nprocs() {
+            return Err(DdrError::ProcessCountMismatch {
+                descriptor: desc.nprocs(),
+                actual: comm.size(),
+            });
+        }
+        let mine = Layout { owned: owned.to_vec(), need };
+        let layouts = exchange_layouts(comm, &mine)?;
+        Ok(MappingSnapshot {
+            epoch: comm.epoch(),
+            kind: desc.kind(),
+            elem_size: desc.elem_size(),
+            layouts,
+        })
+    }
+
+    /// Number of ranks the snapshot covers.
+    pub fn nprocs(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Descriptor equivalent to the one the snapshot was gathered with.
+    pub fn descriptor(&self) -> Result<Descriptor> {
+        Descriptor::new(self.nprocs(), self.kind, self.elem_size)
+    }
+
+    /// Recompute rank `rank`'s plan from the stored layouts — identical to
+    /// what that rank's own `setup_data_mapping` produced in this epoch.
+    pub fn plan_for(&self, rank: usize) -> Result<Plan> {
+        compute_local_plan(rank, &self.layouts, &self.descriptor()?)
+    }
+
+    /// Serialize to a portable little-endian byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(64));
+        w.u(SNAP_MAGIC);
+        w.u(self.epoch);
+        w.u(self.kind.ndims() as u64);
+        w.u(self.elem_size as u64);
+        w.u(self.layouts.len() as u64);
+        for l in &self.layouts {
+            let words = l.encode();
+            w.u(words.len() as u64);
+            for v in words {
+                w.u(v);
+            }
+        }
+        w.0
+    }
+
+    /// Reload a snapshot produced by [`MappingSnapshot::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader { data: bytes, pos: 0 };
+        if r.u()? != SNAP_MAGIC {
+            return Err(DdrError::InvalidBlock("not a DDR mapping snapshot (bad magic)".into()));
+        }
+        let epoch = r.u()?;
+        let kind = match r.u()? {
+            1 => DataKind::D1,
+            2 => DataKind::D2,
+            3 => DataKind::D3,
+            d => return Err(DdrError::InvalidBlock(format!("snapshot declares {d} dimensions"))),
+        };
+        let elem_size = r.u()? as usize;
+        if elem_size == 0 {
+            return Err(DdrError::InvalidBlock("snapshot element size is zero".into()));
+        }
+        let nprocs = r.u()? as usize;
+        let mut layouts = Vec::with_capacity(nprocs.min(1 << 20));
+        for _ in 0..nprocs {
+            let words = r.u()? as usize;
+            let mut enc = Vec::with_capacity(words.min(1 << 20));
+            for _ in 0..words {
+                enc.push(r.u()?);
+            }
+            layouts.push(Layout::decode(&enc)?);
+        }
+        if layouts.is_empty() {
+            return Err(DdrError::InvalidBlock("snapshot covers zero ranks".into()));
+        }
+        Ok(MappingSnapshot { epoch, kind, elem_size, layouts })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::descriptor::{DataKind, Descriptor};
-    use crate::layout::Layout;
-    use crate::mapping::compute_local_plan;
 
     fn sample_plan() -> Plan {
         let layouts: Vec<Layout> = (0..4usize)
@@ -232,5 +345,61 @@ mod tests {
                 assert_eq!(*got as usize, c[0]);
             }
         });
+    }
+    #[test]
+    fn snapshot_roundtrips_and_replans() {
+        let layouts: Vec<Layout> = (0..4usize)
+            .map(|rank| Layout {
+                owned: vec![
+                    Block::d2([0, rank], [8, 1]).unwrap(),
+                    Block::d2([0, rank + 4], [8, 1]).unwrap(),
+                ],
+                need: Block::d2([4 * (rank % 2), 4 * (rank / 2)], [4, 4]).unwrap(),
+            })
+            .collect();
+        let snap = MappingSnapshot { epoch: 3, kind: DataKind::D2, elem_size: 4, layouts };
+        let back = MappingSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.nprocs(), 4);
+        // A rank reconstructing its plan from the snapshot gets exactly what
+        // its own collective mapping setup would have produced.
+        let desc = Descriptor::new(4, DataKind::D2, 4).unwrap();
+        let direct = compute_local_plan(2, &back.layouts, &desc).unwrap();
+        assert_eq!(back.plan_for(2).unwrap().to_bytes(), direct.to_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(MappingSnapshot::from_bytes(&[]).is_err());
+        // A serialized Plan is not a snapshot: magic differs.
+        assert!(MappingSnapshot::from_bytes(&sample_plan().to_bytes()).is_err());
+        let snap = MappingSnapshot {
+            epoch: 0,
+            kind: DataKind::D1,
+            elem_size: 8,
+            layouts: vec![Layout { owned: vec![], need: Block::d1(0, 4).unwrap() }],
+        };
+        let bytes = snap.to_bytes();
+        for cut in [7, 16, bytes.len() - 1] {
+            assert!(MappingSnapshot::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn gathered_snapshot_is_epoch_stamped_and_identical_everywhere() {
+        use minimpi::Universe;
+        let domain = Block::d1(0, 24).unwrap();
+        let out = Universe::run(3, |comm| {
+            let r = comm.rank();
+            let owned = vec![crate::decompose::slab(&domain, 0, 3, r).unwrap()];
+            let need = owned[0];
+            let desc = Descriptor::for_type::<u32>(3, DataKind::D1).unwrap();
+            let snap = MappingSnapshot::gather(&desc, comm, &owned, need).unwrap();
+            assert_eq!(snap.epoch, 0);
+            assert_eq!(snap.nprocs(), 3);
+            snap.to_bytes()
+        });
+        assert_eq!(out[0], out[1], "every rank gathers the same snapshot");
+        assert_eq!(out[1], out[2]);
     }
 }

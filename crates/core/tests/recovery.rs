@@ -186,3 +186,84 @@ fn recover_mapping_from_clean_state_is_identity_shrink() {
     });
     assert_eq!(out, vec![(4, 2); 4]);
 }
+
+// ---------------------------------------------------------------------------
+// Elastic remap: epoch-fenced shrink AND grow via Comm::reconfigure.
+// ---------------------------------------------------------------------------
+
+/// Shrink without respawn: survivors keep the slabs they already hold, so
+/// the remap is delta-minimal — zero bytes cross the network, everything is
+/// retained, and RemapStats says so before any data moves.
+#[test]
+fn remap_shrink_unchanged_ranks_move_zero_bytes() {
+    let domain = Block::d1(0, 32).unwrap();
+    let out =
+        Universe::builder().respawn(false).timeout(Duration::from_secs(30)).run(4, move |comm| {
+            let r = comm.rank();
+            if r == 3 {
+                return None; // departs; survivors shrink into epoch 1
+            }
+            let rec = comm.reconfigure().unwrap();
+            let desc = Descriptor::for_type::<u32>(4, DataKind::D1).unwrap();
+            let owned = [ddr_core::decompose::slab(&domain, 0, 4, r).unwrap()];
+            let (plan, stats) = desc.remap(&rec, &owned, owned[0]).unwrap();
+            assert!(stats.is_stationary(), "rank {r}: unchanged rank must move zero bytes");
+            assert_eq!(stats.moved_bytes, 0);
+            assert_eq!(stats.retained_bytes, owned[0].count() * 4);
+            assert_eq!(plan.total_sent_bytes(), 0);
+            assert_eq!(plan.total_recv_bytes(), 0);
+            Some((rec.size(), rec.epoch()))
+        });
+    assert_eq!(out, vec![Some((3, 1)), Some((3, 1)), Some((3, 1)), None]);
+}
+
+/// Grow with respawn: a consumer dies before the initial scatter; the
+/// reconfigured (full-size) communicator remaps with the replacement
+/// declaring nothing owned. The root's quarter never moves (delta-minimal),
+/// every other rank — including the replacement — receives exactly its
+/// quarter, and the executed redistribution is bitwise correct.
+#[test]
+fn remap_grow_feeds_respawned_rank_and_is_delta_minimal() {
+    let domain = Block::d1(0, 32).unwrap();
+    let out = Universe::builder().timeout(Duration::from_secs(30)).run(4, move |comm| {
+        let rec = if comm.epoch() == 0 {
+            if comm.rank() == 1 {
+                return None; // dies holding nothing: only the rank is lost
+            }
+            Some(comm.reconfigure().unwrap())
+        } else {
+            None // the replacement enters already inside epoch 1
+        };
+        let c = rec.as_ref().unwrap_or(comm);
+        let r = c.rank();
+        let desc = Descriptor::for_type::<u32>(4, DataKind::D1).unwrap();
+        let owned: Vec<Block> = if r == 0 { vec![domain] } else { vec![] };
+        let need = ddr_core::decompose::slab(&domain, 0, 4, r).unwrap();
+        let (plan, stats) = desc.remap(c, &owned, need).unwrap();
+        let quarter_bytes = need.count() * 4;
+        if r == 0 {
+            assert!(stats.is_stationary(), "root's own quarter is already resident");
+            assert_eq!(stats.retained_bytes, quarter_bytes);
+        } else {
+            assert_eq!(stats.moved_bytes, quarter_bytes);
+            assert_eq!(stats.retained_bytes, 0);
+        }
+        let data: Vec<u32> = (0..32).collect();
+        let refs: Vec<&[u32]> = if r == 0 { vec![&data] } else { vec![] };
+        let mut got = vec![u32::MAX; 8];
+        plan.reorganize(c, &refs, &mut got).unwrap();
+        let want: Vec<u32> = (r as u32 * 8..r as u32 * 8 + 8).collect();
+        assert_eq!(got, want, "rank {r} (epoch {})", c.epoch());
+        // Allgather proves all four ranks — replacement included — executed
+        // the same plan on the same communicator.
+        let sizes = c.allgather(&[got.len() as u64]).unwrap();
+        assert_eq!(sizes, vec![vec![8u64]; 4]);
+        Some(c.recovery_counters())
+    });
+    assert_eq!(out[1], None);
+    for r in [0, 2, 3] {
+        let counters = out[r].expect("survivor must finish");
+        assert_eq!(counters.epoch, 1);
+        assert_eq!(counters.respawns, 1);
+    }
+}

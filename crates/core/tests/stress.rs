@@ -230,3 +230,173 @@ fn strategies_agree_under_stress() {
         });
     }
 }
+
+// ---------------------------------------------------------------------------
+// Elastic membership chaos soak: kill → respawn → redistribute.
+// ---------------------------------------------------------------------------
+
+/// One epoch-1 redistribution step on `c` (size-n slab rows → column slabs),
+/// with data regenerated from the deterministic generator — the paper's
+/// dynamic-data model, where a step's field is recomputable. Every rank,
+/// replacement included, checks its bytes in place; the assembled buffer is
+/// returned for cross-run comparison.
+fn epoch1_step(c: &minimpi::Comm, domain: &Block) -> Vec<u64> {
+    let n = c.size();
+    let r = c.rank();
+    let owned = vec![slab(domain, 1, n, r).unwrap()];
+    let need = slab(domain, 0, n, r).unwrap();
+    let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+    let (plan, _stats) = desc.remap_with(c, &owned, need, ValidationPolicy::Strict).unwrap();
+    let data: Vec<u64> = owned[0].coords().map(|co| cell_value(co) ^ 0x5EED).collect();
+    let mut out = vec![0u64; need.count() as usize];
+    plan.reorganize(c, &[&data], &mut out).unwrap();
+    for (got, co) in out.iter().zip(need.coords()) {
+        assert_eq!(*got, cell_value(co) ^ 0x5EED, "rank {r} epoch {}", c.epoch());
+    }
+    out
+}
+
+#[test]
+fn chaos_soak_respawn_restores_byte_identical_redistribution() {
+    // ≥20 seeded single-kill fault plans. Each run: a rank dies somewhere in
+    // the step-0 redistribution, survivors reconfigure (respawning the
+    // casualty), and the epoch-1 step must be byte-identical to the same
+    // step in a run that never faulted.
+    let n = 4usize;
+    let domain = Block::d2([0, 0], [16, 16]).unwrap();
+    let scenario = move |comm: &minimpi::Comm| -> Result<(), DdrError> {
+        let r = comm.rank();
+        let owned = vec![slab(&domain, 1, n, r).unwrap()];
+        let need = slab(&domain, 0, n, r).unwrap();
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2)?;
+        let plan = desc.setup_data_mapping(comm, &owned, need)?;
+        let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+        let mut out = vec![0u64; need.count() as usize];
+        plan.reorganize(comm, &[&data], &mut out)?;
+        Ok(())
+    };
+
+    // Unfaulted reference: the epoch-1 step's exact bytes per rank (the
+    // reference universe reconfigures with nobody dead, so the epochs match).
+    let reference = Universe::builder().timeout(Duration::from_secs(30)).run(n, move |comm| {
+        scenario(comm).unwrap();
+        let c = comm.reconfigure().unwrap();
+        epoch1_step(&c, &domain)
+    });
+
+    // Probe the clean op-count space so seeded kills land mid-execution.
+    // The bound is the MINIMUM over ranks: a kill op below every rank's
+    // clean count is guaranteed to fire during step 0, whoever the victim
+    // is, so the recovery path runs on every seed.
+    let max_op = Universe::run(n, move |comm| {
+        scenario(comm).unwrap();
+        comm.op_count()
+    })
+    .into_iter()
+    .min()
+    .unwrap();
+
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed, n, max_op);
+        let start = Instant::now();
+        let out = Universe::builder().timeout(Duration::from_secs(30)).fault_plan(plan).run(
+            n,
+            move |comm| {
+                let rec = if comm.epoch() == 0 {
+                    // Step 0 under fire: any error is acceptable, hanging is
+                    // not. Short watchdog so survivors stuck behind the
+                    // casualty cascade out quickly.
+                    comm.set_timeout(Duration::from_millis(800));
+                    let _ = scenario(comm);
+                    if !comm.is_alive(comm.rank()) {
+                        return None; // the casualty's original thread
+                    }
+                    comm.set_timeout(Duration::from_secs(30));
+                    match comm.reconfigure() {
+                        Ok(c) => Some(c),
+                        // Declared dead by the agreement (the kill raced the
+                        // is_alive probe): exit, the replacement carries on.
+                        Err(_) => return None,
+                    }
+                } else {
+                    None // respawned replacement: already in epoch 1
+                };
+                let c = rec.as_ref().unwrap_or(comm);
+                assert_eq!(c.epoch(), 1, "seed-kill recovery must land in epoch 1");
+                assert_eq!(c.size(), n, "respawn must restore full membership");
+                Some(epoch1_step(c, &domain))
+            },
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "seed {seed}: recovery must not burn the watchdog"
+        );
+        let finished = out.iter().filter(|o| o.is_some()).count();
+        assert!(finished >= n - 1, "seed {seed}: at most one original thread may die");
+        for (r, res) in out.iter().enumerate() {
+            if let Some(bytes) = res {
+                assert_eq!(
+                    bytes, &reference[r],
+                    "seed {seed} rank {r}: post-recovery step differs from unfaulted run"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end elasticity under the deadlock checker AND under zero-copy: a
+/// rank disappears mid-redistribution (after the mapping, before its
+/// exchange — so with zero-copy active its peers' loans must be revoked,
+/// not stranded), survivors reconfigure, the replacement joins epoch 1, and
+/// the next redistribution is byte-identical to the unfaulted reference.
+#[test]
+fn elastic_e2e_under_checker_and_zerocopy() {
+    let n = 4usize;
+    let domain = Block::d2([0, 0], [16, 16]).unwrap();
+    let reference = Universe::builder().timeout(Duration::from_secs(30)).run(n, move |comm| {
+        let c = comm.reconfigure().unwrap();
+        epoch1_step(&c, &domain)
+    });
+
+    for (check, zerocopy) in [(true, false), (false, true), (true, true)] {
+        let out = Universe::builder()
+            .check(check)
+            .zerocopy(zerocopy)
+            .zerocopy_threshold(0)
+            .timeout(Duration::from_secs(30))
+            .run(n, move |comm| {
+                let rec = if comm.epoch() == 0 {
+                    let r = comm.rank();
+                    let owned = vec![slab(&domain, 1, n, r).unwrap()];
+                    let need = slab(&domain, 0, n, r).unwrap();
+                    let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+                    let plan = desc.setup_data_mapping(comm, &owned, need).unwrap();
+                    if r == 2 {
+                        return None; // dies between mapping and exchange
+                    }
+                    comm.set_timeout(Duration::from_millis(800));
+                    let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+                    let mut buf = vec![0u64; need.count() as usize];
+                    let res = plan.reorganize(comm, &[&data], &mut buf);
+                    assert!(res.is_err(), "losing a producer mid-exchange must surface");
+                    comm.set_timeout(Duration::from_secs(30));
+                    Some(comm.reconfigure().unwrap())
+                } else {
+                    None // replacement
+                };
+                let c = rec.as_ref().unwrap_or(comm);
+                assert_eq!(c.epoch(), 1);
+                let counters = c.recovery_counters();
+                assert_eq!(counters.respawns, 1, "check={check} zerocopy={zerocopy}");
+                Some(epoch1_step(c, &domain))
+            });
+        assert_eq!(out[2], None, "check={check} zerocopy={zerocopy}");
+        for r in [0, 1, 3] {
+            assert_eq!(
+                out[r].as_ref().unwrap(),
+                &reference[r],
+                "check={check} zerocopy={zerocopy} rank {r}: bytes must match unfaulted run"
+            );
+        }
+    }
+}

@@ -23,6 +23,14 @@
 //!   bounded retry with backoff, and skip-ahead past lost frames, with
 //!   [`FrameStats`] accounting; pair with [`Repartitioner::degraded`] so a
 //!   step missing a frame still redistributes and renders.
+//!
+//! Both halves are **elastic**: after a [`minimpi::Comm::reconfigure`] the
+//! [`Repartitioner`] detects the epoch bump (and any [`Repartitioner::resize`]
+//! of the consumer group) at the next frame boundary and rebuilds its mapping
+//! collectively, while the [`FrameReceiver`] classifies frames fenced by the
+//! membership change as reconfiguration loss ([`FrameStats::reconfigured`])
+//! instead of deadline misses — no retry budget is burned on traffic that can
+//! never arrive.
 
 #![warn(missing_docs)]
 

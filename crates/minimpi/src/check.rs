@@ -331,6 +331,25 @@ impl CheckState {
         Self::lock(&self.deadlocked).contains_key(&world_rank)
     }
 
+    /// Clear all checker state across a membership epoch change. The
+    /// reconfigure leader calls this while every survivor is parked in the
+    /// epoch barrier (no collective is in flight and no member is blocked in
+    /// a mailbox wait), so in-flight entries are by construction orphans of
+    /// the old epoch: half-seen collective fingerprints of ranks that died,
+    /// wait edges of the casualties, verdicts about a membership that no
+    /// longer exists. Leaving any of it behind would convict post-reconfigure
+    /// waits against pre-reconfigure state — the false-`Deadlock` failure
+    /// mode the epoch protocol must not have.
+    pub fn reset_for_epoch(&self) {
+        Self::lock(&self.colls).clear();
+        let mut w = Self::lock(&self.waits);
+        for e in w.edges.iter_mut() {
+            *e = None;
+        }
+        drop(w);
+        Self::lock(&self.deadlocked).clear();
+    }
+
     /// One detector scan: find cycles in the current wait-for graph, confirm
     /// them against the previous scan's candidates (`prev`, keyed by the
     /// edge generations) and against the mailboxes, then convict.

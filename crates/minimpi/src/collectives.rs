@@ -488,6 +488,7 @@ impl Comm {
         // Receive phase: under salvage, drain every source and record
         // failures; otherwise abort on the first one.
         let mut failed = Vec::new();
+        let mut abort = None;
         for (s, dt) in recv_types.iter().enumerate() {
             if s == me || dt.packed_len() == 0 {
                 continue;
@@ -499,15 +500,31 @@ impl Comm {
                 Ok(()) => {}
                 // Malformed local arguments are hard errors in both modes.
                 Err(e @ (Error::DatatypeMismatch { .. } | Error::SizeMismatch { .. })) => {
-                    return Err(e)
+                    abort = Some(e);
+                    break;
                 }
                 // Killed mid-drain: everything still missing is lost.
                 Err(Error::PeerDead { rank }) if rank == me && !self.is_alive(me) => {
-                    return Err(Error::PeerDead { rank })
+                    abort = Some(Error::PeerDead { rank });
+                    break;
                 }
                 Err(e) if salvage => failed.push((s, e)),
-                Err(e) => return Err(e),
+                Err(e) => {
+                    abort = Some(e);
+                    break;
+                }
             }
+        }
+        if let Some(e) = abort {
+            // Leaving the exchange with messages still queued would strand
+            // every sender whose loan we never claimed until their watchdog
+            // fires (we stay alive, so their dead-receiver revoke never
+            // triggers). Throw the queued remainder away — dropping a
+            // zero-copy envelope revokes its loan, releasing the sender
+            // immediately. Our own outstanding loans are revoked by the
+            // `loans` guard's Drop on this return.
+            self.sweep_exchange(tag);
+            return Err(e);
         }
 
         // Completion: wait until every lent region was consumed (or revoke
@@ -518,6 +535,25 @@ impl Comm {
             self.world.transport.revoked_msgs.fetch_add(revoked, Ordering::Relaxed);
         }
         Ok(ExchangeReport { failed })
+    }
+
+    /// Drop every message still queued under this exchange's tag. Called on
+    /// abort paths: dropping a staged payload discards bytes nobody will
+    /// read, and dropping a zero-copy envelope revokes its loan via
+    /// [`crate::zerocopy::ZcHandle`]'s `Drop`, so the alive-but-departing
+    /// receiver cannot strand a healthy sender on the watchdog.
+    fn sweep_exchange(&self, tag: u64) {
+        let mb = self.my_mailbox();
+        let mut swept = 0i64;
+        for s in 0..self.size() {
+            while let Some(env) = mb.try_take((self.comm_id, s, tag)) {
+                drop(env);
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            ddrtrace::instant_arg("minimpi", "exchange_sweep", "msgs", swept);
+        }
     }
 
     /// Place one received alltoallw message into `recv_buf` through `dt`.
@@ -827,5 +863,93 @@ impl ExchangeReport {
     /// True when every source delivered.
     pub fn is_complete(&self) -> bool {
         self.failed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::mix64;
+    use crate::Universe;
+    use std::time::Duration;
+
+    /// Satellite regression for elastic recovery: a receiver that aborts an
+    /// exchange early (because some *other* source died) must not strand a
+    /// healthy sender's zero-copy loan until the watchdog fires. Seeded over
+    /// several message sizes.
+    ///
+    /// Geometry per run (3 ranks, zero-copy with threshold 0):
+    /// * rank 0 hand-deposits a loan to rank 1 under the exchange's tag,
+    ///   then departs — so rank 1's receive phase succeeds while rank 2's
+    ///   aborts with `PeerDead { rank: 0 }`.
+    /// * rank 1 lends `len` bytes to rank 2 and completes cleanly; without
+    ///   the abort-path sweep it would sit in `ZcSendGuard::complete` for
+    ///   the full watchdog, because rank 2 is alive but has left the
+    ///   exchange with the loan still queued.
+    /// * rank 2 waits until rank 1's loan is queued (making the stranding
+    ///   deterministic), then aborts on the dead source.
+    #[test]
+    fn departing_receiver_revokes_unclaimed_loans() {
+        for seed in 0..6u64 {
+            let len = 32 + (mix64(seed ^ 0xA11_0C8) % 4096) as usize;
+            let watchdog = Duration::from_secs(30);
+            let start = Instant::now();
+            let out = Universe::builder()
+                .zerocopy(true)
+                .zerocopy_threshold(0)
+                .timeout(watchdog)
+                .run(3, move |comm| {
+                    let me = comm.rank();
+                    let tag = coll_key_tag(0, 0);
+                    if me == 0 {
+                        // Loan to rank 1 only, then die with it outstanding.
+                        let buf: &'static [u8] = Box::leak(vec![0xAB; len].into_boxed_slice());
+                        let cell = comm
+                            .deposit_shared(
+                                1,
+                                tag,
+                                buf,
+                                Datatype::Contiguous { len_bytes: len, offset: 0 },
+                            )
+                            .unwrap();
+                        drop(cell); // nobody waits: the buffer is leaked
+                        return Ok(());
+                    }
+                    let empty = Datatype::Empty;
+                    let contig = |offset| Datatype::Contiguous { len_bytes: len, offset };
+                    if me == 1 {
+                        let send = vec![1u8; len];
+                        let mut recv = vec![0u8; len];
+                        let st = [empty, empty, contig(0)]; // loan under test → rank 2
+                        let rt = [contig(0), empty, empty]; // rank 0's hand deposit
+                        let res = comm.alltoallw(&send, &st, &mut recv, &rt);
+                        assert_eq!(recv, vec![0xAB; len]);
+                        // The loan to rank 2 must have come back *revoked* —
+                        // this rank counted it on its own completion path.
+                        assert!(comm.transport_counters().revoked_msgs >= 1);
+                        return res;
+                    }
+                    // Rank 2: make sure rank 1's loan is already queued, so
+                    // the abort below is what must release it.
+                    let key = (0u64, 1usize, tag);
+                    while !comm.my_mailbox().contains(key) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let mut recv = vec![0u8; 2 * len];
+                    let st = [empty, empty, empty];
+                    let rt = [contig(0), contig(len), empty];
+                    comm.alltoallw(&[], &st, &mut recv, &rt)
+                });
+            let elapsed = start.elapsed();
+            assert_eq!(out[0], Ok(()), "seed {seed}");
+            assert_eq!(out[1], Ok(()), "seed {seed}: sender must complete");
+            assert_eq!(out[2], Err(Error::PeerDead { rank: 0 }), "seed {seed}");
+            // Liveness: nowhere near the watchdog. Without the sweep, rank 1
+            // burns the full 30 s in ZcSendGuard::complete.
+            assert!(
+                elapsed < Duration::from_secs(10),
+                "seed {seed}: exchange took {elapsed:?} — a loan was stranded"
+            );
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::check::{CheckState, CollFingerprint};
 use crate::datatype::Datatype;
+use crate::elastic::ElasticState;
 use crate::error::{Error, Result};
 use crate::fault::{mix64, FaultPlan, FaultState, MessageVerdict};
 use crate::life::{Liveness, ShrinkBarrier};
@@ -61,6 +62,16 @@ pub(crate) struct WorldState {
     pub pool: BufferPool,
     /// Wire-path counters (zero-copy vs staged deliveries).
     pub transport: TransportCells,
+    /// Membership-epoch state: current epoch, respawn supervisor queue, and
+    /// recovery counters (see [`crate::elastic`]).
+    pub elastic: ElasticState,
+    /// Rendezvous for [`Comm::reconfigure`]'s agreement step. A second
+    /// barrier instance so reconfigure generations can never collide with
+    /// shrink generations on the same communicator.
+    pub reconfig: ShrinkBarrier,
+    /// Whether reconfigure respawns replacements for dead ranks (builder
+    /// override, else `DDR_RESPAWN`, default true).
+    pub respawn: bool,
 }
 
 impl WorldState {
@@ -71,6 +82,7 @@ impl WorldState {
         check: bool,
         zerocopy: Option<bool>,
         zc_threshold: Option<usize>,
+        respawn: Option<bool>,
     ) -> Self {
         WorldState {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
@@ -84,7 +96,29 @@ impl WorldState {
             zc_threshold: zc_threshold.unwrap_or_else(crate::zerocopy::zc_threshold_env_default),
             pool: BufferPool::default(),
             transport: TransportCells::default(),
+            elastic: ElasticState::new(n),
+            reconfig: ShrinkBarrier::default(),
+            respawn: respawn.unwrap_or_else(crate::elastic::respawn_env_default),
         }
+    }
+
+    /// Current membership epoch (bumped by every completed reconfigure).
+    pub fn epoch(&self) -> u64 {
+        self.elastic.epoch()
+    }
+
+    /// Drop every queued message that does not carry `current_epoch`,
+    /// crediting the fenced-message counter. Stale zero-copy loans are
+    /// revoked by the drop, releasing their senders.
+    pub fn sweep_stale(&self, current_epoch: u64) -> u64 {
+        let mut fenced = 0u64;
+        for mb in &self.mailboxes {
+            fenced += mb.sweep_stale(current_epoch);
+        }
+        if fenced > 0 {
+            self.transport.fenced_msgs.fetch_add(fenced, Ordering::Relaxed);
+        }
+        fenced
     }
 
     /// Whether exchanges should take the zero-copy fast path. Fault plans
@@ -106,6 +140,7 @@ impl WorldState {
                 mb.interrupt();
             }
             self.shrink.on_death(&self.liveness);
+            self.reconfig.on_death(&self.liveness);
         }
     }
 }
@@ -120,6 +155,9 @@ const PHASE_MASK: u64 = (1 << PHASE_BITS) - 1;
 /// Sentinel tag reported by shrink-rendezvous timeouts (no message traffic
 /// is involved, so there is no real tag to report).
 const SHRINK_TAG: u64 = COLL_BIT | PHASE_MASK;
+
+/// Sentinel tag reported by reconfigure-rendezvous timeouts.
+pub(crate) const RECONFIG_TAG: u64 = COLL_BIT | (PHASE_MASK - 1);
 
 fn user_key_tag(tag: Tag) -> u64 {
     tag as u64
@@ -139,6 +177,9 @@ pub(crate) fn describe_key_tag(key_tag: u64) -> String {
     if key_tag == SHRINK_TAG {
         return "shrink rendezvous".to_string();
     }
+    if key_tag == RECONFIG_TAG {
+        return "reconfigure rendezvous".to_string();
+    }
     let body = key_tag & !COLL_BIT;
     format!("collective #{} phase {}", body >> PHASE_BITS, body & PHASE_MASK)
 }
@@ -155,11 +196,16 @@ pub struct Comm {
     pub(crate) rank: usize,
     /// World rank of each communicator member, indexed by communicator rank.
     pub(crate) members: Arc<Vec<usize>>,
+    /// Membership epoch this handle was built in. Envelopes are stamped with
+    /// it; a handle whose epoch is no longer current fails every operation
+    /// with [`Error::StaleEpoch`] (see [`Comm::reconfigure`]).
+    pub(crate) epoch: u64,
     /// Per-rank collective sequence number; identical across members because
     /// collectives are called in the same order by all of them.
     pub(crate) coll_seq: Cell<u64>,
     split_seq: Cell<u64>,
     shrink_seq: Cell<u64>,
+    pub(crate) reconfig_seq: Cell<u64>,
     timeout: Cell<Duration>,
 }
 
@@ -167,16 +213,39 @@ impl Comm {
     pub(crate) fn world_comm(world: Arc<WorldState>, rank: usize) -> Self {
         let n = world.mailboxes.len();
         let timeout = world.default_timeout;
+        let epoch = world.epoch();
+        Comm::derived(world, 0, rank, Arc::new((0..n).collect()), epoch, timeout)
+    }
+
+    /// Build a derived communicator handle (child of split/shrink/reconfigure
+    /// or a respawned rank's entry handle) with fresh sequence counters.
+    pub(crate) fn derived(
+        world: Arc<WorldState>,
+        comm_id: u64,
+        rank: usize,
+        members: Arc<Vec<usize>>,
+        epoch: u64,
+        timeout: Duration,
+    ) -> Self {
         Comm {
             world,
-            comm_id: 0,
+            comm_id,
             rank,
-            members: Arc::new((0..n).collect()),
+            members,
+            epoch,
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
             shrink_seq: Cell::new(0),
+            reconfig_seq: Cell::new(0),
             timeout: Cell::new(timeout),
         }
+    }
+
+    /// Membership epoch this communicator handle belongs to. `0` until the
+    /// first [`Comm::reconfigure`]; a respawned rank can use `epoch() > 0`
+    /// to detect that it is a replacement joining mid-run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// This rank's index within the communicator.
@@ -215,7 +284,7 @@ impl Comm {
         Ok(())
     }
 
-    fn my_mailbox(&self) -> &Mailbox {
+    pub(crate) fn my_mailbox(&self) -> &Mailbox {
         &self.world.mailboxes[self.members[self.rank]]
     }
 
@@ -245,6 +314,14 @@ impl Comm {
         if !self.world.is_alive(w) {
             return Err(Error::PeerDead { rank: self.rank });
         }
+        // The epoch fence: a handle from before the last reconfigure can
+        // neither send (its envelopes would be stamped stale) nor receive
+        // (it would match against a dead namespace). Checked before the op
+        // counter so fault-plan op coordinates are unaffected.
+        let world_epoch = self.world.epoch();
+        if world_epoch != self.epoch {
+            return Err(Error::StaleEpoch { comm_epoch: self.epoch, world_epoch });
+        }
         let op = self.world.ops[w].fetch_add(1, Ordering::Relaxed);
         if let Some(faults) = &self.world.faults {
             if faults.should_kill(w, op) {
@@ -262,13 +339,26 @@ impl Comm {
             match faults.on_message(src_w, dst_w, key_tag, &mut payload) {
                 MessageVerdict::Deliver => {}
                 MessageVerdict::Drop => return Ok(()),
-                MessageVerdict::DeliverAfter(d) => std::thread::sleep(d),
+                MessageVerdict::DeliverAfter(d) => {
+                    std::thread::sleep(d);
+                    // The world may have reconfigured while this message was
+                    // delayed in flight; delivering it into the new epoch
+                    // would be exactly the stale match the fence exists to
+                    // prevent. Count it and drop it.
+                    if self.world.epoch() != self.epoch {
+                        self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
+                        ddrtrace::instant_arg("minimpi", "fenced_msg", "epoch", self.epoch as i64);
+                        return Ok(());
+                    }
+                }
             }
         }
         self.world.transport.staged_msgs.fetch_add(1, Ordering::Relaxed);
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
-        self.world.mailboxes[self.members[dest]]
-            .deposit(key, Envelope { src: self.rank, payload: Payload::Bytes(payload) });
+        self.world.mailboxes[self.members[dest]].deposit(
+            key,
+            Envelope { src: self.rank, epoch: self.epoch, payload: Payload::Bytes(payload) },
+        );
         Ok(())
     }
 
@@ -293,8 +383,10 @@ impl Comm {
         let cell = Arc::new(ZcCell::default());
         let handle = ZcHandle::new(buf, dt, Arc::clone(&cell));
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
-        self.world.mailboxes[self.members[dest]]
-            .deposit(key, Envelope { src: self.rank, payload: Payload::Shared(handle) });
+        self.world.mailboxes[self.members[dest]].deposit(
+            key,
+            Envelope { src: self.rank, epoch: self.epoch, payload: Payload::Shared(handle) },
+        );
         Ok(cell)
     }
 
@@ -336,10 +428,23 @@ impl Comm {
             check.begin_wait(me_world, src_world, key);
         }
         let wait = ddrtrace::span_arg("minimpi", "mailbox_wait", "src", src as i64);
-        let outcome = self.my_mailbox().take_watched(key, self.timeout.get(), || {
-            !self.world.is_alive(src_world)
-                || self.world.check.as_ref().is_some_and(|c| c.is_deadlocked(me_world))
-        });
+        let outcome = loop {
+            let o = self.my_mailbox().take_watched(key, self.timeout.get(), || {
+                !self.world.is_alive(src_world)
+                    || self.world.check.as_ref().is_some_and(|c| c.is_deadlocked(me_world))
+            });
+            // Match-time epoch fence: a message stamped by a different epoch
+            // must never be delivered. Dropping it revokes any zero-copy
+            // loan it carried; keep waiting for a current-epoch message.
+            if let TakeOutcome::Delivered(env) = &o {
+                if env.epoch != self.epoch {
+                    self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
+                    ddrtrace::instant_arg("minimpi", "fenced_msg", "src", src as i64);
+                    continue;
+                }
+            }
+            break o;
+        };
         drop(wait);
         let deadlock =
             self.world.check.as_ref().and_then(|c| {
@@ -424,13 +529,23 @@ impl Comm {
         self.fault_tick()?;
         let me = self.rank;
         let wait = ddrtrace::span("minimpi", "mailbox_wait_any");
-        let outcome = self.my_mailbox().take_any_watched(
-            self.comm_id,
-            user_key_tag(tag),
-            self.size(),
-            self.timeout.get(),
-            || (0..self.size()).all(|r| r == me || !self.is_alive(r)),
-        );
+        let outcome = loop {
+            let o = self.my_mailbox().take_any_watched(
+                self.comm_id,
+                user_key_tag(tag),
+                self.size(),
+                self.timeout.get(),
+                || (0..self.size()).all(|r| r == me || !self.is_alive(r)),
+            );
+            if let TakeOutcome::Delivered(env) = &o {
+                if env.epoch != self.epoch {
+                    self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
+                    ddrtrace::instant_arg("minimpi", "fenced_msg", "src", env.src as i64);
+                    continue;
+                }
+            }
+            break o;
+        };
         drop(wait);
         match outcome {
             TakeOutcome::Delivered(env) => {
@@ -474,9 +589,15 @@ impl Comm {
     pub fn try_recv_bytes(&self, src: usize, tag: Tag) -> Result<Option<Vec<u8>>> {
         self.check_rank(src)?;
         self.fault_tick()?;
-        match self.my_mailbox().try_take((self.comm_id, src, user_key_tag(tag))) {
-            Some(env) => Ok(Some(self.materialize(src, env.payload)?)),
-            None => Ok(None),
+        loop {
+            match self.my_mailbox().try_take((self.comm_id, src, user_key_tag(tag))) {
+                Some(env) if env.epoch != self.epoch => {
+                    self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
+                    ddrtrace::instant_arg("minimpi", "fenced_msg", "src", src as i64);
+                }
+                Some(env) => return Ok(Some(self.materialize(src, env.payload)?)),
+                None => return Ok(None),
+            }
         }
     }
 
@@ -517,16 +638,14 @@ impl Comm {
         let seq = self.split_seq.get();
         self.split_seq.set(seq + 1);
         let child_id = mix64(mix64(self.comm_id ^ seq.wrapping_mul(0x9e37)) ^ color);
-        Ok(Comm {
-            world: Arc::clone(&self.world),
-            comm_id: child_id,
-            rank: new_rank,
-            members: Arc::new(members),
-            coll_seq: Cell::new(0),
-            split_seq: Cell::new(0),
-            shrink_seq: Cell::new(0),
-            timeout: Cell::new(self.timeout.get()),
-        })
+        Ok(Comm::derived(
+            Arc::clone(&self.world),
+            child_id,
+            new_rank,
+            Arc::new(members),
+            self.epoch,
+            self.timeout.get(),
+        ))
     }
 
     /// Collective: duplicate this communicator into an independent one with
@@ -581,16 +700,14 @@ impl Comm {
         for &w in survivors.iter() {
             child_id = mix64(child_id ^ w as u64);
         }
-        Ok(Comm {
-            world: Arc::clone(&self.world),
-            comm_id: child_id,
-            rank: new_rank,
-            members: Arc::new((*survivors).clone()),
-            coll_seq: Cell::new(0),
-            split_seq: Cell::new(0),
-            shrink_seq: Cell::new(0),
-            timeout: Cell::new(self.timeout.get()),
-        })
+        Ok(Comm::derived(
+            Arc::clone(&self.world),
+            child_id,
+            new_rank,
+            Arc::new((*survivors).clone()),
+            self.epoch,
+            self.timeout.get(),
+        ))
     }
 
     pub(crate) fn next_coll_seq(&self) -> u64 {

@@ -70,6 +70,17 @@ pub enum Error {
     /// a confirmed receive cycle. The report lists every member of the cycle
     /// and what it was waiting for — the watchdog never needs to fire.
     Deadlock(Box<DeadlockReport>),
+    /// The communicator handle predates the current membership epoch: a
+    /// [`crate::Comm::reconfigure`] completed since this handle was built, so
+    /// any traffic it could produce would be fenced as stale. The holder must
+    /// switch to the communicator returned by `reconfigure` (or call
+    /// `reconfigure` itself, on a handle from the current epoch).
+    StaleEpoch {
+        /// Epoch the communicator handle was created in.
+        comm_epoch: u64,
+        /// Current world membership epoch.
+        world_epoch: u64,
+    },
     /// A runtime invariant was violated (e.g. a rendezvous protocol state
     /// that should be unreachable). Converted from what used to be panics in
     /// hot paths, so a broken invariant on one rank fails that rank's
@@ -111,6 +122,10 @@ impl fmt::Display for Error {
                 write!(f, "collective divergence: {report}")
             }
             Error::Deadlock(report) => write!(f, "{report}"),
+            Error::StaleEpoch { comm_epoch, world_epoch } => write!(
+                f,
+                "communicator from epoch {comm_epoch} used after reconfiguration to epoch {world_epoch} — rebuild it via reconfigure()"
+            ),
             Error::Internal { detail } => {
                 write!(f, "internal runtime invariant violated: {detail}")
             }

@@ -46,6 +46,19 @@
 //! [`Comm::shrink`] lets survivors agree on a new communicator containing
 //! only live ranks — the substrate for DDR's shrink-and-remap recovery.
 //!
+//! ## Elastic membership
+//!
+//! [`Comm::reconfigure`] goes beyond shrink: the survivors agree, the world
+//! enters a new **membership epoch**, and (by default) every dead rank is
+//! respawned as a fresh thread re-running the universe closure inside the
+//! new epoch — so capacity lost to a failure is restored instead of
+//! permanently degraded. Every message envelope carries its sender's epoch;
+//! stale-epoch traffic (including in-flight zero-copy loans, which are
+//! revoked) is fenced rather than matched, and the checker state is reset
+//! across the bump so a reconfigure never produces a false
+//! [`Error::Deadlock`] or [`Error::Timeout`]. See [`RecoveryCounters`] and
+//! the `DDR_RESPAWN` / `DDR_RECONFIG_TIMEOUT_MS` knobs.
+//!
 //! ## Correctness checking
 //!
 //! `Universe::builder().check(true)` (or `DDR_CHECK=1`) turns on two
@@ -84,6 +97,7 @@ mod check;
 mod collectives;
 mod comm;
 mod datatype;
+mod elastic;
 pub mod env;
 mod error;
 mod fault;
@@ -99,6 +113,7 @@ pub use check::{CollFingerprint, CollectiveKind, DeadlockReport, DivergenceRepor
 pub use collectives::ExchangeReport;
 pub use comm::{Comm, RecvStatus, Tag, ANY_SOURCE};
 pub use datatype::{ByteRuns, Datatype, Subarray};
+pub use elastic::RecoveryCounters;
 pub use error::{Error, Result};
 pub use fault::{FaultAction, FaultPlan, MessageMatcher};
 pub use pod::{bytes_of, bytes_of_mut, Pod};

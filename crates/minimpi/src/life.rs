@@ -18,7 +18,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-/// Per-world-rank alive flags. Ranks only ever transition alive → dead.
+/// Per-world-rank alive flags. Ranks transition alive → dead on failure; the
+/// reconfigure leader may transition a rank back dead → alive when a
+/// replacement thread is about to be respawned in a new epoch.
 pub(crate) struct Liveness {
     alive: Vec<AtomicBool>,
 }
@@ -35,6 +37,13 @@ impl Liveness {
     /// Returns `true` if this call performed the transition (idempotent).
     pub fn mark_dead(&self, world_rank: usize) -> bool {
         self.alive[world_rank].swap(false, Ordering::AcqRel)
+    }
+
+    /// Resurrect a dead rank ahead of a respawn. Only the reconfigure leader
+    /// calls this, after the survivor set has been agreed, so peers never see
+    /// the rank flap: it goes dead → (agreement) → alive-with-replacement.
+    pub fn revive(&self, world_rank: usize) {
+        self.alive[world_rank].store(true, Ordering::Release);
     }
 }
 

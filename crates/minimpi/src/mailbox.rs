@@ -22,9 +22,13 @@ pub(crate) enum Payload {
 }
 
 /// A message queued for delivery. `src` is re-recorded so any-source
-/// receives can report where a message came from.
+/// receives can report where a message came from. `epoch` is the membership
+/// epoch of the *sending* communicator handle; receivers and the
+/// reconfigure-time sweep reject envelopes whose epoch is not current
+/// (dropping a stale `Shared` payload revokes the loan, waking its sender).
 pub(crate) struct Envelope {
     pub src: usize,
+    pub epoch: u64,
     pub payload: Payload,
 }
 
@@ -134,6 +138,32 @@ impl Mailbox {
         Self::pop(&mut self.lock(), key)
     }
 
+    /// Drop every queued envelope whose epoch is not `current_epoch` and
+    /// return how many were fenced. Called by the reconfigure leader after
+    /// the epoch bump: pre-reconfiguration messages must never match a
+    /// post-reconfiguration receive, and dropping a stale zero-copy loan
+    /// revokes it so its sender is released instead of waiting out the
+    /// watchdog.
+    pub fn sweep_stale(&self, current_epoch: u64) -> u64 {
+        let mut q = self.lock();
+        let mut fenced = 0u64;
+        q.by_key.retain(|_, dq| {
+            dq.retain(|env| {
+                let keep = env.epoch == current_epoch;
+                if !keep {
+                    fenced += 1;
+                }
+                keep
+            });
+            !dq.is_empty()
+        });
+        drop(q);
+        if fenced > 0 {
+            self.cv.notify_all();
+        }
+        fenced
+    }
+
     /// Whether a message with `key` is currently queued (used by the
     /// deadlock detector to rule out satisfiable waits — with eager sends,
     /// an in-flight message is always already queued here).
@@ -210,7 +240,7 @@ mod tests {
     use std::sync::Arc;
 
     fn bytes_env(src: usize, bytes: Vec<u8>) -> Envelope {
-        Envelope { src, payload: Payload::Bytes(bytes) }
+        Envelope { src, epoch: 0, payload: Payload::Bytes(bytes) }
     }
 
     fn into_bytes(env: Envelope) -> Vec<u8> {

@@ -1,6 +1,7 @@
 //! Launching a set of ranks.
 
 use crate::comm::{default_timeout, Comm, WorldState};
+use crate::elastic::SupervisorEvent;
 use crate::fault::FaultPlan;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -34,6 +35,7 @@ pub struct UniverseBuilder {
     check: Option<bool>,
     zerocopy: Option<bool>,
     zc_threshold: Option<usize>,
+    respawn: Option<bool>,
     trace: Option<PathBuf>,
 }
 
@@ -84,6 +86,17 @@ impl UniverseBuilder {
         self
     }
 
+    /// Choose the [`crate::Comm::reconfigure`] policy: with respawn on (the
+    /// default), every dead member is replaced by a fresh thread re-running
+    /// the universe closure in the new epoch, so the communicator keeps its
+    /// size; with respawn off, reconfigure shrinks to the survivors (still
+    /// fencing the old epoch). When unset, `DDR_RESPAWN` decides
+    /// (default on).
+    pub fn respawn(mut self, on: bool) -> Self {
+        self.respawn = Some(on);
+        self
+    }
+
     /// Capture a trace of this universe run and write it to `path` as
     /// Chrome trace-event JSON (loadable in Perfetto). Equivalent to setting
     /// `DDR_TRACE=<path>`; the builder takes precedence. When tracing is off,
@@ -122,6 +135,7 @@ impl UniverseBuilder {
             check_on,
             self.zerocopy,
             self.zc_threshold,
+            self.respawn,
         ));
         // Tracing: the builder's path wins over `DDR_TRACE`. If a capture
         // window is already open (a bench tracing across several universes),
@@ -170,6 +184,7 @@ impl UniverseBuilder {
                         // Departed (or crashed) ranks count as dead: peers
                         // blocked on them should fail fast.
                         world.mark_dead(rank);
+                        world.elastic.rank_finished();
                         match out {
                             Ok(v) => v,
                             Err(payload) => std::panic::resume_unwind(payload),
@@ -178,10 +193,42 @@ impl UniverseBuilder {
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
+            // Respawn supervisor: reconfigure queues a request per dead rank
+            // being replaced; each spawns a fresh thread re-running `f` with
+            // a communicator already in the new epoch. The loop ends only
+            // when every thread — initial and respawned — has finished, so
+            // the joins below never block on unfinished work.
+            let mut respawned = Vec::new();
+            while let SupervisorEvent::Spawn(req) = world.elastic.next_event() {
+                let world = Arc::clone(&world);
+                let f = &f;
+                let rank = req.world_rank;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(RANK_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        ddrtrace::set_track(rank as u32, &format!("rank-{rank}"));
+                        let _body = ddrtrace::span("rank", "rank_body");
+                        let comm = Comm::respawned_comm(Arc::clone(&world), &req);
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                        world.mark_dead(rank);
+                        world.elastic.rank_finished();
+                        // A replacement's result is observable only
+                        // through its communication; `run` returns
+                        // the *initial* ranks' results.
+                        match out {
+                            Ok(_) => (),
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
+                    })
+                    .expect("failed to spawn respawned rank thread");
+                respawned.push(handle);
+            }
             // Collect every rank's outcome before re-raising any panic: the
             // detector must be shut down and joined first, or resuming a
             // panic here would leave the scope blocked on it forever.
             let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let respawn_outcomes: Vec<_> = respawned.into_iter().map(|h| h.join()).collect();
             shutdown.store(true, Ordering::Release);
             if let Some(d) = detector {
                 let _ = d.join();
@@ -204,6 +251,11 @@ impl UniverseBuilder {
                             eprintln!("minimpi: failed to write trace to {}: {e}", path.display())
                         }
                     }
+                }
+            }
+            for o in respawn_outcomes {
+                if let Err(payload) = o {
+                    std::panic::resume_unwind(payload);
                 }
             }
             outcomes
@@ -240,6 +292,9 @@ fn record_world_metrics(world: &WorldState) {
     ddrtrace::metrics::add("minimpi.pool", "trimmed_bytes", p.trimmed_bytes);
     ddrtrace::metrics::set("minimpi.pool", "free_bytes", p.free_bytes as u64);
     ddrtrace::metrics::set("minimpi.pool", "high_water_bytes", p.high_water_bytes as u64);
+    ddrtrace::metrics::set("recover", "epoch", world.epoch());
+    ddrtrace::metrics::add("recover", "respawns", world.elastic.respawns());
+    ddrtrace::metrics::add("recover", "fenced_msgs", t.fenced_msgs);
 }
 
 impl Universe {

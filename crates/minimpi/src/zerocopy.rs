@@ -79,6 +79,9 @@ impl ZcCell {
         loop {
             match self.state.load(Ordering::Acquire) {
                 DONE => return ZcWait::Done,
+                // A third party revoked the loan (the queued envelope was
+                // discarded — epoch fence, aborted exchange, teardown).
+                REVOKED => return ZcWait::Revoked,
                 // Expired or aborted: revoke. Losing the CAS race means the
                 // receiver just claimed it — its memcpy is in flight and
                 // bounded, so fall through, loop, and wait for Done.
@@ -104,6 +107,24 @@ impl ZcCell {
                     .unwrap_or_else(|e| e.into_inner());
             }
         }
+    }
+
+    /// Third party (neither endpoint actively copying): revoke the loan if it
+    /// was never claimed, waking the blocked sender. Used when a queued
+    /// `Shared` envelope is discarded — epoch fencing, an aborted exchange
+    /// draining its round, mailbox teardown — so the sender observes
+    /// `Revoked` promptly instead of waiting out the watchdog. A loan already
+    /// being copied (or finished) is left alone.
+    pub fn revoke_if_pending(&self) -> bool {
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let revoked = self
+            .state
+            .compare_exchange(PENDING, REVOKED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if revoked {
+            self.cv.notify_all();
+        }
+        revoked
     }
 }
 
@@ -146,6 +167,16 @@ impl ZcHandle {
     /// Number of payload bytes this handle carries.
     pub fn packed_len(&self) -> usize {
         self.dt.packed_len()
+    }
+}
+
+/// Dropping a handle that was never claimed revokes the loan. This is what
+/// makes "discard the envelope" a complete operation: any path that throws a
+/// queued `Shared` message away (epoch sweep, aborted exchange, universe
+/// teardown) automatically releases the sender blocked on the cell.
+impl Drop for ZcHandle {
+    fn drop(&mut self) {
+        self.cell.revoke_if_pending();
     }
 }
 
@@ -297,6 +328,9 @@ pub struct TransportCounters {
     pub revoked_msgs: u64,
     /// Receive-side copy batches executed on the parallel copy pool.
     pub parallel_copies: u64,
+    /// Stale-epoch messages rejected by the membership fence instead of
+    /// being delivered (swept at reconfiguration or caught at match time).
+    pub fenced_msgs: u64,
 }
 
 /// Atomic backing store for [`TransportCounters`], kept on the world state.
@@ -306,6 +340,7 @@ pub(crate) struct TransportCells {
     pub staged_msgs: AtomicU64,
     pub revoked_msgs: AtomicU64,
     pub parallel_copies: AtomicU64,
+    pub fenced_msgs: AtomicU64,
 }
 
 impl TransportCells {
@@ -315,6 +350,7 @@ impl TransportCells {
             staged_msgs: self.staged_msgs.load(Ordering::Relaxed),
             revoked_msgs: self.revoked_msgs.load(Ordering::Relaxed),
             parallel_copies: self.parallel_copies.load(Ordering::Relaxed),
+            fenced_msgs: self.fenced_msgs.load(Ordering::Relaxed),
         }
     }
 }
@@ -502,6 +538,30 @@ mod tests {
         let out = cell.wait(Instant::now(), || false);
         assert_eq!(out, ZcWait::Revoked);
         assert!(!cell.try_claim());
+    }
+
+    #[test]
+    fn dropping_unclaimed_handle_revokes_loan() {
+        let cell = Arc::new(ZcCell::default());
+        let buf = vec![0u8; 16];
+        let dt = Datatype::Contiguous { len_bytes: 16, offset: 0 };
+        drop(ZcHandle::new(&buf, dt, Arc::clone(&cell)));
+        // The loan is dead: the receiver can no longer claim it, and a
+        // sender blocked in wait() observes the revocation immediately.
+        assert!(!cell.try_claim());
+        let out = cell.wait(Instant::now() + Duration::from_secs(5), || false);
+        assert_eq!(out, ZcWait::Revoked);
+    }
+
+    #[test]
+    fn dropping_claimed_handle_does_not_disturb_copy() {
+        let cell = Arc::new(ZcCell::default());
+        assert!(cell.try_claim());
+        let buf = vec![0u8; 4];
+        let dt = Datatype::Contiguous { len_bytes: 4, offset: 0 };
+        drop(ZcHandle::new(&buf, dt, Arc::clone(&cell)));
+        cell.finish();
+        assert_eq!(cell.wait(Instant::now(), || false), ZcWait::Done);
     }
 
     #[test]

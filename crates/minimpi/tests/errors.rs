@@ -35,6 +35,7 @@ fn all_variants() -> Vec<Error> {
                 PendingRecv { rank: 1, awaited: 0, comm_id: 0, tag: 7 },
             ],
         })),
+        Error::StaleEpoch { comm_epoch: 0, world_epoch: 2 },
         Error::Internal { detail: "split: world rank 2 missing from its own color group".into() },
     ];
     for v in &variants {
@@ -47,6 +48,7 @@ fn all_variants() -> Vec<Error> {
             | Error::CollectiveMismatch { .. }
             | Error::CollectiveDiverged(_)
             | Error::Deadlock(_)
+            | Error::StaleEpoch { .. }
             | Error::Internal { .. } => {}
         }
     }
@@ -67,6 +69,8 @@ fn display_is_informative_for_every_variant() {
          but rank 2 called broadcast(root 0) at app.rs:20",
         "deadlock cycle of 2 ranks: rank 0 waits on rank 1 (user tag 7 on comm 0x0); \
          rank 1 waits on rank 0 (user tag 7 on comm 0x0)",
+        "communicator from epoch 0 used after reconfiguration to epoch 2 — \
+         rebuild it via reconfigure()",
         "internal runtime invariant violated: split: world rank 2 missing from its own color group",
     ];
     for (e, want) in all_variants().iter().zip(expected) {
