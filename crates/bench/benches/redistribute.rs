@@ -96,36 +96,48 @@ fn layouts(case: &Case, r: usize) -> (Block, Block) {
 
 /// Time `reps` reorganizations through the selected plane; returns the
 /// slowest rank's per-reorganize time.
-fn inner_time(case: &Case, zerocopy: bool) -> Duration {
+fn inner_time(case: &Case, zerocopy: bool, checksum: bool) -> Duration {
     let case = *case;
-    let times = Universe::builder().zerocopy(zerocopy).run(NPROCS, move |comm| {
-        let r = comm.rank();
-        let (owned, need) = layouts(&case, r);
-        let desc = Descriptor::for_type::<f32>(NPROCS, case.kind).unwrap();
-        let plan =
-            desc.setup_data_mapping_with(comm, &[owned], need, ValidationPolicy::Skip).unwrap();
-        let data = vec![r as f32 + 0.5; owned.count() as usize];
-        let mut out = vec![0f32; need.count() as usize];
-        comm.barrier().unwrap();
-        let start = Instant::now();
-        for _ in 0..case.reps {
-            plan.reorganize(comm, &[&data], &mut out).unwrap();
-        }
-        let elapsed = start.elapsed();
-        black_box(&out);
-        elapsed / case.reps
-    });
+    let times =
+        Universe::builder().zerocopy(zerocopy).checksum(checksum).run(NPROCS, move |comm| {
+            let r = comm.rank();
+            let (owned, need) = layouts(&case, r);
+            let desc = Descriptor::for_type::<f32>(NPROCS, case.kind).unwrap();
+            let plan =
+                desc.setup_data_mapping_with(comm, &[owned], need, ValidationPolicy::Skip).unwrap();
+            let data = vec![r as f32 + 0.5; owned.count() as usize];
+            let mut out = vec![0f32; need.count() as usize];
+            comm.barrier().unwrap();
+            let start = Instant::now();
+            for _ in 0..case.reps {
+                plan.reorganize(comm, &[&data], &mut out).unwrap();
+            }
+            let elapsed = start.elapsed();
+            black_box(&out);
+            elapsed / case.reps
+        });
     times.into_iter().max().unwrap()
 }
+
+/// The measured planes: zero-copy and staged, each with envelope checksums
+/// on (the default) and off (`DDR_CHECKSUM=0`). The `nochecksum` columns
+/// exist so the integrity plane's cost is a measured number in the JSON
+/// report, not a claim.
+const PATHS: [(&str, bool, bool); 4] = [
+    ("zerocopy", true, true),
+    ("staged", false, true),
+    ("zerocopy_nochecksum", true, false),
+    ("staged_nochecksum", false, false),
+];
 
 fn bench_redistribute(c: &mut Criterion) {
     let mut g = c.benchmark_group("redistribute");
     g.sample_size(9);
     for case in cases() {
         g.throughput(Throughput::Bytes(case.domain.count() * 4));
-        for path in ["zerocopy", "staged"] {
+        for (path, zerocopy, checksum) in PATHS {
             g.bench_with_input(BenchmarkId::new(case.name, path), &case, |b, case| {
-                b.iter_custom(|_| inner_time(case, path == "zerocopy"));
+                b.iter_custom(|_| inner_time(case, zerocopy, checksum));
             });
         }
     }
@@ -139,7 +151,7 @@ fn bench_redistribute(c: &mut Criterion) {
 /// message sat below `DDR_ZC_THRESHOLD` and staged instead).
 fn phase_breakdown(case: &Case) -> (Vec<(String, u64, u64, u64)>, u64) {
     ddrtrace::capture::start();
-    inner_time(case, true);
+    inner_time(case, true, true);
     let trace = ddrtrace::capture::stop();
     let loaned = trace
         .metrics
@@ -169,6 +181,11 @@ fn emit_json(c: &Criterion) {
         else {
             continue;
         };
+        let (Some(zc_ns), Some(st_ns)) =
+            (lookup(case.name, "zerocopy_nochecksum"), lookup(case.name, "staged_nochecksum"))
+        else {
+            continue;
+        };
         let (phases, loaned) = phase_breakdown(&case);
         // Both measurements are reported as measured, always. When every
         // message of a case sits below the loan threshold (`loaned == 0`)
@@ -178,12 +195,12 @@ fn emit_json(c: &Criterion) {
         // gate) can exempt them explicitly instead of us overwriting the
         // timings, which would also mask zero-copy silently never loaning.
         let speedup = st.as_secs_f64() / zc.as_secs_f64().max(1e-12);
-        entries.push((case, zc, st, speedup, phases, loaned));
+        entries.push((case, zc, st, zc_ns, st_ns, speedup, phases, loaned));
     }
     let headline = "2d/in_transit_repartition/2048";
     let mut json = String::from("{\n  \"bench\": \"redistribute\",\n  \"element\": \"f32\",\n");
     json.push_str(&format!("  \"nprocs\": {NPROCS},\n"));
-    if let Some((_, zc, st, sp, _, _)) = entries.iter().find(|(c, ..)| c.name == headline) {
+    if let Some((_, zc, st, _, _, sp, _, _)) = entries.iter().find(|(c, ..)| c.name == headline) {
         json.push_str(&format!(
             "  \"headline\": {{\n    \"case\": \"{headline}\",\n    \"zerocopy_ns\": {},\n    \
              \"staged_ns\": {},\n    \"speedup\": {:.3}\n  }},\n",
@@ -193,15 +210,23 @@ fn emit_json(c: &Criterion) {
         ));
     }
     json.push_str("  \"cases\": [\n");
-    for (i, (case, zc, st, sp, phases, loaned)) in entries.iter().enumerate() {
+    for (i, (case, zc, st, zc_ns, st_ns, sp, phases, loaned)) in entries.iter().enumerate() {
+        // Checksum cost on the staged plane (where every payload byte is
+        // hashed at both pack and verify): on/off ratio, > 1.0 = slower.
+        let checksum_cost = st.as_secs_f64() / st_ns.as_secs_f64().max(1e-12);
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"bytes\": {}, \"zerocopy_ns\": {}, \"staged_ns\": {}, \
+             \"zerocopy_nochecksum_ns\": {}, \"staged_nochecksum_ns\": {}, \
+             \"checksum_cost\": {:.3}, \
              \"speedup\": {:.3}, \"loaned_msgs\": {loaned}, \"identical_path\": {},\n     \
              \"phases\": [\n",
             case.name,
             case.domain.count() * 4,
             zc.as_nanos(),
             st.as_nanos(),
+            zc_ns.as_nanos(),
+            st_ns.as_nanos(),
+            checksum_cost,
             sp,
             *loaned == 0,
         ));

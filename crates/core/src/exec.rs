@@ -2,7 +2,7 @@
 
 use crate::error::{DdrError, Result};
 use crate::plan::Plan;
-use crate::recover::PartialCompletion;
+use crate::recover::{LossKind, PartialCompletion};
 use crate::stats::RedistStats;
 use minimpi::{bytes_of, bytes_of_mut, Comm, Datatype, Pod};
 
@@ -192,14 +192,16 @@ impl Plan {
         }
     }
 
-    /// Returns `(round, peer)` receive failures; drains every round so the
-    /// maximum amount of data survives a peer death.
+    /// Returns `(round, peer, loss kind)` receive failures; drains every
+    /// round so the maximum amount of data survives a peer death, and
+    /// classifies each loss so retransmit exhaustion (the peer is alive but
+    /// its data never verified) is reported distinctly from death.
     fn reorganize_alltoallw<T: Pod>(
         &self,
         comm: &Comm,
         owned: &[&[T]],
         need: &mut [T],
-    ) -> Result<Vec<(usize, usize)>> {
+    ) -> Result<Vec<(usize, usize, LossKind)>> {
         let n = self.nprocs;
         let need_bytes = bytes_of_mut(need);
         let mut failures = Vec::new();
@@ -215,7 +217,9 @@ impl Plan {
                 recv_types[t.peer] = Datatype::Subarray(t.subarray);
             }
             let report = comm.alltoallw_salvage(send_buf, &send_types, need_bytes, &recv_types)?;
-            failures.extend(report.failed.into_iter().map(|(peer, _)| (r, peer)));
+            failures.extend(
+                report.failed.into_iter().map(|(peer, e)| (r, peer, LossKind::from_error(&e))),
+            );
         }
         Ok(failures)
     }
@@ -225,7 +229,7 @@ impl Plan {
         comm: &Comm,
         owned: &[&[T]],
         need: &mut [T],
-    ) -> Result<Vec<(usize, usize)>> {
+    ) -> Result<Vec<(usize, usize, LossKind)>> {
         let need_bytes = bytes_of_mut(need);
         let mut failures = Vec::new();
         for (r, round) in self.rounds.iter().enumerate() {
@@ -250,7 +254,7 @@ impl Plan {
                         comm.release_staging(p);
                         res?;
                     }
-                    Err(_) => failures.push((r, src)),
+                    Err(e) => failures.push((r, src, LossKind::from_error(&e))),
                 }
             }
         }

@@ -83,7 +83,7 @@ pub use multi::{
     RemapSpec,
 };
 pub use plan::{Plan, RoundPlan, Transfer};
-pub use recover::{PartialCompletion, RoundReport};
+pub use recover::{LossKind, PartialCompletion, RoundReport};
 pub use serialize::MappingSnapshot;
 pub use stats::{GlobalStats, RedistStats, RemapStats};
 pub use validate::{validate, Domain, ValidationPolicy};

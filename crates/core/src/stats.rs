@@ -8,6 +8,7 @@
 
 use crate::layout::Layout;
 use crate::plan::Plan;
+use crate::recover::LossKind;
 
 /// Per-rank accounting of one *executed* redistribution.
 ///
@@ -30,16 +31,19 @@ pub struct RedistStats {
     pub messages_sent: u64,
     /// Non-empty messages received from other ranks.
     pub messages_recv: u64,
-    /// Receives that failed (peer dead / dropped / timed out).
+    /// Receives that failed (peer dead / dropped / timed out / corrupt).
     pub failed_recvs: u64,
+    /// The subset of `failed_recvs` lost to checksum-exhausted corruption
+    /// ([`LossKind::Integrity`]) rather than peer death.
+    pub integrity_recvs: u64,
     /// Bytes those failed receives would have delivered.
     pub lost_bytes: u64,
 }
 
 impl RedistStats {
-    /// Account an executed redistribution of `plan` given the `(round, peer)`
-    /// receive failures its exchange reported.
-    pub fn from_plan(plan: &Plan, failures: &[(usize, usize)]) -> RedistStats {
+    /// Account an executed redistribution of `plan` given the
+    /// `(round, peer, loss kind)` receive failures its exchange reported.
+    pub fn from_plan(plan: &Plan, failures: &[(usize, usize, LossKind)]) -> RedistStats {
         let mut s = RedistStats { rounds: plan.rounds.len(), ..RedistStats::default() };
         for (r, round) in plan.rounds.iter().enumerate() {
             for t in &round.sends {
@@ -54,12 +58,18 @@ impl RedistStats {
                 if t.peer == plan.rank {
                     continue; // the self-overlap is counted on the send side
                 }
-                if failures.contains(&(r, t.peer)) {
-                    s.failed_recvs += 1;
-                    s.lost_bytes += t.bytes();
-                } else {
-                    s.recv_bytes += t.bytes();
-                    s.messages_recv += 1;
+                match failures.iter().find(|&&(fr, fp, _)| (fr, fp) == (r, t.peer)) {
+                    Some(&(_, _, kind)) => {
+                        s.failed_recvs += 1;
+                        if kind == LossKind::Integrity {
+                            s.integrity_recvs += 1;
+                        }
+                        s.lost_bytes += t.bytes();
+                    }
+                    None => {
+                        s.recv_bytes += t.bytes();
+                        s.messages_recv += 1;
+                    }
                 }
             }
         }

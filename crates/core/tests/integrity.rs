@@ -1,0 +1,300 @@
+//! Corruption chaos soak: seeded corrupt-message faults across many seeds
+//! and both wire paths (staged and zero-copy loans), with runtime checking
+//! (`DDR_CHECK`) armed throughout.
+//!
+//! Two regimes, both exercised per seed:
+//!
+//! - **Recoverable** (one corrupt delivery): the retransmit protocol must
+//!   restore a byte-identical redistribution — indistinguishable from a
+//!   clean run except for the `integrity.*` counters.
+//! - **Exhausting** (original + every retransmit corrupted): the receiver
+//!   must fail *structurally* — `IntegrityFailure` classified as an
+//!   integrity loss in [`PartialCompletion`], never a hang — while every
+//!   uninvolved rank completes byte-identically.
+//!
+//! Layouts are built with [`compute_local_plan`] rather than
+//! `setup_data_mapping`, so the universe carries **zero** setup traffic:
+//! every message on the wire is redistribution data (or recovery control),
+//! which makes the seeded corrupt-rule targeting deterministic.
+
+use ddr_core::{compute_local_plan, Block, DataKind, Descriptor, Layout, Strategy};
+use minimpi::{Error as MpiError, FaultPlan, Universe};
+use std::time::{Duration, Instant};
+
+const SEEDS: u64 = 24;
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// E1 (paper Fig. 1): rank r owns rows {r, r+4} of an 8x8 grid and needs
+/// one 4x4 quadrant. Every ordered rank pair ships exactly one non-empty
+/// fragment across the two rounds.
+fn e1_layouts() -> Vec<Layout> {
+    (0..4)
+        .map(|r| Layout {
+            owned: vec![Block::d2([0, r], [8, 1]).unwrap(), Block::d2([0, r + 4], [8, 1]).unwrap()],
+            need: Block::d2([4 * (r % 2), 4 * (r / 2)], [4, 4]).unwrap(),
+        })
+        .collect()
+}
+
+/// Global value of element (x, y): makes bitwise checks self-describing.
+fn cell(x: usize, y: usize) -> f32 {
+    (y * 8 + x) as f32
+}
+
+fn expected_need(rank: usize) -> Vec<f32> {
+    let need = &e1_layouts()[rank].need;
+    let mut out = Vec::with_capacity(16);
+    for ly in 0..4 {
+        for lx in 0..4 {
+            out.push(cell(need.offset[0] + lx, need.offset[1] + ly));
+        }
+    }
+    out
+}
+
+type RankOutcome = (
+    Result<(ddr_core::PartialCompletion, ddr_core::RedistStats), ddr_core::DdrError>,
+    Vec<f32>,
+    minimpi::IntegrityCounters,
+);
+
+/// One full redistribution under `plan`, salvage mode, checking armed.
+fn run_soak(plan: FaultPlan, zerocopy: bool) -> Vec<RankOutcome> {
+    Universe::builder()
+        .timeout(Duration::from_secs(30))
+        .check(true)
+        .zerocopy(zerocopy)
+        .zerocopy_threshold(0) // loans on the zc pass even for tiny fragments
+        .fault_plan(plan)
+        .run(4, move |comm| {
+            let r = comm.rank();
+            let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+            let plan = compute_local_plan(r, &e1_layouts(), &desc).unwrap();
+            let data: Vec<Vec<f32>> =
+                [r, r + 4].iter().map(|&y| (0..8).map(|x| cell(x, y)).collect()).collect();
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+            let mut need = vec![-1.0f32; 16];
+            let res = plan.reorganize_with_stats(comm, &refs, &mut need, Strategy::Alltoallw);
+            // Counters are world-global but snapshotted per rank: fence so
+            // no rank reads them while another is still mid-recovery.
+            comm.barrier().unwrap();
+            (res, need, comm.integrity_counters())
+        })
+}
+
+/// Pick a deterministic ordered rank pair from the seed.
+fn pick_pair(seed: u64) -> (usize, usize) {
+    let src = (mix(seed) % 4) as usize;
+    let dst = (src + 1 + (mix(seed ^ 0xD15E) % 3) as usize) % 4;
+    (src, dst)
+}
+
+/// Recoverable regime: one corrupt delivery per seed, per wire path. The
+/// redistribution must complete byte-identically on every rank, with the
+/// corruption visible only in the integrity counters.
+#[test]
+fn corruption_chaos_soak_recovers_byte_identical() {
+    for seed in 0..SEEDS {
+        for zerocopy in [false, true] {
+            let (src, dst) = pick_pair(seed);
+            let plan = FaultPlan::new(seed).corrupt_message(src, dst, None, 0);
+            let start = Instant::now();
+            let out = run_soak(plan, zerocopy);
+            assert!(
+                start.elapsed() < Duration::from_secs(20),
+                "seed {seed} zc={zerocopy}: recovery must not crawl"
+            );
+            for (r, (res, need, counters)) in out.iter().enumerate() {
+                let ctx = format!("seed {seed} zc={zerocopy} rank {r}");
+                let (report, stats) = res
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{ctx}: reorganize failed outright: {e:?}"));
+                assert!(report.is_complete(), "{ctx}: {report}");
+                assert_eq!(stats.failed_recvs, 0, "{ctx}");
+                assert_eq!(need, &expected_need(r), "{ctx}: byte-identical output");
+                // Counters are world-global: every rank sees the recovery.
+                assert!(counters.detected >= 1, "{ctx}: {counters:?}");
+                assert!(counters.retransmits >= 1, "{ctx}: {counters:?}");
+                assert_eq!(counters.exhausted, 0, "{ctx}: {counters:?}");
+            }
+        }
+    }
+}
+
+/// Exhausting regime: the original delivery and both retransmits are all
+/// corrupted, so the receiver's budget (`retransmit_max`, default 3 — here
+/// the rules cover nth 0..=3) runs dry. The loss must surface as a
+/// classified integrity failure in the salvage report; everyone else
+/// completes byte-identically. Never a hang.
+#[test]
+fn corruption_chaos_soak_exhaustion_is_structured_and_classified() {
+    for seed in 0..SEEDS {
+        for zerocopy in [false, true] {
+            let (src, dst) = pick_pair(seed);
+            let mut plan = FaultPlan::new(seed);
+            for nth in 0..=3 {
+                plan = plan.corrupt_message(src, dst, None, nth);
+            }
+            let start = Instant::now();
+            let out = run_soak(plan, zerocopy);
+            assert!(
+                start.elapsed() < Duration::from_secs(25),
+                "seed {seed} zc={zerocopy}: exhaustion must not hang"
+            );
+            for (r, (res, need, counters)) in out.iter().enumerate() {
+                let ctx = format!("seed {seed} zc={zerocopy} rank {r}");
+                let (report, stats) = res
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{ctx}: salvage must not hard-fail: {e:?}"));
+                if r == dst {
+                    // The victim's report names the corrupt source as an
+                    // integrity loss — not a liveness one.
+                    assert!(!report.is_complete(), "{ctx}: loss must be reported");
+                    assert_eq!(report.integrity_peers, vec![src], "{ctx}: {report}");
+                    assert_eq!(report.dead_peers, vec![src], "{ctx}: {report}");
+                    assert!(stats.integrity_recvs >= 1, "{ctx}: {stats:?}");
+                    assert!(report.missing_bytes() > 0, "{ctx}");
+                    let txt = report.to_string();
+                    assert!(txt.contains("failed integrity"), "{ctx}: {txt}");
+                    // Every cell outside the lost region is bitwise
+                    // correct. The lost region itself is unspecified: the
+                    // staged path leaves the sentinel, while a zero-copy
+                    // claim copies before it verifies, so exhausted bytes
+                    // may be scrambled — the report marks them missing
+                    // either way.
+                    let need_blk = &e1_layouts()[r].need;
+                    let expect = expected_need(r);
+                    for ly in 0..4 {
+                        let gy = need_blk.offset[1] + ly;
+                        if gy == src || gy == src + 4 {
+                            continue; // row owned by the corrupt source
+                        }
+                        for lx in 0..4 {
+                            let i = ly * 4 + lx;
+                            assert_eq!(need[i], expect[i], "{ctx}: cell {i}");
+                        }
+                    }
+                    assert!(counters.exhausted >= 1, "{ctx}: {counters:?}");
+                } else {
+                    assert!(report.is_complete(), "{ctx}: {report}");
+                    assert_eq!(need, &expected_need(r), "{ctx}: byte-identical output");
+                }
+            }
+        }
+    }
+}
+
+/// The strict (non-salvage) API under exhaustion: the raw minimpi error is
+/// a fully-coordinated [`minimpi::Error::IntegrityFailure`] when surfaced
+/// through `alltoallw`'s abort path — driven here at the ddr-core level via
+/// `reorganize`, whose contract wraps losses as `Incomplete`.
+#[test]
+fn strict_reorganize_reports_exhaustion_as_incomplete() {
+    let (src, dst) = (0usize, 1usize);
+    let mut fplan = FaultPlan::new(99);
+    for nth in 0..=3 {
+        fplan = fplan.corrupt_message(src, dst, None, nth);
+    }
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(30))
+        .check(true)
+        .fault_plan(fplan)
+        .run(4, move |comm| {
+            let r = comm.rank();
+            let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+            let plan = compute_local_plan(r, &e1_layouts(), &desc).unwrap();
+            let data: Vec<Vec<f32>> =
+                [r, r + 4].iter().map(|&y| (0..8).map(|x| cell(x, y)).collect()).collect();
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+            let mut need = vec![-1.0f32; 16];
+            plan.reorganize(comm, &refs, &mut need)
+        });
+    match &out[dst] {
+        Err(ddr_core::DdrError::Incomplete(report)) => {
+            assert_eq!(report.integrity_peers, vec![src], "{report}");
+        }
+        other => panic!("expected Incomplete with integrity classification, got {other:?}"),
+    }
+    for (r, res) in out.iter().enumerate() {
+        if r != dst {
+            assert!(res.is_ok(), "rank {r}: {res:?}");
+        }
+    }
+}
+
+/// Checksum-off escape hatch at the ddr-core level: with `DDR_CHECKSUM=0`
+/// semantics the corrupt bytes land in the need buffer silently — the
+/// documented trade-off — and no retransmit traffic is generated.
+#[test]
+fn checksum_off_redistribution_delivers_corrupt_data() {
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(30))
+        .checksum(false)
+        .fault_plan(FaultPlan::new(5).corrupt_message(0, 1, None, 0))
+        .run(4, move |comm| {
+            let r = comm.rank();
+            let desc = Descriptor::for_type::<f32>(4, DataKind::D2).unwrap();
+            let plan = compute_local_plan(r, &e1_layouts(), &desc).unwrap();
+            let data: Vec<Vec<f32>> =
+                [r, r + 4].iter().map(|&y| (0..8).map(|x| cell(x, y)).collect()).collect();
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+            let mut need = vec![-1.0f32; 16];
+            plan.reorganize(comm, &refs, &mut need).map(|()| (need, comm.integrity_counters()))
+        });
+    let (need, counters) = out[1].as_ref().unwrap();
+    assert_ne!(need, &expected_need(1), "corruption must have landed undetected");
+    assert_eq!(counters.checked, 0);
+    assert_eq!(counters.retransmits, 0);
+    // The other three ranks saw only clean fragments.
+    for r in [0usize, 2, 3] {
+        assert_eq!(out[r].as_ref().unwrap().0, expected_need(r), "rank {r}");
+    }
+}
+
+/// Integrity losses must not masquerade as peer deaths anywhere in the
+/// error surface: the exhausting receiver's peers stay alive, settle, and
+/// complete — no rank observes a [`minimpi::Error::PeerDead`].
+#[test]
+fn exhaustion_never_reports_peer_death() {
+    let mut fplan = FaultPlan::new(41);
+    for nth in 0..=3 {
+        fplan = fplan.corrupt_message(2, 0, None, nth);
+    }
+    let out = run_soak(fplan, true);
+    for (r, (res, _, _)) in out.iter().enumerate() {
+        let (report, _) = res.as_ref().unwrap();
+        assert!(
+            report.integrity_peers.len() == report.dead_peers.len(),
+            "rank {r}: every loss must be an integrity loss, got {report:?}"
+        );
+    }
+    // And the underlying minimpi error type is never PeerDead for this
+    // fault plan (sanity via a direct strict run on the victim pair).
+    let strict = Universe::builder()
+        .timeout(Duration::from_secs(30))
+        .fault_plan({
+            let mut p = FaultPlan::new(41);
+            for nth in 0..=3 {
+                p = p.corrupt_message(0, 1, None, nth);
+            }
+            p
+        })
+        .run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 8, &[1u8; 32])?;
+                Ok(None)
+            } else {
+                Ok::<_, MpiError>(Some(comm.recv_bytes(0, 8).unwrap_err()))
+            }
+        });
+    match strict[1].as_ref().unwrap() {
+        Some(MpiError::IntegrityFailure { .. }) => {}
+        other => panic!("expected IntegrityFailure, got {other:?}"),
+    }
+}

@@ -10,12 +10,34 @@ use crate::check::{CollFingerprint, CollectiveKind};
 use crate::comm::{coll_key_tag, Comm};
 use crate::datatype::{copy_selection, for_each_run_pair, Datatype};
 use crate::error::{Error, Result};
+use crate::fault::{mix64, Keystream};
 use crate::mailbox::{Envelope, Payload};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
 use crate::zerocopy::{CopyPool, ZcCell, ZcWait, PARALLEL_COPY_MIN_BYTES};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+// Alltoallw's phase namespace under one collective sequence number. Phase 0
+// carries the data; phases 1 and 2 exist only when NACK/retransmit recovery
+// is armed (checksums on + a corrupt-capable fault plan installed).
+const PHASE_DATA: u64 = 0;
+/// Receiver → sender verdict channel: one byte per message.
+const PHASE_VERDICT: u64 = 1;
+/// Sender → receiver retransmitted payloads (always staged).
+const PHASE_RETX: u64 = 2;
+
+/// Verdict bytes on the `PHASE_VERDICT` channel. FIFO per (comm, src, tag)
+/// means zero or more NACKs are followed by exactly one terminal ACK/FAIL.
+const VERDICT_ACK: u8 = 0;
+const VERDICT_NACK: u8 = 1;
+const VERDICT_FAIL: u8 = 2;
+
+/// Poll interval of the recovery-mode waits. Recovery waits poll (instead of
+/// blocking on the mailbox condvar) so a rank can keep servicing its *own*
+/// senders' NACK duties while it waits — two ranks each recovering from the
+/// other would otherwise deadlock.
+const RETX_POLL: Duration = Duration::from_micros(200);
 
 /// Encode a list of byte buffers into one buffer (u64 count + u64 lengths +
 /// concatenated payloads). Used to ship gathered results through broadcast.
@@ -441,8 +463,14 @@ impl Comm {
         // the same kind: they may legitimately pair across ranks.
         self.record_collective(seq, CollFingerprint::here(CollectiveKind::Alltoallw, None, 0))?;
         let me = self.rank();
-        let tag = coll_key_tag(seq, 0);
+        let tag = coll_key_tag(seq, PHASE_DATA);
         let zerocopy = self.world.zerocopy_active();
+        // Recovery is armed only when corruption is both detectable
+        // (checksums on) and possible (a corrupt-capable plan installed):
+        // clean runs keep the exact wire protocol, op counts, and blocking
+        // receive paths they had before the integrity plane existed.
+        let retx = self.world.checksum
+            && self.world.faults.as_ref().is_some_and(|f| f.has_corrupt_rules());
         let _coll = ddrtrace::span_arg("minimpi", "alltoallw", "seq", seq as i64);
 
         // Send phase (buffered, never blocks). A deposit only fails if this
@@ -485,37 +513,72 @@ impl Comm {
             copy_selection(send_buf, &send_types[me], recv_buf, &recv_types[me])?;
         }
 
+        // Recovery-mode sender duties: track which destinations still owe a
+        // terminal verdict and answer their NACKs with staged retransmits
+        // from the still-owned `send_buf`.
+        let mut duties = retx.then(|| RetxSender::new(self, send_buf, send_types, seq));
+
         // Receive phase: under salvage, drain every source and record
         // failures; otherwise abort on the first one.
         let mut failed = Vec::new();
         let mut abort = None;
+        let mut abort_at = n;
         for (s, dt) in recv_types.iter().enumerate() {
             if s == me || dt.packed_len() == 0 {
                 continue;
             }
-            let res = self
-                .take_envelope_from(s, tag)
-                .and_then(|env| self.deliver_alltoallw(s, env, dt, recv_buf));
+            let res = match duties.as_mut() {
+                Some(d) => self.recv_with_retransmit(s, seq, dt, recv_buf, d),
+                None => self
+                    .take_envelope_from(s, tag)
+                    .and_then(|env| self.deliver_alltoallw(s, tag, env, dt, recv_buf)),
+            };
             match res {
                 Ok(()) => {}
                 // Malformed local arguments are hard errors in both modes.
                 Err(e @ (Error::DatatypeMismatch { .. } | Error::SizeMismatch { .. })) => {
                     abort = Some(e);
+                    abort_at = s;
                     break;
                 }
                 // Killed mid-drain: everything still missing is lost.
                 Err(Error::PeerDead { rank }) if rank == me && !self.is_alive(me) => {
                     abort = Some(Error::PeerDead { rank });
+                    abort_at = s;
                     break;
                 }
                 Err(e) if salvage => failed.push((s, e)),
                 Err(e) => {
                     abort = Some(e);
+                    abort_at = s;
                     break;
                 }
             }
         }
         if let Some(e) = abort {
+            if retx {
+                // Sources we never reached are still blocked in their own
+                // settlement waiting for our terminal verdict; FAIL them so
+                // our abort can't strand a healthy sender. (Sources up to
+                // and including `abort_at` were settled inside
+                // `recv_with_retransmit`.)
+                for (s2, dt2) in recv_types.iter().enumerate().skip(abort_at + 1) {
+                    if s2 == me || dt2.packed_len() == 0 {
+                        continue;
+                    }
+                    let _ = self.deposit_control(
+                        s2,
+                        coll_key_tag(seq, PHASE_VERDICT),
+                        vec![VERDICT_FAIL],
+                    );
+                }
+                // Our *data* went out in the send phase regardless of this
+                // abort — stay available (best-effort) until every receiver
+                // recovering from us reaches a terminal verdict.
+                if let Some(mut d) = duties.take() {
+                    let _ = d.settle(self);
+                }
+            }
             // Leaving the exchange with messages still queued would strand
             // every sender whose loan we never claimed until their watchdog
             // fires (we stay alive, so their dead-receiver revoke never
@@ -523,32 +586,163 @@ impl Comm {
             // zero-copy envelope revokes its loan, releasing the sender
             // immediately. Our own outstanding loans are revoked by the
             // `loans` guard's Drop on this return.
-            self.sweep_exchange(tag);
+            self.sweep_exchange(seq);
             return Err(e);
         }
 
         // Completion: wait until every lent region was consumed (or revoke
-        // loans to receivers that can no longer claim them).
+        // loans to receivers that can no longer claim them). Safe to do
+        // before settlement even though the drain doesn't service NACKs: a
+        // receiver blocked on a retransmit has, by the ascending source
+        // order, already claimed every loan from the sender it waits on, so
+        // any chain of "draining sender → receiver waiting on a
+        // lower-ranked sender" strictly descends and bottoms out at a rank
+        // that is still servicing.
         let _complete = ddrtrace::span("minimpi", "zc_complete");
         let revoked = loans.complete();
         if revoked > 0 {
             self.world.transport.revoked_msgs.fetch_add(revoked, Ordering::Relaxed);
         }
+        // Settlement: keep servicing NACKs until every destination delivered
+        // its terminal verdict (or died) — only then is `send_buf` allowed
+        // to go out of scope without breaking an in-progress recovery.
+        if let Some(mut d) = duties.take() {
+            let _settle = ddrtrace::span("minimpi", "retx_settle");
+            let settled = d.settle(self);
+            self.sweep_exchange(seq);
+            settled?;
+        }
         Ok(ExchangeReport { failed })
     }
 
-    /// Drop every message still queued under this exchange's tag. Called on
-    /// abort paths: dropping a staged payload discards bytes nobody will
-    /// read, and dropping a zero-copy envelope revokes its loan via
+    /// Receive one alltoallw message from `s` with NACK/retransmit recovery:
+    /// verify, NACK on corruption (after seeded exponential backoff),
+    /// consume the staged retransmit, give up with
+    /// [`Error::IntegrityFailure`] once `DDR_RETRANSMIT_MAX` retransmits all
+    /// failed. Always leaves the sender terminally settled (ACK or FAIL) so
+    /// no outcome of this rank can strand it — exhaustion is a structured
+    /// error, never a hang. Waits poll via [`Comm::take_polling`] so this
+    /// rank's own sender duties stay serviced throughout.
+    fn recv_with_retransmit(
+        &self,
+        s: usize,
+        seq: u64,
+        dt: &Datatype,
+        recv_buf: &mut [u8],
+        duties: &mut RetxSender<'_>,
+    ) -> Result<()> {
+        let data_tag = coll_key_tag(seq, PHASE_DATA);
+        let verdict_tag = coll_key_tag(seq, PHASE_VERDICT);
+        let retx_tag = coll_key_tag(seq, PHASE_RETX);
+        let mut attempt: u32 = 0;
+        loop {
+            let take_tag = if attempt == 0 { data_tag } else { retx_tag };
+            let env = match self.take_polling(s, take_tag, duties) {
+                Ok(env) => env,
+                Err(e) => {
+                    let _ = self.deposit_control(s, verdict_tag, vec![VERDICT_FAIL]);
+                    return Err(e);
+                }
+            };
+            match self.deliver_alltoallw(s, take_tag, env, dt, recv_buf) {
+                Ok(()) => {
+                    let _ = self.deposit_control(s, verdict_tag, vec![VERDICT_ACK]);
+                    return Ok(());
+                }
+                Err(Error::IntegrityFailure { .. }) => {
+                    attempt += 1;
+                    if attempt > self.world.retransmit_max {
+                        self.world.integrity.exhausted.fetch_add(1, Ordering::Relaxed);
+                        ddrtrace::instant_arg("minimpi", "integrity_exhausted", "src", s as i64);
+                        let _ = self.deposit_control(s, verdict_tag, vec![VERDICT_FAIL]);
+                        return Err(Error::IntegrityFailure {
+                            src: s,
+                            dst: self.rank(),
+                            tag: data_tag,
+                            attempt: attempt - 1,
+                        });
+                    }
+                    std::thread::sleep(self.retransmit_backoff_delay(s, attempt));
+                    self.deposit_control(s, verdict_tag, vec![VERDICT_NACK])?;
+                }
+                Err(e) => {
+                    let _ = self.deposit_control(s, verdict_tag, vec![VERDICT_FAIL]);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Recovery-mode receive: poll for a message from `src` under `key_tag`
+    /// while servicing this rank's own sender duties every iteration.
+    /// Blocking on the mailbox condvar instead would deadlock two ranks that
+    /// each need a retransmit from the other.
+    fn take_polling(
+        &self,
+        src: usize,
+        key_tag: u64,
+        duties: &mut RetxSender<'_>,
+    ) -> Result<Envelope> {
+        self.fault_tick()?;
+        let src_world = self.members[src];
+        let deadline = Instant::now() + self.timeout();
+        loop {
+            match self.my_mailbox().try_take((self.comm_id, src, key_tag)) {
+                // Match-time epoch fence, as in `take_envelope_from`.
+                Some(env) if env.epoch != self.epoch => {
+                    self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
+                    ddrtrace::instant_arg("minimpi", "fenced_msg", "src", src as i64);
+                }
+                Some(env) => return Ok(env),
+                None => {
+                    if !self.world.is_alive(src_world) {
+                        return Err(Error::PeerDead { rank: src });
+                    }
+                    duties.service(self)?;
+                    if Instant::now() >= deadline {
+                        return Err(Error::Timeout {
+                            rank: self.rank(),
+                            src: Some(src),
+                            tag: key_tag,
+                            comm_id: self.comm_id,
+                        });
+                    }
+                    std::thread::sleep(RETX_POLL);
+                }
+            }
+        }
+    }
+
+    /// Backoff before NACK attempt `k` (1-based): `base × 2^(k-1)` plus a
+    /// deterministic sub-`base` jitter seeded per stream, so receivers
+    /// recovering from the same sender don't NACK in lockstep.
+    fn retransmit_backoff_delay(&self, src: usize, attempt: u32) -> Duration {
+        let base = self.world.retransmit_backoff;
+        if base.is_zero() {
+            return base;
+        }
+        let exp = base.saturating_mul(1u32 << (attempt - 1).min(10));
+        let span = base.as_nanos().max(1) as u64;
+        let jitter = mix64(self.stream_seed(src, attempt as u64, self.epoch)) % span;
+        exp + Duration::from_nanos(jitter)
+    }
+
+    /// Drop every message still queued under this exchange's sequence number
+    /// — data, verdicts, and retransmits alike. Called on abort paths (and
+    /// after settlement): dropping a staged payload discards bytes nobody
+    /// will read, and dropping a zero-copy envelope revokes its loan via
     /// [`crate::zerocopy::ZcHandle`]'s `Drop`, so the alive-but-departing
     /// receiver cannot strand a healthy sender on the watchdog.
-    fn sweep_exchange(&self, tag: u64) {
+    fn sweep_exchange(&self, seq: u64) {
         let mb = self.my_mailbox();
         let mut swept = 0i64;
-        for s in 0..self.size() {
-            while let Some(env) = mb.try_take((self.comm_id, s, tag)) {
-                drop(env);
-                swept += 1;
+        for phase in [PHASE_DATA, PHASE_VERDICT, PHASE_RETX] {
+            let tag = coll_key_tag(seq, phase);
+            for s in 0..self.size() {
+                while let Some(env) = mb.try_take((self.comm_id, s, tag)) {
+                    drop(env);
+                    swept += 1;
+                }
             }
         }
         if swept > 0 {
@@ -556,20 +750,30 @@ impl Comm {
         }
     }
 
-    /// Place one received alltoallw message into `recv_buf` through `dt`.
-    /// Staged payloads unpack and return their buffer to the pool; zero-copy
-    /// loans are claimed and copied straight out of the sender's buffer.
+    /// Place one received alltoallw message into `recv_buf` through `dt`,
+    /// verifying its envelope checksum along the way. Staged payloads verify
+    /// in packed form before unpacking; zero-copy loans are claimed, copied
+    /// straight out of the sender's buffer, tainted with any claim-time
+    /// corrupt-fault keystreams, and re-verified over the receiver's copy
+    /// *before* the loan cell flips to DONE — a corrupt claim never silently
+    /// releases the sender.
     fn deliver_alltoallw(
         &self,
         src: usize,
+        key_tag: u64,
         env: Envelope,
         dt: &Datatype,
         recv_buf: &mut [u8],
     ) -> Result<()> {
-        match env.payload {
+        let Envelope { epoch, payload, checksum, taints, .. } = env;
+        match payload {
             Payload::Bytes(packed) => {
                 let _unpack = ddrtrace::span_arg("minimpi", "unpack", "bytes", packed.len() as i64);
-                let res = dt.unpack(&packed, recv_buf);
+                // Verify in packed form: cheaper than post-unpack selection
+                // walking, and a corrupt payload never touches `recv_buf`.
+                let res = self
+                    .verify_payload(src, key_tag, epoch, checksum, &packed)
+                    .and_then(|()| dt.unpack(&packed, recv_buf));
                 // The buffer came from the sender's pool.acquire; the pool is
                 // world-shared, so recycling here closes the loop.
                 self.world.pool.release(packed);
@@ -585,7 +789,19 @@ impl Comm {
                 // SAFETY: the claim succeeded, so the sender is blocked in
                 // ZcCell::wait and `send_buf` stays alive until finish().
                 let src_buf = unsafe { h.src_slice() };
-                let res = self.zc_copy_in(src_buf, &h.dt, dt, recv_buf);
+                let res = self.zc_copy_in(src_buf, &h.dt, dt, recv_buf).and_then(|()| {
+                    // Claim-time fault injection: the loan had no in-flight
+                    // bytes to scramble, so the injector recorded keystream
+                    // inits and the corruption lands on *our* copy here —
+                    // the sender's buffer stays pristine for retransmits.
+                    for &init in &taints {
+                        let mut ks = Keystream::new(init);
+                        for (off, len) in dt.byte_runs() {
+                            ks.scramble(&mut recv_buf[off..off + len]);
+                        }
+                    }
+                    self.verify_selection(src, key_tag, epoch, checksum, dt, recv_buf)
+                });
                 h.cell.finish();
                 res
             }
@@ -823,6 +1039,121 @@ impl Drop for ZcSendGuard<'_> {
         // Early exit: revoke anything still unclaimed *now*; claims already
         // in flight are waited out so the borrow stays sound.
         self.drain(Instant::now());
+    }
+}
+
+/// Sender half of the alltoallw NACK/retransmit protocol.
+///
+/// Holds borrows of `send_buf`/`send_types` (keeping the pristine data alive
+/// and provably unmoved), and tracks which destinations still owe a terminal
+/// verdict. [`RetxSender::service`] is called from every recovery-mode wait
+/// loop on this rank — answering NACKs with freshly staged retransmits even
+/// while the rank is itself blocked on some other sender — and
+/// [`RetxSender::settle`] holds the rank in the exchange until every
+/// destination ACKed, FAILed, or died, so `send_buf` cannot go out of scope
+/// mid-recovery.
+struct RetxSender<'a> {
+    send_buf: &'a [u8],
+    send_types: &'a [Datatype],
+    verdict_tag: u64,
+    retx_tag: u64,
+    /// `pending[d]` — destination `d` has our data but no terminal verdict
+    /// from it yet. Self and empty transfers start settled.
+    pending: Vec<bool>,
+}
+
+impl<'a> RetxSender<'a> {
+    fn new(comm: &Comm, send_buf: &'a [u8], send_types: &'a [Datatype], seq: u64) -> Self {
+        let me = comm.rank();
+        let pending =
+            send_types.iter().enumerate().map(|(d, dt)| d != me && dt.packed_len() > 0).collect();
+        RetxSender {
+            send_buf,
+            send_types,
+            verdict_tag: coll_key_tag(seq, PHASE_VERDICT),
+            retx_tag: coll_key_tag(seq, PHASE_RETX),
+            pending,
+        }
+    }
+
+    /// Drain queued verdicts: a NACK re-packs that destination's selection
+    /// from the pristine `send_buf` and stages it on the retransmit phase
+    /// (through the normal fault-injecting deposit — retransmits can be
+    /// corrupted again); ACK/FAIL settles the destination. Dead destinations
+    /// settle implicitly: no verdict can ever arrive from them.
+    fn service(&mut self, comm: &Comm) -> Result<()> {
+        for d in 0..self.pending.len() {
+            if !self.pending[d] {
+                continue;
+            }
+            while let Some(env) = comm.my_mailbox().try_take((comm.comm_id, d, self.verdict_tag)) {
+                if env.epoch != comm.epoch {
+                    comm.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let verdict = match &env.payload {
+                    Payload::Bytes(b) if b.len() == 1 => b[0],
+                    _ => {
+                        return Err(Error::Internal {
+                            detail: format!("malformed retransmit verdict from rank {d}"),
+                        })
+                    }
+                };
+                match verdict {
+                    VERDICT_NACK => {
+                        let dt = &self.send_types[d];
+                        let _pack = ddrtrace::span_arg(
+                            "minimpi",
+                            "retx_pack",
+                            "bytes",
+                            dt.packed_len() as i64,
+                        );
+                        let mut packed = comm.world.pool.acquire(dt.packed_len());
+                        dt.pack_into(self.send_buf, &mut packed)?;
+                        comm.deposit_to(d, self.retx_tag, packed)?;
+                        comm.world.integrity.retransmits.fetch_add(1, Ordering::Relaxed);
+                        ddrtrace::instant_arg("minimpi", "integrity_retransmit", "dest", d as i64);
+                    }
+                    VERDICT_ACK | VERDICT_FAIL => {
+                        self.pending[d] = false;
+                        break;
+                    }
+                    other => {
+                        return Err(Error::Internal {
+                            detail: format!("unknown retransmit verdict {other} from rank {d}"),
+                        })
+                    }
+                }
+            }
+            if self.pending[d] && !comm.is_alive(d) {
+                self.pending[d] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Keep servicing until every destination reached a terminal verdict or
+    /// died. Bounded by the communicator watchdog: a destination that is
+    /// alive but never settles (it would itself be stuck in a bounded wait)
+    /// surfaces as a structured timeout, never a hang.
+    fn settle(&mut self, comm: &Comm) -> Result<()> {
+        let deadline = Instant::now() + comm.timeout();
+        loop {
+            self.service(comm)?;
+            if !self.pending.iter().any(|&p| p) {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let unsettled = self.pending.iter().position(|&p| p);
+                return Err(Error::Timeout {
+                    rank: comm.rank(),
+                    src: unsettled,
+                    tag: self.verdict_tag,
+                    comm_id: comm.comm_id,
+                });
+            }
+            std::thread::sleep(RETX_POLL);
+        }
     }
 }
 

@@ -4,7 +4,8 @@ use crate::check::{CheckState, CollFingerprint};
 use crate::datatype::Datatype;
 use crate::elastic::ElasticState;
 use crate::error::{Error, Result};
-use crate::fault::{mix64, FaultPlan, FaultState, MessageVerdict};
+use crate::fault::{mix64, FaultPlan, FaultState, Keystream, MessageVerdict};
+use crate::integrity::{checksum64, stream_seed, Checksum, IntegrityCells, IntegrityCounters};
 use crate::life::{Liveness, ShrinkBarrier};
 use crate::mailbox::{Envelope, Mailbox, MsgKey, Payload, TakeOutcome};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
@@ -72,9 +73,24 @@ pub(crate) struct WorldState {
     /// Whether reconfigure respawns replacements for dead ranks (builder
     /// override, else `DDR_RESPAWN`, default true).
     pub respawn: bool,
+    /// Whether envelopes carry a pack/lend-time checksum verified at
+    /// match/claim time (builder override, else `DDR_CHECKSUM`, default
+    /// **on**). Off, the only cost left is one branch per deposit.
+    pub checksum: bool,
+    /// Bounded retransmit attempts per corrupt transfer before the receiver
+    /// fails with [`Error::IntegrityFailure`] (builder override, else
+    /// `DDR_RETRANSMIT_MAX`, default 3).
+    pub retransmit_max: u32,
+    /// Base of the receiver's exponential NACK backoff (builder override,
+    /// else `DDR_RETRANSMIT_BACKOFF_MS`, default 1 ms).
+    pub retransmit_backoff: Duration,
+    /// Integrity-plane counters (verifications, detections, retransmits,
+    /// exhaustions).
+    pub integrity: IntegrityCells,
 }
 
 impl WorldState {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         n: usize,
         default_timeout: Duration,
@@ -83,6 +99,9 @@ impl WorldState {
         zerocopy: Option<bool>,
         zc_threshold: Option<usize>,
         respawn: Option<bool>,
+        checksum: Option<bool>,
+        retransmit_max: Option<u32>,
+        retransmit_backoff: Option<Duration>,
     ) -> Self {
         WorldState {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
@@ -99,6 +118,12 @@ impl WorldState {
             elastic: ElasticState::new(n),
             reconfig: ShrinkBarrier::default(),
             respawn: respawn.unwrap_or_else(crate::elastic::respawn_env_default),
+            checksum: checksum.unwrap_or_else(crate::integrity::checksum_env_default),
+            retransmit_max: retransmit_max
+                .unwrap_or_else(crate::integrity::retransmit_max_env_default),
+            retransmit_backoff: retransmit_backoff
+                .unwrap_or_else(crate::integrity::retransmit_backoff_env_default),
+            integrity: IntegrityCells::default(),
         }
     }
 
@@ -121,11 +146,14 @@ impl WorldState {
         fenced
     }
 
-    /// Whether exchanges should take the zero-copy fast path. Fault plans
-    /// force staging: message faults (drop/corrupt/delay) operate on owned
-    /// packed bytes, and a lent region must never be mutated.
+    /// Whether exchanges should take the zero-copy fast path. Kill and
+    /// drop/delay fault plans force staging — those faults act on an
+    /// in-flight copy a loan doesn't have — but corrupt-*only* plans ride
+    /// zero-copy: their scramble is applied by the receiver at claim time
+    /// (see [`FaultState::on_message_zc`]), so the fastest path stays
+    /// exercised under corruption faults.
     pub fn zerocopy_active(&self) -> bool {
-        self.zerocopy && self.faults.is_none()
+        self.zerocopy && self.faults.as_ref().is_none_or(|f| !f.forces_staging())
     }
 
     pub fn is_alive(&self, world_rank: usize) -> bool {
@@ -332,8 +360,68 @@ impl Comm {
         Ok(())
     }
 
+    /// Checksum seed for the stream (this communicator, sender `src`,
+    /// `key_tag`) in `epoch`. Sender and receiver derive it independently.
+    pub(crate) fn stream_seed(&self, src: usize, key_tag: u64, epoch: u64) -> u64 {
+        stream_seed(self.comm_id, src, key_tag, epoch)
+    }
+
+    /// Verify a delivered payload against its envelope checksum (a no-op
+    /// when the envelope carries none). `attempt 0` marks paths with no
+    /// retransmit protocol; alltoallw rewrites it when recovery is in play.
+    pub(crate) fn verify_payload(
+        &self,
+        src: usize,
+        key_tag: u64,
+        epoch: u64,
+        expected: Option<u64>,
+        bytes: &[u8],
+    ) -> Result<()> {
+        let Some(want) = expected else { return Ok(()) };
+        self.world.integrity.checked.fetch_add(1, Ordering::Relaxed);
+        if checksum64(self.stream_seed(src, key_tag, epoch), bytes) == want {
+            return Ok(());
+        }
+        self.world.integrity.detected.fetch_add(1, Ordering::Relaxed);
+        ddrtrace::instant_arg("minimpi", "integrity_detected", "src", src as i64);
+        Err(Error::IntegrityFailure { src, dst: self.rank, tag: key_tag, attempt: 0 })
+    }
+
+    /// Verify a delivered payload *in place* in `buf`, walking `dt`'s byte
+    /// runs in packed order — the zero-copy claim path's counterpart of
+    /// [`Comm::verify_payload`], equal to hashing the packed form.
+    pub(crate) fn verify_selection(
+        &self,
+        src: usize,
+        key_tag: u64,
+        epoch: u64,
+        expected: Option<u64>,
+        dt: &Datatype,
+        buf: &[u8],
+    ) -> Result<()> {
+        let Some(want) = expected else { return Ok(()) };
+        self.world.integrity.checked.fetch_add(1, Ordering::Relaxed);
+        let mut c = Checksum::new(self.stream_seed(src, key_tag, epoch));
+        for (off, len) in dt.byte_runs() {
+            c.update(&buf[off..off + len]);
+        }
+        if c.finish() == want {
+            return Ok(());
+        }
+        self.world.integrity.detected.fetch_add(1, Ordering::Relaxed);
+        ddrtrace::instant_arg("minimpi", "integrity_detected", "src", src as i64);
+        Err(Error::IntegrityFailure { src, dst: self.rank, tag: key_tag, attempt: 0 })
+    }
+
     pub(crate) fn deposit_to(&self, dest: usize, key_tag: u64, mut payload: Vec<u8>) -> Result<()> {
         self.fault_tick()?;
+        // Checksum the *pristine* payload before fault injection: the
+        // injector models wire damage, which by definition happens after the
+        // sender sealed the envelope.
+        let checksum = self
+            .world
+            .checksum
+            .then(|| checksum64(self.stream_seed(self.rank, key_tag, self.epoch), &payload));
         if let Some(faults) = &self.world.faults {
             let (src_w, dst_w) = (self.world_rank(), self.members[dest]);
             match faults.on_message(src_w, dst_w, key_tag, &mut payload) {
@@ -357,7 +445,39 @@ impl Comm {
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
         self.world.mailboxes[self.members[dest]].deposit(
             key,
-            Envelope { src: self.rank, epoch: self.epoch, payload: Payload::Bytes(payload) },
+            Envelope {
+                src: self.rank,
+                epoch: self.epoch,
+                payload: Payload::Bytes(payload),
+                checksum,
+                taints: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Deposit a control-plane message (retransmit verdicts/NACKs). Control
+    /// traffic is neither checksummed nor fault-injected: the recovery
+    /// protocol must itself stay reliable, and letting message rules consume
+    /// match counts on 1-byte verdicts would make data-message targeting
+    /// (the `nth` coordinate) depend on recovery timing.
+    pub(crate) fn deposit_control(
+        &self,
+        dest: usize,
+        key_tag: u64,
+        payload: Vec<u8>,
+    ) -> Result<()> {
+        self.fault_tick()?;
+        let key: MsgKey = (self.comm_id, self.rank, key_tag);
+        self.world.mailboxes[self.members[dest]].deposit(
+            key,
+            Envelope {
+                src: self.rank,
+                epoch: self.epoch,
+                payload: Payload::Bytes(payload),
+                checksum: None,
+                taints: Vec::new(),
+            },
         );
         Ok(())
     }
@@ -379,23 +499,56 @@ impl Comm {
         // Same op accounting as `deposit_to`, so op positions (the fault
         // plan coordinate system) are identical across wire paths.
         self.fault_tick()?;
+        // Lend-time checksum: walk the selection's byte runs in packed order
+        // through the streaming hasher, which equals hashing the packed form
+        // — so a receiver can verify its claimed copy without the sender
+        // ever staging the payload.
+        let checksum = self.world.checksum.then(|| {
+            let mut c = Checksum::new(self.stream_seed(self.rank, key_tag, self.epoch));
+            for (off, len) in dt.byte_runs() {
+                c.update(&buf[off..off + len]);
+            }
+            c.finish()
+        });
+        // Corrupt rules can't scramble a loan in flight (there are no
+        // in-flight bytes); record which rules fired so the receiver applies
+        // the identical keystream to its copy at claim time.
+        let taints = match &self.world.faults {
+            Some(f) => f.on_message_zc(self.world_rank(), self.members[dest], key_tag),
+            None => Vec::new(),
+        };
         self.world.transport.zerocopy_msgs.fetch_add(1, Ordering::Relaxed);
         let cell = Arc::new(ZcCell::default());
         let handle = ZcHandle::new(buf, dt, Arc::clone(&cell));
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
         self.world.mailboxes[self.members[dest]].deposit(
             key,
-            Envelope { src: self.rank, epoch: self.epoch, payload: Payload::Shared(handle) },
+            Envelope {
+                src: self.rank,
+                epoch: self.epoch,
+                payload: Payload::Shared(handle),
+                checksum,
+                taints,
+            },
         );
         Ok(cell)
     }
 
-    /// Turn a received payload into owned bytes. For zero-copy loans this is
-    /// the slow path (generic receives don't have a destination selection to
-    /// copy into directly): claim, pack out of the sender's buffer, release.
-    pub(crate) fn materialize(&self, src: usize, payload: Payload) -> Result<Vec<u8>> {
+    /// Turn a received envelope into owned, *verified* bytes. For zero-copy
+    /// loans this is the slow path (generic receives don't have a
+    /// destination selection to copy into directly): claim, pack out of the
+    /// sender's buffer, release, then apply any claim-time corruption taints
+    /// and check the checksum. Verification failure surfaces as
+    /// [`Error::IntegrityFailure`] with `attempt: 0` — these paths are
+    /// detect-only (recovery lives in alltoallw, where the sender's buffer
+    /// is provably still owned).
+    pub(crate) fn materialize(&self, src: usize, key_tag: u64, env: Envelope) -> Result<Vec<u8>> {
+        let Envelope { epoch, checksum, taints, payload, .. } = env;
         match payload {
-            Payload::Bytes(b) => Ok(b),
+            Payload::Bytes(b) => {
+                self.verify_payload(src, key_tag, epoch, checksum, &b)?;
+                Ok(b)
+            }
             Payload::Shared(h) => {
                 if !h.cell.try_claim() {
                     // The sender revoked the loan (timeout / death) before we
@@ -409,6 +562,10 @@ impl Comm {
                 let packed = h.dt.pack_into(src_buf, &mut out);
                 h.cell.finish();
                 packed?;
+                for &init in &taints {
+                    Keystream::new(init).scramble(&mut out);
+                }
+                self.verify_payload(src, key_tag, epoch, checksum, &out)?;
                 Ok(out)
             }
         }
@@ -416,7 +573,7 @@ impl Comm {
 
     pub(crate) fn take_from(&self, src: usize, key_tag: u64) -> Result<Vec<u8>> {
         let env = self.take_envelope_from(src, key_tag)?;
-        self.materialize(src, env.payload)
+        self.materialize(src, key_tag, env)
     }
 
     pub(crate) fn take_envelope_from(&self, src: usize, key_tag: u64) -> Result<Envelope> {
@@ -490,6 +647,18 @@ impl Comm {
         self.world.transport.snapshot()
     }
 
+    /// Integrity-plane counters so far in this universe: payloads verified,
+    /// corruptions detected, retransmits performed, transfers exhausted.
+    pub fn integrity_counters(&self) -> IntegrityCounters {
+        self.world.integrity.snapshot()
+    }
+
+    /// Whether envelopes on this universe carry checksums (builder /
+    /// `DDR_CHECKSUM` opt-out; on by default).
+    pub fn checksum_active(&self) -> bool {
+        self.world.checksum
+    }
+
     /// Whether exchanges on this universe currently take the zero-copy fast
     /// path (builder / `DDR_NO_ZEROCOPY` opt-out, and no fault plan).
     pub fn zerocopy_active(&self) -> bool {
@@ -550,7 +719,7 @@ impl Comm {
         match outcome {
             TakeOutcome::Delivered(env) => {
                 let src = env.src;
-                let bytes = self.materialize(src, env.payload)?;
+                let bytes = self.materialize(src, user_key_tag(tag), env)?;
                 Ok((RecvStatus { src, len: bytes.len() }, bytes))
             }
             TakeOutcome::TimedOut => Err(Error::Timeout {
@@ -595,7 +764,7 @@ impl Comm {
                     self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
                     ddrtrace::instant_arg("minimpi", "fenced_msg", "src", src as i64);
                 }
-                Some(env) => return Ok(Some(self.materialize(src, env.payload)?)),
+                Some(env) => return Ok(Some(self.materialize(src, user_key_tag(tag), env)?)),
                 None => return Ok(None),
             }
         }

@@ -81,6 +81,23 @@ pub enum Error {
         /// Current world membership epoch.
         world_epoch: u64,
     },
+    /// A payload failed checksum verification and could not be recovered:
+    /// either retransmission is unavailable on this path (point-to-point and
+    /// non-alltoallw collective receives are detect-only), or every one of
+    /// the `DDR_RETRANSMIT_MAX` retransmit attempts arrived corrupt too.
+    /// Checksumming is on by default (`DDR_CHECKSUM=0` disables it).
+    IntegrityFailure {
+        /// Sender of the corrupt payload (communicator-local).
+        src: usize,
+        /// Receiver that detected the corruption (communicator-local).
+        dst: usize,
+        /// Raw key tag of the corrupt message (the `Display` impl decodes
+        /// user tags and collective phases alike).
+        tag: u64,
+        /// Delivery attempts consumed: 0 means detection with no retransmit
+        /// path; `n > 0` means the original plus `n` retransmits all failed.
+        attempt: u32,
+    },
     /// A runtime invariant was violated (e.g. a rendezvous protocol state
     /// that should be unreachable). Converted from what used to be panics in
     /// hot paths, so a broken invariant on one rank fails that rank's
@@ -126,6 +143,20 @@ impl fmt::Display for Error {
                 f,
                 "communicator from epoch {comm_epoch} used after reconfiguration to epoch {world_epoch} — rebuild it via reconfigure()"
             ),
+            Error::IntegrityFailure { src, dst, tag, attempt } => {
+                let op = crate::comm::describe_key_tag(*tag);
+                if *attempt == 0 {
+                    write!(
+                        f,
+                        "integrity failure: payload from rank {src} to rank {dst} ({op}) failed checksum verification (no retransmit path)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "integrity failure: payload from rank {src} to rank {dst} ({op}) still corrupt after {attempt} retransmit attempt(s)"
+                    )
+                }
+            }
             Error::Internal { detail } => {
                 write!(f, "internal runtime invariant violated: {detail}")
             }

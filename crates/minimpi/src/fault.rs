@@ -162,6 +162,45 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.kills.is_empty() && self.rules.is_empty()
     }
+
+    /// True if any rule corrupts payloads.
+    pub(crate) fn has_corrupt_rules(&self) -> bool {
+        self.rules.iter().any(|r| r.action == FaultAction::Corrupt)
+    }
+
+    /// True if the plan needs every message staged through the mailbox:
+    /// kills and drop/delay rules act on the in-flight copy, which a
+    /// zero-copy loan doesn't have. Corrupt-only plans return `false` —
+    /// corruption is injected at claim time on the loan path, so the fastest
+    /// path stays exercised under corrupt faults.
+    pub(crate) fn forces_staging(&self) -> bool {
+        !self.kills.is_empty() || self.rules.iter().any(|r| r.action != FaultAction::Corrupt)
+    }
+}
+
+/// Seeded byte keystream used to scramble payloads. Every byte has its low
+/// bit forced on, so XOR-ing it is never a no-op — a zero keystream byte
+/// would be a phantom "corruption" that no checksum could (or should)
+/// detect, making detection tests flaky at unlucky seeds.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Keystream(u64);
+
+impl Keystream {
+    pub fn new(init: u64) -> Self {
+        Keystream(init)
+    }
+
+    pub fn next_byte(&mut self) -> u8 {
+        self.0 = mix64(self.0);
+        (self.0 & 0xff) as u8 | 1
+    }
+
+    /// Scramble `bytes` in place.
+    pub fn scramble(&mut self, bytes: &mut [u8]) {
+        for b in bytes.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
 }
 
 /// Verdict for one in-flight message after rule matching.
@@ -221,15 +260,56 @@ impl FaultState {
                 FaultAction::Drop => return MessageVerdict::Drop,
                 FaultAction::Delay(d) => verdict = MessageVerdict::DeliverAfter(d),
                 FaultAction::Corrupt => {
-                    let mut ks = self.plan.seed ^ mix64(i as u64 + 1);
-                    for b in payload.iter_mut() {
-                        ks = mix64(ks);
-                        *b ^= (ks & 0xff) as u8 | 1; // always flips at least one bit
-                    }
+                    Keystream::new(self.keystream_init(i)).scramble(payload);
                 }
             }
         }
         verdict
+    }
+
+    /// Apply message rules to a zero-copy loan from `src` to `dst`. There is
+    /// no staged payload to mutate at lend time, so instead of scrambling
+    /// bytes this returns the keystream inits of every corrupt rule that
+    /// fired; the *receiver* applies them to its copy at claim time. Match
+    /// counters advance for every matching rule — corrupt or not — so a
+    /// plan's rule indices line up identically whether a message rode the
+    /// staged or the loan path. Drop/delay rules never fire here because
+    /// such plans force staging (see [`FaultPlan::forces_staging`]).
+    pub fn on_message_zc(&self, src: usize, dst: usize, key_tag: u64) -> Vec<u64> {
+        let mut taints = Vec::new();
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            let m = &rule.matcher;
+            if m.src != src || m.dst != dst {
+                continue;
+            }
+            if let Some(t) = m.tag {
+                if key_tag != t as u64 {
+                    continue;
+                }
+            }
+            let count = self.matches[i].fetch_add(1, Ordering::Relaxed);
+            if count != m.nth {
+                continue;
+            }
+            if rule.action == FaultAction::Corrupt {
+                taints.push(self.keystream_init(i));
+            }
+        }
+        taints
+    }
+
+    /// Keystream init for corrupt rule `i` — shared by the staged scramble
+    /// and the claim-time loan taint so both paths corrupt identically.
+    fn keystream_init(&self, i: usize) -> u64 {
+        self.plan.seed ^ mix64(i as u64 + 1)
+    }
+
+    pub fn has_corrupt_rules(&self) -> bool {
+        self.plan.has_corrupt_rules()
+    }
+
+    pub fn forces_staging(&self) -> bool {
+        self.plan.forces_staging()
     }
 }
 
@@ -283,6 +363,64 @@ mod tests {
         st2.on_message(0, 1, 3, &mut b);
         assert_eq!(a, b);
         assert_ne!(a, vec![5u8; 16]);
+    }
+
+    #[test]
+    fn keystream_bytes_are_never_zero() {
+        // Regression: a zero keystream byte is a no-op "corruption" — the
+        // rule claims to have fired but the payload is untouched, so a
+        // detection test at that seed passes vacuously. Every byte must
+        // change under XOR.
+        for seed in 0..256u64 {
+            let mut ks = Keystream::new(seed);
+            for pos in 0..4096 {
+                assert_ne!(ks.next_byte(), 0, "seed {seed} pos {pos}");
+            }
+        }
+        // End to end: an all-zero payload must come out with every byte
+        // nonzero (XOR with zero exposes the keystream directly).
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            for len in [1usize, 7, 8, 65, 4096] {
+                let st = FaultState::new(FaultPlan::new(seed).corrupt_message(0, 1, None, 0));
+                let mut p = vec![0u8; len];
+                st.on_message(0, 1, 3, &mut p);
+                assert!(
+                    p.iter().all(|&b| b != 0),
+                    "seed {seed} len {len}: zero byte survived corruption"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zc_taint_matches_staged_scramble() {
+        // The loan path must corrupt byte-for-byte identically to the staged
+        // path: same plan, same rule, same nth ⇒ same keystream.
+        let plan = FaultPlan::new(7).corrupt_message(0, 1, None, 1);
+        let staged = FaultState::new(plan.clone());
+        let zc = FaultState::new(plan);
+        let mut a = vec![0xABu8; 32];
+        staged.on_message(0, 1, 5, &mut a); // nth 0: no fire
+        staged.on_message(0, 1, 5, &mut a); // nth 1: fires
+        assert!(zc.on_message_zc(0, 1, 5).is_empty());
+        let taints = zc.on_message_zc(0, 1, 5);
+        assert_eq!(taints.len(), 1);
+        let mut b = vec![0xABu8; 32];
+        Keystream::new(taints[0]).scramble(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn staging_forced_only_by_kills_drops_and_delays() {
+        assert!(!FaultPlan::new(0).forces_staging());
+        assert!(!FaultPlan::new(0).corrupt_message(0, 1, None, 0).forces_staging());
+        assert!(FaultPlan::new(0).kill_rank_at_op(0, 1).forces_staging());
+        assert!(FaultPlan::new(0).drop_message(0, 1, None, 0).forces_staging());
+        assert!(FaultPlan::new(0)
+            .delay_message(0, 1, None, 0, Duration::from_millis(1))
+            .forces_staging());
+        assert!(FaultPlan::new(0).corrupt_message(0, 1, None, 0).has_corrupt_rules());
+        assert!(!FaultPlan::new(0).drop_message(0, 1, None, 0).has_corrupt_rules());
     }
 
     #[test]

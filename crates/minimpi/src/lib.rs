@@ -101,6 +101,7 @@ mod elastic;
 pub mod env;
 mod error;
 mod fault;
+mod integrity;
 mod life;
 mod mailbox;
 mod pod;
@@ -116,6 +117,7 @@ pub use datatype::{ByteRuns, Datatype, Subarray};
 pub use elastic::RecoveryCounters;
 pub use error::{Error, Result};
 pub use fault::{FaultAction, FaultPlan, MessageMatcher};
+pub use integrity::IntegrityCounters;
 pub use pod::{bytes_of, bytes_of_mut, Pod};
 pub use request::RecvRequest;
 pub use universe::{Universe, UniverseBuilder};

@@ -30,6 +30,16 @@ pub(crate) struct Envelope {
     pub src: usize,
     pub epoch: u64,
     pub payload: Payload,
+    /// Seeded 64-bit checksum of the pristine payload, computed at
+    /// pack/lend time (before fault injection) and verified at match/claim
+    /// time. `None` when checksumming is disabled (`DDR_CHECKSUM=0`).
+    pub checksum: Option<u64>,
+    /// Corrupt-fault keystream inits for a `Shared` payload: a zero-copy
+    /// loan has no in-flight bytes to scramble at lend time, so the injector
+    /// records which corrupt rules fired and the *receiver* applies the
+    /// scramble to its own copy at claim time. Empty (no allocation) in the
+    /// overwhelmingly common clean case; always empty for `Bytes`.
+    pub taints: Vec<u64>,
 }
 
 #[derive(Default)]
@@ -240,7 +250,13 @@ mod tests {
     use std::sync::Arc;
 
     fn bytes_env(src: usize, bytes: Vec<u8>) -> Envelope {
-        Envelope { src, epoch: 0, payload: Payload::Bytes(bytes) }
+        Envelope {
+            src,
+            epoch: 0,
+            payload: Payload::Bytes(bytes),
+            checksum: None,
+            taints: Vec::new(),
+        }
     }
 
     fn into_bytes(env: Envelope) -> Vec<u8> {

@@ -36,6 +36,8 @@ fn all_variants() -> Vec<Error> {
             ],
         })),
         Error::StaleEpoch { comm_epoch: 0, world_epoch: 2 },
+        Error::IntegrityFailure { src: 2, dst: 0, tag: 9, attempt: 0 },
+        Error::IntegrityFailure { src: 2, dst: 0, tag: 9, attempt: 3 },
         Error::Internal { detail: "split: world rank 2 missing from its own color group".into() },
     ];
     for v in &variants {
@@ -49,6 +51,7 @@ fn all_variants() -> Vec<Error> {
             | Error::CollectiveDiverged(_)
             | Error::Deadlock(_)
             | Error::StaleEpoch { .. }
+            | Error::IntegrityFailure { .. }
             | Error::Internal { .. } => {}
         }
     }
@@ -71,6 +74,10 @@ fn display_is_informative_for_every_variant() {
          rank 1 waits on rank 0 (user tag 7 on comm 0x0)",
         "communicator from epoch 0 used after reconfiguration to epoch 2 — \
          rebuild it via reconfigure()",
+        "integrity failure: payload from rank 2 to rank 0 (user tag 9) \
+         failed checksum verification (no retransmit path)",
+        "integrity failure: payload from rank 2 to rank 0 (user tag 9) \
+         still corrupt after 3 retransmit attempt(s)",
         "internal runtime invariant violated: split: world rank 2 missing from its own color group",
     ];
     for (e, want) in all_variants().iter().zip(expected) {

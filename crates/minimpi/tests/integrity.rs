@@ -1,0 +1,197 @@
+//! End-to-end data integrity: envelope checksums, NACK/retransmit recovery,
+//! and graceful exhaustion — driven through the public fault-injection API.
+
+use minimpi::{Error, FaultPlan, Universe};
+use std::time::{Duration, Instant};
+
+/// Bidirectional 2-rank alltoallw: each rank ships `len` bytes of
+/// rank-seeded data to the other and returns what it received.
+fn exchange(comm: &minimpi::Comm, len: usize) -> minimpi::Result<Vec<u8>> {
+    use minimpi::Datatype;
+    let me = comm.rank();
+    let other = 1 - me;
+    let send: Vec<u8> = (0..len).map(|i| (me as u8) ^ (i as u8).wrapping_mul(31)).collect();
+    let mut recv = vec![0u8; len];
+    let contig = Datatype::Contiguous { len_bytes: len, offset: 0 };
+    let mut send_types = [Datatype::Empty, Datatype::Empty];
+    let mut recv_types = [Datatype::Empty, Datatype::Empty];
+    send_types[other] = contig;
+    recv_types[other] = contig;
+    comm.alltoallw(&send, &send_types, &mut recv, &recv_types)?;
+    Ok(recv)
+}
+
+fn expected_from(src: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (src as u8) ^ (i as u8).wrapping_mul(31)).collect()
+}
+
+/// A single corrupt message is detected, NACKed, and retransmitted from the
+/// sender's still-owned buffer — the exchange completes byte-identical to a
+/// clean run, on both wire paths (staged and zero-copy loans).
+#[test]
+fn corrupt_alltoallw_recovers_via_retransmit() {
+    for zerocopy in [false, true] {
+        let len = 2048usize;
+        let out = Universe::builder()
+            .timeout(Duration::from_secs(20))
+            .zerocopy(zerocopy)
+            .zerocopy_threshold(0) // loans on the zc pass, staged otherwise
+            .fault_plan(FaultPlan::new(7).corrupt_message(0, 1, None, 0))
+            .run(2, move |comm| {
+                let got = exchange(comm, len)?;
+                Ok::<_, Error>((got, comm.integrity_counters()))
+            });
+        let (got1, c1) = out[1].as_ref().expect("receiver must recover");
+        assert_eq!(got1, &expected_from(0, len), "zerocopy={zerocopy}");
+        assert!(c1.detected >= 1, "corruption must be detected: {c1:?}");
+        assert_eq!(c1.exhausted, 0, "one retransmit suffices: {c1:?}");
+        let (got0, c0) = out[0].as_ref().expect("sender side is clean");
+        assert_eq!(got0, &expected_from(1, len));
+        assert!(c0.retransmits >= 1, "sender must have retransmitted: {c0:?}");
+    }
+}
+
+/// Both directions corrupt at once: each rank is simultaneously recovering
+/// as a receiver and answering NACKs as a sender. The polling recovery
+/// waits must interleave the two roles — mutual recovery, not deadlock.
+#[test]
+fn mutual_corruption_recovers_without_deadlock() {
+    let len = 512usize;
+    let start = Instant::now();
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .fault_plan(
+            FaultPlan::new(11).corrupt_message(0, 1, None, 0).corrupt_message(1, 0, None, 0),
+        )
+        .run(2, move |comm| exchange(comm, len));
+    assert_eq!(out[0].as_ref().unwrap(), &expected_from(1, len));
+    assert_eq!(out[1].as_ref().unwrap(), &expected_from(0, len));
+    assert!(start.elapsed() < Duration::from_secs(15), "mutual recovery must not hang");
+}
+
+/// Corrupting the original *and* every retransmit exhausts the budget: the
+/// receiver gets a structured [`Error::IntegrityFailure`] carrying the full
+/// failure coordinates — never a hang — while the sender settles cleanly.
+#[test]
+fn retransmit_exhaustion_is_a_structured_error() {
+    let len = 256usize;
+    let max = 2u32;
+    // One corrupt rule per delivery: the original (nth 0) plus both
+    // retransmits (nth 1, 2) all arrive scrambled.
+    let mut plan = FaultPlan::new(13);
+    for nth in 0..=max as u64 {
+        plan = plan.corrupt_message(0, 1, None, nth);
+    }
+    let start = Instant::now();
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .retransmit_max(max)
+        .retransmit_backoff(Duration::from_micros(100))
+        .fault_plan(plan)
+        .run(2, move |comm| {
+            let res = exchange(comm, len);
+            (res, comm.integrity_counters())
+        });
+    assert!(start.elapsed() < Duration::from_secs(15), "exhaustion must not hang");
+    let (res1, c1) = &out[1];
+    match res1 {
+        Err(Error::IntegrityFailure { src, dst, tag: _, attempt }) => {
+            assert_eq!(*src, 0);
+            assert_eq!(*dst, 1);
+            assert_eq!(*attempt, max, "all {max} retransmits consumed");
+        }
+        other => panic!("expected IntegrityFailure, got {other:?}"),
+    }
+    assert_eq!(c1.exhausted, 1, "{c1:?}");
+    assert_eq!(c1.detected as u32, max + 1, "every delivery was detected: {c1:?}");
+    // The sender's own receive (1 → 0) is clean, and the FAIL verdict lets
+    // it leave settlement without error.
+    let (res0, c0) = &out[0];
+    assert_eq!(res0.as_ref().unwrap(), &expected_from(1, len));
+    assert_eq!(c0.retransmits as u32, max);
+}
+
+/// `retransmit_max(0)` makes detection immediately fatal — no NACK is ever
+/// sent, matching the documented knob semantics.
+#[test]
+fn retransmit_max_zero_fails_on_first_detection() {
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .retransmit_max(0)
+        .fault_plan(FaultPlan::new(17).corrupt_message(0, 1, None, 0))
+        .run(2, move |comm| {
+            let res = exchange(comm, 128);
+            (res, comm.integrity_counters())
+        });
+    match &out[1].0 {
+        Err(Error::IntegrityFailure { src: 0, dst: 1, attempt: 0, .. }) => {}
+        other => panic!("expected immediate IntegrityFailure, got {other:?}"),
+    }
+    assert_eq!(out[0].1.retransmits, 0, "no retransmit may be attempted");
+}
+
+/// Point-to-point receives are detect-only: corruption surfaces as
+/// `IntegrityFailure` with `attempt: 0` (no retransmit path), and the error
+/// carries the user tag.
+#[test]
+fn p2p_receive_is_detect_only() {
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .fault_plan(FaultPlan::new(19).corrupt_message(0, 1, Some(42), 0))
+        .run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 42, &[0xABu8; 64])?;
+                Ok(None)
+            } else {
+                Ok::<_, Error>(Some(comm.recv_bytes(0, 42).unwrap_err()))
+            }
+        });
+    assert_eq!(
+        out[1].as_ref().unwrap().as_ref(),
+        Some(&Error::IntegrityFailure { src: 0, dst: 1, tag: 42, attempt: 0 })
+    );
+}
+
+/// `checksum(false)` restores the pre-integrity wire format: corruption
+/// passes through undetected (the documented trade-off of turning the knob
+/// off) and no integrity counters move.
+#[test]
+fn checksum_off_delivers_corrupt_bytes_silently() {
+    let payload = [0x5Au8; 64];
+    let out = Universe::builder()
+        .timeout(Duration::from_secs(20))
+        .checksum(false)
+        .fault_plan(FaultPlan::new(23).corrupt_message(0, 1, Some(7), 0))
+        .run(2, move |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &payload)?;
+                Ok((None, comm.integrity_counters()))
+            } else {
+                Ok::<_, Error>((Some(comm.recv_bytes(0, 7)?), comm.integrity_counters()))
+            }
+        });
+    let (got, counters) = out[1].as_ref().unwrap();
+    let got = got.as_ref().unwrap();
+    assert_eq!(got.len(), payload.len());
+    assert_ne!(got.as_slice(), &payload[..], "corruption must have landed");
+    assert_eq!(counters.checked, 0, "no verification may run with DDR_CHECKSUM off");
+}
+
+/// Clean exchanges under checksumming verify every envelope and detect
+/// nothing — the integrity plane is pure bookkeeping on the happy path.
+#[test]
+fn clean_run_checks_everything_and_detects_nothing() {
+    let out = Universe::builder().timeout(Duration::from_secs(20)).run(2, |comm| {
+        let got = exchange(comm, 1024)?;
+        Ok::<_, Error>((got, comm.integrity_counters(), comm.checksum_active()))
+    });
+    for (r, res) in out.iter().enumerate() {
+        let (got, c, active) = res.as_ref().unwrap();
+        assert!(active, "checksumming is on by default");
+        assert_eq!(got, &expected_from(1 - r, 1024));
+        assert!(c.checked >= 1, "envelopes must be verified: {c:?}");
+        assert_eq!(c.detected, 0);
+        assert_eq!(c.retransmits, 0);
+        assert_eq!(c.exhausted, 0);
+    }
+}

@@ -1,8 +1,9 @@
 //! Property-based tests of minimpi collectives with randomized payloads,
 //! sizes, and rank counts.
 
-use minimpi::Universe;
+use minimpi::{Datatype, Error, FaultPlan, Universe};
 use proptest::prelude::*;
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -110,6 +111,97 @@ proptest! {
                 assert_eq!(bc, vec![round as u32]);
             }
         });
+    }
+}
+
+/// Bidirectional 2-rank alltoallw of `len` seeded bytes; returns what the
+/// calling rank received.
+fn paired_exchange(comm: &minimpi::Comm, seed: u64, len: usize) -> minimpi::Result<Vec<u8>> {
+    let me = comm.rank();
+    let other = 1 - me;
+    let gen = |r: usize| -> Vec<u8> {
+        (0..len).map(|i| (seed as u8) ^ (r as u8) ^ (i as u8).wrapping_mul(13)).collect()
+    };
+    let send = gen(me);
+    let mut recv = vec![0u8; len];
+    let contig = Datatype::Contiguous { len_bytes: len, offset: 0 };
+    let mut send_types = [Datatype::Empty, Datatype::Empty];
+    let mut recv_types = [Datatype::Empty, Datatype::Empty];
+    send_types[other] = contig;
+    recv_types[other] = contig;
+    comm.alltoallw(&send, &send_types, &mut recv, &recv_types)?;
+    Ok(recv)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end: a corrupt alltoallw payload of any size — below, at, and
+    /// above the zero-copy loan threshold — is detected and recovered by
+    /// retransmission, restoring byte-identical output.
+    #[test]
+    fn corruption_recovers_across_zc_threshold(
+        seed in any::<u64>(),
+        size_class in 0usize..4,
+        len_seed in any::<u64>(),
+    ) {
+        // Explicit threshold 1024: `len` lands on the staged path, the
+        // boundary, and the loan path across cases.
+        let len = match size_class {
+            0 => 1 + (len_seed as usize % 63),       // well below threshold
+            1 => 1000 + (len_seed as usize % 48),    // straddling the boundary
+            2 => 1024,                               // exactly at threshold
+            _ => 1025,                               // first loan-path size
+        };
+        let out = Universe::builder()
+            .timeout(Duration::from_secs(20))
+            .zerocopy(true)
+            .zerocopy_threshold(1024)
+            .fault_plan(FaultPlan::new(seed).corrupt_message(0, 1, None, 0))
+            .run(2, move |comm| {
+                let got = paired_exchange(comm, seed, len)?;
+                Ok::<_, Error>((got, comm.integrity_counters()))
+            });
+        let expect = |r: usize| -> Vec<u8> {
+            (0..len).map(|i| (seed as u8) ^ (r as u8) ^ (i as u8).wrapping_mul(13)).collect()
+        };
+        let (got1, c1) = out[1].as_ref().expect("corrupt transfer must recover");
+        prop_assert_eq!(got1, &expect(0));
+        prop_assert!(c1.detected >= 1);
+        prop_assert_eq!(c1.exhausted, 0);
+        let (got0, _) = out[0].as_ref().expect("clean direction must succeed");
+        prop_assert_eq!(got0, &expect(1));
+    }
+
+    /// Exhaustion at any seed and size is a structured error carrying the
+    /// full failure coordinates — source, destination, tag, and the number
+    /// of retransmit attempts consumed — never a hang.
+    #[test]
+    fn exhaustion_error_carries_full_coordinates(
+        seed in any::<u64>(),
+        len in 1usize..512,
+    ) {
+        let max = 1u32;
+        let plan = FaultPlan::new(seed)
+            .corrupt_message(0, 1, None, 0)
+            .corrupt_message(0, 1, None, 1);
+        let out = Universe::builder()
+            .timeout(Duration::from_secs(20))
+            .retransmit_max(max)
+            .retransmit_backoff(Duration::from_micros(50))
+            .fault_plan(plan)
+            .run(2, move |comm| paired_exchange(comm, seed, len));
+        match &out[1] {
+            Err(Error::IntegrityFailure { src, dst, tag, attempt }) => {
+                prop_assert_eq!(*src, 0);
+                prop_assert_eq!(*dst, 1);
+                prop_assert!(*tag >= 1 << 32, "collective tags live above the user range");
+                prop_assert_eq!(*attempt, max);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected IntegrityFailure, got {other:?}"
+            ))),
+        }
     }
 }
 
