@@ -74,6 +74,11 @@ pub enum LintCode {
     /// A transfer that moves zero bytes or targets a rank outside the
     /// communicator.
     PhantomTransfer,
+    /// One rank's predicted staging-buffer footprint for a single round
+    /// (sent + received payload bytes, the amount that materializes in the
+    /// runtime's pack/unpack pool when the zero-copy path is off) exceeds
+    /// the configured bound.
+    PeakStagingExceeded,
 }
 
 impl fmt::Display for LintCode {
@@ -87,6 +92,7 @@ impl fmt::Display for LintCode {
             LintCode::DuplicatePeer => "duplicate-peer",
             LintCode::RoundCountMismatch => "round-count-mismatch",
             LintCode::PhantomTransfer => "phantom-transfer",
+            LintCode::PeakStagingExceeded => "peak-staging-exceeded",
         })
     }
 }
@@ -486,6 +492,52 @@ pub fn lint_plans(plans: &[Plan]) -> Vec<LintDiagnostic> {
     diags
 }
 
+/// Predict each rank's per-round staging-buffer footprint and warn when it
+/// exceeds `bound_bytes`.
+///
+/// The model matches the runtime's staged wire path: in a round, a rank
+/// packs every outgoing transfer into pool buffers and unpacks every
+/// incoming one, so its pool footprint peaks at (send bytes + recv bytes)
+/// for that round. Zero-copy delivery avoids the staging entirely, but a
+/// fault plan (or `DDR_NO_ZEROCOPY`) forces the staged path — a plan that
+/// only fits in memory when zero-copy happens to be on is worth flagging
+/// before it runs. Warning severity: the exchange executes, it just may
+/// cost more transient memory than the deployment budgeted
+/// (`bound_bytes`, e.g. from `DDR_LINT_STAGING_BOUND`).
+pub fn lint_staging(plans: &[Plan], bound_bytes: u64) -> Vec<LintDiagnostic> {
+    let mut diags = Vec::new();
+    // (round, rank) -> predicted staged bytes.
+    let mut staged: HashMap<(usize, usize), u64> = HashMap::new();
+    for p in plans {
+        for (r, round) in p.rounds.iter().enumerate() {
+            let bytes: u64 = round.sends.iter().chain(round.recvs.iter()).map(|t| t.bytes()).sum();
+            if bytes > 0 {
+                *staged.entry((r, p.rank)).or_insert(0) += bytes;
+            }
+        }
+    }
+    let mut cells: Vec<((usize, usize), u64)> = staged.into_iter().collect();
+    cells.sort_unstable();
+    for ((round, rank), bytes) in cells {
+        if bytes > bound_bytes {
+            diags.push(
+                LintDiagnostic::warning(
+                    LintCode::PeakStagingExceeded,
+                    format!(
+                        "predicted staging footprint of {bytes} bytes exceeds the \
+                         {bound_bytes}-byte bound"
+                    ),
+                    "split the transfers over more rounds, shrink the chunks, or raise \
+                     the staging bound if the deployment can afford the memory",
+                )
+                .at_rank(rank)
+                .at_round(round),
+            );
+        }
+    }
+    diags
+}
+
 /// Full static analysis of a mapping before execution: lint the layouts,
 /// recompute every rank's plan and lint each one, then cross-check the set.
 /// This is what [`ValidationPolicy::Audit`] runs inside
@@ -650,6 +702,24 @@ mod tests {
         let mut plans = e1_plans();
         plans[0].rounds[0].sends[0].peer = 99;
         assert!(lint_plan(&plans[0]).iter().any(|d| d.code == LintCode::PhantomTransfer));
+    }
+
+    #[test]
+    fn staging_within_bound_is_clean() {
+        // e1 peaks at 96 staged bytes: in a rank's heaviest round it packs
+        // 32 B of sends and unpacks 64 B of receives.
+        assert!(lint_staging(&e1_plans(), 96).is_empty());
+    }
+
+    #[test]
+    fn staging_exceeding_bound_warns_per_rank_and_round() {
+        let diags = lint_staging(&e1_plans(), 95);
+        assert!(!diags.is_empty());
+        assert!(!has_errors(&diags), "staging findings must be warnings");
+        let d = &diags[0];
+        assert_eq!(d.code, LintCode::PeakStagingExceeded);
+        assert!(d.rank.is_some() && d.round.is_some());
+        assert!(d.message.contains("95-byte bound"), "got: {}", d.message);
     }
 
     #[test]

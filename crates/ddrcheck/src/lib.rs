@@ -10,10 +10,14 @@
 //! * [`render_report`] / [`enforce`] for turning diagnostics into a
 //!   human-readable report and a pass/fail verdict,
 //! * an [`examples`] catalog reproducing the layouts of every runnable
-//!   example in the repository, and
-//! * the `lint_examples` binary, which lints the whole catalog and exits
-//!   non-zero on any error-severity finding — the CI gate that keeps the
-//!   shipped examples honest.
+//!   example in the repository,
+//! * the `lint_examples` binary, which lints the whole catalog (including
+//!   the [`lint_staging`] peak-staging prediction against
+//!   `DDR_LINT_STAGING_BOUND`) and exits non-zero on any error-severity
+//!   finding — the CI gate that keeps the shipped examples honest, and
+//! * the [`explore`] module: a deterministic schedule-exploration driver
+//!   that sweeps minimpi scheduler seeds over a closure and reports the
+//!   first seed that makes it fail, with a `DDR_SCHED_SEED` replay line.
 //!
 //! ```
 //! use ddrcheck::{enforce, lint_mapping, render_report};
@@ -28,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod examples;
+pub mod explore;
 
 pub use ddr_core::{
-    has_errors, lint_layouts, lint_mapping, lint_plan, lint_plans, LintCode, LintDiagnostic,
-    Severity,
+    has_errors, lint_layouts, lint_mapping, lint_plan, lint_plans, lint_staging, LintCode,
+    LintDiagnostic, Severity,
 };
+pub use explore::{explore, render_explore_report, ExploreFailure, ExploreReport};
 
 use std::fmt::Write as _;
 

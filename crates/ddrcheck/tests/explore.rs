@@ -1,0 +1,218 @@
+//! Schedule exploration end-to-end: the explorer must *find* planted
+//! concurrency bugs (a real data race, a dropped-ACK protocol bug) with a
+//! replayable seed, and must pass clean workloads across the whole seed
+//! budget without false positives.
+//!
+//! The failing-seed assertions re-run the closure with the reported seed and
+//! require the violation to reproduce — the property that makes the
+//! `DDR_SCHED_SEED=<seed>` replay line in the report trustworthy.
+
+use ddrcheck::explore::{default_seed_budget, explore, render_explore_report};
+use minimpi::{Comm, Datatype, Error, FaultPlan, Universe};
+use std::time::Duration;
+
+/// A planted race, driven through the public access-annotation API: both
+/// ranks declare a write to the same shared buffer with no message between
+/// them, so the two writes are causally unordered on *every* schedule and
+/// the checker must convict whichever rank annotates second.
+#[test]
+fn explorer_finds_planted_shared_buffer_race() {
+    let buf: &'static [u8] = Box::leak(vec![0u8; 64].into_boxed_slice());
+    let run = |seed: u64| {
+        let out = Universe::builder()
+            .check(true)
+            .sched_seed(seed)
+            .run(2, move |comm| comm.check_write(buf).map_err(|e| e.to_string()));
+        out.into_iter().collect::<Result<Vec<_>, _>>().map(|_| ())
+    };
+    let report = explore(default_seed_budget(), run);
+    let failure = report.failure.clone().expect("the unsynchronized writes must be convicted");
+    assert!(failure.message.contains("data race"), "got: {}", failure.message);
+    // The printed seed must replay to the same violation.
+    assert!(run(failure.seed).is_err(), "seed {} did not replay the race", failure.seed);
+}
+
+/// The fixed variant of the same program: a message from the first writer to
+/// the second orders the two accesses (the clock piggybacked on the envelope
+/// joins into the receiver), so every explored schedule must run clean — the
+/// checker tracks causality, not wall-clock luck.
+#[test]
+fn message_ordered_accesses_stay_clean_across_schedules() {
+    let buf: &'static [u8] = Box::leak(vec![0u8; 64].into_boxed_slice());
+    let report = explore(default_seed_budget(), |seed| {
+        let out = Universe::builder().check(true).sched_seed(seed).run(2, move |comm| {
+            if comm.rank() == 0 {
+                comm.check_write(buf)?;
+                comm.send_bytes(1, 9, &[1])?;
+            } else {
+                comm.recv_bytes(0, 9)?;
+                comm.check_write(buf)?;
+            }
+            Ok::<_, Error>(())
+        });
+        out.into_iter().collect::<Result<Vec<_>, _>>().map(|_| ()).map_err(|e| e.to_string())
+    });
+    assert!(report.passed(), "{}", render_explore_report("ordered accesses", &report));
+}
+
+/// A dropped-verdict-ACK protocol bug, modelled on the alltoallw verdict
+/// phase: rank 1 collects one fragment each from ranks 0 and 2 with
+/// any-source receives and must ACK rank 0, but the buggy version only ACKs
+/// when rank 0's fragment happens to be processed *first*. Which fragment an
+/// any-source receive takes first is exactly what the seeded scheduler
+/// rotates, so the sweep must drive the protocol into the forgotten-ACK
+/// order and catch rank 0 timing out.
+fn verdict_ack_protocol(comm: &Comm, buggy: bool) -> Result<(), Error> {
+    const FRAG: u32 = 7;
+    const ACK: u32 = 8;
+    // Sync the ranks, then give both fragments time to land in rank 1's
+    // mailbox before it starts taking: the schedule decision under test is
+    // the *take order* of two ready messages, not raw thread-start skew.
+    comm.barrier()?;
+    match comm.rank() {
+        0 => {
+            comm.send_bytes(1, FRAG, &[0xA0; 16])?;
+            comm.set_timeout(Duration::from_secs(2));
+            comm.recv_bytes(1, ACK).map(|_| ())
+        }
+        2 => comm.send_bytes(1, FRAG, &[0xC2; 16]),
+        _ => {
+            std::thread::sleep(Duration::from_millis(2));
+            let (first, _) = comm.recv_bytes_any(FRAG)?;
+            let (_second, _) = comm.recv_bytes_any(FRAG)?;
+            // Bug: the ACK is only issued from the first-fragment handler;
+            // when rank 2's fragment is taken first, rank 0's goes
+            // unacknowledged. The fix ACKs regardless of processing order.
+            if first.src == 0 || !buggy {
+                comm.send_bytes(0, ACK, &[1])?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn run_verdict_protocol(seed: u64, buggy: bool) -> Result<(), String> {
+    let out = Universe::builder()
+        .check(true)
+        .sched_seed(seed)
+        .run(3, move |comm| verdict_ack_protocol(comm, buggy));
+    out.into_iter().collect::<Result<Vec<_>, _>>().map(|_| ()).map_err(|e| e.to_string())
+}
+
+#[test]
+fn explorer_finds_dropped_verdict_ack() {
+    let report = explore(default_seed_budget(), |seed| run_verdict_protocol(seed, true));
+    let failure = report
+        .failure
+        .clone()
+        .expect("some schedule must take rank 2's fragment first and expose the dropped ACK");
+    // Rank 0 either times out waiting for the ACK or sees rank 1 depart.
+    assert!(
+        failure.message.contains("timed out") || failure.message.contains("dead"),
+        "got: {}",
+        failure.message
+    );
+    // The take order is a pure function of the seed, so the replay must
+    // reproduce the dropped ACK — this is the debugging workflow the report's
+    // DDR_SCHED_SEED line promises.
+    assert!(
+        run_verdict_protocol(failure.seed, true).is_err(),
+        "seed {} did not replay the dropped ACK",
+        failure.seed
+    );
+}
+
+#[test]
+fn fixed_verdict_ack_is_clean_across_schedules() {
+    let report = explore(default_seed_budget(), |seed| run_verdict_protocol(seed, false));
+    assert!(report.passed(), "{}", render_explore_report("fixed verdict ACK", &report));
+    assert!(report.distinct_schedules >= 2, "the sweep should reach both take orders");
+}
+
+/// Bidirectional 2-rank alltoallw shipping `len` seeded bytes each way.
+fn exchange(comm: &Comm, len: usize) -> minimpi::Result<Vec<u8>> {
+    let me = comm.rank();
+    let other = 1 - me;
+    let send: Vec<u8> = (0..len).map(|i| (me as u8) ^ (i as u8).wrapping_mul(31)).collect();
+    let mut recv = vec![0u8; len];
+    let contig = Datatype::Contiguous { len_bytes: len, offset: 0 };
+    let mut send_types = [Datatype::Empty, Datatype::Empty];
+    let mut recv_types = [Datatype::Empty, Datatype::Empty];
+    send_types[other] = contig;
+    recv_types[other] = contig;
+    comm.alltoallw(&send, &send_types, &mut recv, &recv_types)?;
+    Ok(recv)
+}
+
+/// The full redistribution path — zero-copy loans, checking, clocks on every
+/// fragment — must survive the whole seed sweep without a false race,
+/// deadlock, leak, or type mismatch. 4 ranks, all-pairs exchange.
+#[test]
+fn alltoallw_under_check_is_clean_across_schedules() {
+    let report = explore(default_seed_budget(), |seed| {
+        let n = 4usize;
+        let len = 512usize;
+        let out = Universe::builder()
+            .check(true)
+            .zerocopy(true)
+            .zerocopy_threshold(0)
+            .sched_seed(seed)
+            .timeout(Duration::from_secs(20))
+            .run(n, move |comm| {
+                let me = comm.rank();
+                let send: Vec<u8> = (0..n * len).map(|i| (me as u8) ^ (i as u8)).collect();
+                let mut recv = vec![0u8; n * len];
+                let seg = |r: usize| Datatype::Contiguous { len_bytes: len, offset: r * len };
+                let send_types: Vec<Datatype> = (0..n).map(seg).collect();
+                let recv_types: Vec<Datatype> = (0..n).map(seg).collect();
+                let mut mine = send.clone();
+                comm.alltoallw(&send, &send_types, &mut recv, &recv_types)?;
+                // Self-segment must round-trip; peers' segments must carry
+                // their rank stamp.
+                mine.clear();
+                for (r, chunk) in recv.chunks(len).enumerate() {
+                    for (i, b) in chunk.iter().enumerate() {
+                        let expect = (r as u8) ^ ((r * len + i) as u8);
+                        if *b != expect {
+                            return Err(Error::Internal {
+                                detail: format!("rank {me}: bad byte from rank {r} at {i}"),
+                            });
+                        }
+                    }
+                }
+                Ok::<_, Error>(())
+            });
+        out.into_iter().collect::<Result<Vec<_>, _>>().map(|_| ()).map_err(|e| e.to_string())
+    });
+    assert!(report.passed(), "{}", render_explore_report("alltoallw", &report));
+}
+
+/// Corruption recovery (detect → NACK → retransmit) with checking *and*
+/// schedule perturbation stacked on top: the retransmit verdict phase has
+/// its own polls and control messages, all perturbed, and must still settle
+/// byte-identical on every explored schedule.
+#[test]
+fn corrupt_retransmit_recovery_is_clean_across_schedules() {
+    let report = explore(default_seed_budget(), |seed| {
+        let len = 1024usize;
+        let out = Universe::builder()
+            .check(true)
+            .sched_seed(seed)
+            .timeout(Duration::from_secs(20))
+            .fault_plan(FaultPlan::new(7).corrupt_message(0, 1, None, 0))
+            .run(2, move |comm| {
+                let got = exchange(comm, len)?;
+                let other = 1 - comm.rank();
+                let want: Vec<u8> =
+                    (0..len).map(|i| (other as u8) ^ (i as u8).wrapping_mul(31)).collect();
+                if got != want {
+                    return Err(Error::Internal {
+                        detail: format!("rank {}: recovered bytes differ", comm.rank()),
+                    });
+                }
+                Ok::<_, Error>(())
+            });
+        out.into_iter().collect::<Result<Vec<_>, _>>().map(|_| ()).map_err(|e| e.to_string())
+    });
+    assert!(report.passed(), "{}", render_explore_report("retransmit recovery", &report));
+}

@@ -6,7 +6,7 @@
 //! Every member of a communicator must call each collective in the same
 //! order — the standard MPI contract.
 
-use crate::check::{CollFingerprint, CollectiveKind};
+use crate::check::{CollFingerprint, CollectiveKind, TypeSig};
 use crate::comm::{coll_key_tag, Comm};
 use crate::datatype::{copy_selection, for_each_run_pair, Datatype};
 use crate::error::{Error, Result};
@@ -497,7 +497,7 @@ impl Comm {
                 let _pack = ddrtrace::span_arg("minimpi", "pack", "bytes", dt.packed_len() as i64);
                 let mut packed = self.world.pool.acquire(dt.packed_len());
                 dt.pack_into(send_buf, &mut packed)?;
-                self.deposit_to(d, tag, packed)?;
+                self.deposit_sig(d, tag, packed, Some(TypeSig::of(dt)))?;
             }
         }
 
@@ -687,13 +687,17 @@ impl Comm {
         let src_world = self.members[src];
         let deadline = Instant::now() + self.timeout();
         loop {
+            self.sched_point("retx_poll");
             match self.my_mailbox().try_take((self.comm_id, src, key_tag)) {
                 // Match-time epoch fence, as in `take_envelope_from`.
                 Some(env) if env.epoch != self.epoch => {
                     self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
                     ddrtrace::instant_arg("minimpi", "fenced_msg", "src", src as i64);
                 }
-                Some(env) => return Ok(env),
+                Some(env) => {
+                    self.note_delivery(&env);
+                    return Ok(env);
+                }
                 None => {
                     if !self.world.is_alive(src_world) {
                         return Err(Error::PeerDead { rank: src });
@@ -765,6 +769,11 @@ impl Comm {
         dt: &Datatype,
         recv_buf: &mut [u8],
     ) -> Result<()> {
+        // Signature check happens *before* the payload is consumed: failing a
+        // staged message leaves `recv_buf` untouched, and dropping an
+        // unclaimed zero-copy envelope revokes the loan, releasing its
+        // sender.
+        self.verify_type_sig(src, key_tag, env.type_sig.as_ref(), &TypeSig::of(dt))?;
         let Envelope { epoch, payload, checksum, taints, .. } = env;
         match payload {
             Payload::Bytes(packed) => {
@@ -782,10 +791,21 @@ impl Comm {
             Payload::Shared(h) => {
                 let _zc =
                     ddrtrace::span_arg("minimpi", "zc_copy", "bytes", h.dt.packed_len() as i64);
+                self.sched_point("zc_claim");
                 if !h.cell.try_claim() {
                     // The sender revoked the loan before we got here.
                     return Err(Error::PeerDead { rank: src });
                 }
+                // A claim-time race (the sender wrote the lent region while
+                // our claim is causally unordered with that write) is
+                // surfaced only after the copy completes: erroring before
+                // `finish()` would strand the sender in its wait.
+                let race = match &self.world.check {
+                    Some(check) => {
+                        check.loan_claimed(&h.cell, self.world_rank()).err().map(Error::DataRace)
+                    }
+                    None => None,
+                };
                 // SAFETY: the claim succeeded, so the sender is blocked in
                 // ZcCell::wait and `send_buf` stays alive until finish().
                 let src_buf = unsafe { h.src_slice() };
@@ -802,8 +822,14 @@ impl Comm {
                     }
                     self.verify_selection(src, key_tag, epoch, checksum, dt, recv_buf)
                 });
+                if let Some(check) = &self.world.check {
+                    check.loan_done(&h.cell, self.world_rank());
+                }
                 h.cell.finish();
-                res
+                match race {
+                    Some(race) if res.is_ok() => Err(race),
+                    _ => res,
+                }
             }
         }
     }
@@ -1023,11 +1049,18 @@ impl<'a> ZcSendGuard<'a> {
         let comm = self.comm;
         let mut revoked = 0;
         for (dest, cell) in self.loans.drain(..) {
+            comm.sched_point("zc_wait");
             // A dead receiver can never claim the loan — revoke right away
             // rather than burning the watchdog.
-            if cell.wait(deadline, || !comm.is_alive(dest)) == ZcWait::Revoked {
-                ddrtrace::instant_arg("minimpi", "zc_revoke", "dest", dest as i64);
-                revoked += 1;
+            match cell.wait(deadline, || !comm.is_alive(dest)) {
+                ZcWait::Revoked => {
+                    ddrtrace::instant_arg("minimpi", "zc_revoke", "dest", dest as i64);
+                    revoked += 1;
+                }
+                // The receiver copied the loan out: tell the checker, so the
+                // sender's later writes to the lent region are ordered after
+                // the receiver's copy.
+                ZcWait::Done => comm.note_loan_settled(&cell),
             }
         }
         revoked
@@ -1091,6 +1124,7 @@ impl<'a> RetxSender<'a> {
                     comm.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
+                comm.note_delivery(&env);
                 let verdict = match &env.payload {
                     Payload::Bytes(b) if b.len() == 1 => b[0],
                     _ => {
@@ -1110,7 +1144,7 @@ impl<'a> RetxSender<'a> {
                         );
                         let mut packed = comm.world.pool.acquire(dt.packed_len());
                         dt.pack_into(self.send_buf, &mut packed)?;
-                        comm.deposit_to(d, self.retx_tag, packed)?;
+                        comm.deposit_sig(d, self.retx_tag, packed, Some(TypeSig::of(dt)))?;
                         comm.world.integrity.retransmits.fetch_add(1, Ordering::Relaxed);
                         ddrtrace::instant_arg("minimpi", "integrity_retransmit", "dest", d as i64);
                     }
@@ -1203,6 +1237,80 @@ mod tests {
     use crate::fault::mix64;
     use crate::Universe;
     use std::time::Duration;
+
+    /// Tentpole regression: the planted "sender mutates a lent buffer while
+    /// the receiver's claim may still be copying" bug must be convicted as a
+    /// [`Error::DataRace`] *deterministically* — the write is causally
+    /// unordered with the claim no matter how the threads interleave —
+    /// and the same write must be clean once the loan is settled.
+    #[test]
+    fn sender_write_during_live_loan_is_a_race() {
+        let len = 4096usize;
+        let out = Universe::builder()
+            .check(true)
+            .zerocopy(true)
+            .zerocopy_threshold(0)
+            .timeout(Duration::from_secs(20))
+            .run(2, move |comm| {
+                let tag = coll_key_tag(0, 0);
+                if comm.rank() == 0 {
+                    let buf: &'static [u8] = Box::leak(vec![7u8; len].into_boxed_slice());
+                    let dt = Datatype::Contiguous { len_bytes: len, offset: 0 };
+                    let cell = comm.deposit_shared(1, tag, buf, dt).unwrap();
+                    // Planted bug: write the lent region before the loan
+                    // settles. Nothing orders this write against the
+                    // receiver's copy, so it must convict on every schedule.
+                    let race = comm.check_write(buf).unwrap_err();
+                    assert!(matches!(race, Error::DataRace(_)), "expected a data race, got {race}");
+                    assert!(race.to_string().contains("zero-copy loan"), "got {race}");
+                    // Fixed version: wait for the copy, settle, then write —
+                    // now the write is ordered after the claim and is clean.
+                    let w = cell.wait(Instant::now() + Duration::from_secs(10), || false);
+                    assert_eq!(w, ZcWait::Done);
+                    comm.note_loan_settled(&cell);
+                    comm.check_write(buf).unwrap();
+                    assert!(comm.check_counters().unwrap().races >= 1);
+                    Ok(vec![])
+                } else {
+                    // The claim itself may also convict (it races the
+                    // sender's write when the write lands first) — either a
+                    // clean payload or a DataRace is acceptable here, and
+                    // both leave the sender released.
+                    match comm.take_from(0, tag) {
+                        Ok(bytes) => {
+                            assert_eq!(bytes, vec![7u8; len]);
+                            Ok(bytes)
+                        }
+                        Err(Error::DataRace(_)) => Ok(vec![]),
+                        Err(e) => Err(e),
+                    }
+                }
+            });
+        assert!(out[0].is_ok(), "rank 0: {out:?}");
+        assert!(out[1].is_ok(), "rank 1: {out:?}");
+    }
+
+    /// A loan nobody ever claims or revokes is an ownership leak: the
+    /// finalize-time scan must fail the run loudly instead of silently
+    /// leaking the lent buffer's exclusivity.
+    #[test]
+    #[should_panic(expected = "loan leak")]
+    fn unclaimed_loan_fails_finalize_under_check() {
+        Universe::builder()
+            .check(true)
+            .zerocopy(true)
+            .zerocopy_threshold(0)
+            .timeout(Duration::from_secs(5))
+            .run(2, |comm| {
+                if comm.rank() == 0 {
+                    let buf: &'static [u8] = Box::leak(vec![1u8; 256].into_boxed_slice());
+                    let dt = Datatype::Contiguous { len_bytes: 256, offset: 0 };
+                    let _cell = comm.deposit_shared(1, coll_key_tag(0, 0), buf, dt).unwrap();
+                    // Depart without waiting: the loan is never claimed,
+                    // revoked, or settled — rank 1 never receives it.
+                }
+            });
+    }
 
     /// Satellite regression for elastic recovery: a receiver that aborts an
     /// exchange early (because some *other* source died) must not strand a

@@ -1,6 +1,6 @@
 //! Communicators and point-to-point messaging.
 
-use crate::check::{CheckState, CollFingerprint};
+use crate::check::{CheckCounters, CheckState, CollFingerprint, TypeSig};
 use crate::datatype::Datatype;
 use crate::elastic::ElasticState;
 use crate::error::{Error, Result};
@@ -9,11 +9,14 @@ use crate::integrity::{checksum64, stream_seed, Checksum, IntegrityCells, Integr
 use crate::life::{Liveness, ShrinkBarrier};
 use crate::mailbox::{Envelope, Mailbox, MsgKey, Payload, TakeOutcome};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
+use crate::sched::SchedState;
+use crate::vclock::VectorClock;
 use crate::zerocopy::{
     zerocopy_env_default, BufferPool, PoolStats, TransportCells, TransportCounters, ZcCell,
     ZcHandle,
 };
 use std::cell::Cell;
+use std::panic::Location;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,9 +45,13 @@ pub(crate) struct WorldState {
     pub liveness: Liveness,
     pub shrink: ShrinkBarrier,
     pub faults: Option<FaultState>,
-    /// Correctness-checking state (collective epoch log + wait-for graph);
-    /// `None` unless checking was enabled on the universe builder.
+    /// Correctness-checking state (collective epoch log + wait-for graph +
+    /// happens-before race/lifetime tables); `None` unless checking was
+    /// enabled on the universe builder.
     pub check: Option<CheckState>,
+    /// Seeded schedule-perturbation state; `None` (zero cost) unless a
+    /// schedule seed was set via the builder or `DDR_SCHED_SEED`.
+    pub sched: Option<SchedState>,
     /// Communication ops performed so far, per world rank. Counted whether
     /// or not a fault plan is installed, so op positions observed in a
     /// clean run can be used to place kills in a faulty one.
@@ -102,6 +109,7 @@ impl WorldState {
         checksum: Option<bool>,
         retransmit_max: Option<u32>,
         retransmit_backoff: Option<Duration>,
+        sched_seed: Option<u64>,
     ) -> Self {
         WorldState {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
@@ -109,6 +117,9 @@ impl WorldState {
             shrink: ShrinkBarrier::default(),
             faults: fault_plan.map(FaultState::new),
             check: check.then(|| CheckState::new(n)),
+            sched: sched_seed
+                .or_else(crate::sched::sched_seed_env_default)
+                .map(|s| SchedState::new(s, n)),
             ops: (0..n).map(|_| AtomicU64::new(0)).collect(),
             default_timeout,
             zerocopy: zerocopy.unwrap_or_else(zerocopy_env_default),
@@ -413,7 +424,125 @@ impl Comm {
         Err(Error::IntegrityFailure { src, dst: self.rank, tag: key_tag, attempt: 0 })
     }
 
-    pub(crate) fn deposit_to(&self, dest: usize, key_tag: u64, mut payload: Vec<u8>) -> Result<()> {
+    /// Maybe-delay hook for the seeded schedule explorer: a no-op (one
+    /// `Option` branch) unless a schedule seed is set.
+    #[inline]
+    pub(crate) fn sched_point(&self, point: &'static str) {
+        if let Some(s) = &self.world.sched {
+            s.perturb(self.world_rank(), point);
+        }
+    }
+
+    /// Record a delivered envelope: fold it into the schedule fingerprint
+    /// and join its piggybacked clock into this rank's clock. Call at every
+    /// point an envelope is accepted for this rank.
+    pub(crate) fn note_delivery(&self, env: &Envelope) {
+        if let Some(s) = &self.world.sched {
+            s.observe(self.world_rank(), env.src);
+        }
+        if let Some(check) = &self.world.check {
+            if let Some(clock) = &env.clock {
+                check.on_recv(self.world_rank(), clock);
+            }
+        }
+    }
+
+    /// Clock snapshot + datatype signature to stamp on an outgoing envelope;
+    /// `(None, None)` (no work at all) when checking is off. `sig` defaults
+    /// to an untyped-bytes signature of `payload_len`.
+    fn send_stamp(
+        &self,
+        sig: Option<TypeSig>,
+        payload_len: usize,
+    ) -> (Option<VectorClock>, Option<TypeSig>) {
+        match &self.world.check {
+            Some(check) => (
+                Some(check.on_send(self.world_rank())),
+                Some(sig.unwrap_or_else(|| TypeSig::bytes(payload_len as u64))),
+            ),
+            None => (None, None),
+        }
+    }
+
+    /// With checking enabled, verify a sender's stamped datatype signature
+    /// against the receiver's declared expectation; no-op otherwise (or when
+    /// the envelope predates checking, e.g. hand-built test envelopes).
+    pub(crate) fn verify_type_sig(
+        &self,
+        src: usize,
+        key_tag: u64,
+        got: Option<&TypeSig>,
+        want: &TypeSig,
+    ) -> Result<()> {
+        let (Some(check), Some(got)) = (&self.world.check, got) else {
+            return Ok(());
+        };
+        if want.accepts(got) {
+            return Ok(());
+        }
+        check.note_type_mismatch();
+        Err(Error::TypeMismatch { src, dst: self.rank, tag: key_tag, expected: *want, got: *got })
+    }
+
+    /// Declare a *write* access to `buf` for the happens-before race
+    /// checker. With checking enabled, fails with [`Error::DataRace`] if the
+    /// write is causally unordered with another tracked access to an
+    /// overlapping range — in particular, writing a buffer lent via the
+    /// zero-copy path while the receiver's claim may still be copying.
+    /// A no-op (one `Option` branch) when checking is off.
+    #[track_caller]
+    pub fn check_write(&self, buf: &[u8]) -> Result<()> {
+        self.check_access(buf, true, "writes the buffer")
+    }
+
+    /// Declare a *read* access to `buf` for the happens-before race checker.
+    /// Reads race only with causally unordered writes. A no-op when checking
+    /// is off.
+    #[track_caller]
+    pub fn check_read(&self, buf: &[u8]) -> Result<()> {
+        self.check_access(buf, false, "reads the buffer")
+    }
+
+    #[track_caller]
+    fn check_access(&self, buf: &[u8], write: bool, op: &str) -> Result<()> {
+        let Some(check) = &self.world.check else { return Ok(()) };
+        let loc = Location::caller();
+        let site = format!("{}:{}", loc.file(), loc.line());
+        check
+            .access(self.world_rank(), buf.as_ptr() as usize, buf.len(), write, op, site)
+            .map_err(Error::DataRace)
+    }
+
+    /// Snapshot of the checker's violation counters, or `None` when checking
+    /// is off. Counts are world-wide (shared by every communicator handle).
+    pub fn check_counters(&self) -> Option<CheckCounters> {
+        self.world.check.as_ref().map(|c| c.counters())
+    }
+
+    /// Tell the checker the sender observed a loan reaching a terminal
+    /// state: join the receiver's copy-done clock into this (sender) rank's
+    /// clock, so later sender writes are ordered after the copy.
+    pub(crate) fn note_loan_settled(&self, cell: &Arc<ZcCell>) {
+        if let Some(check) = &self.world.check {
+            check.loan_settled(cell, self.world_rank());
+        }
+    }
+
+    pub(crate) fn deposit_to(&self, dest: usize, key_tag: u64, payload: Vec<u8>) -> Result<()> {
+        self.deposit_sig(dest, key_tag, payload, None)
+    }
+
+    /// [`Comm::deposit_to`] with an explicit datatype signature (typed sends
+    /// and datatype-carrying collective fragments stamp theirs; everything
+    /// else defaults to untyped bytes).
+    pub(crate) fn deposit_sig(
+        &self,
+        dest: usize,
+        key_tag: u64,
+        mut payload: Vec<u8>,
+        sig: Option<TypeSig>,
+    ) -> Result<()> {
+        self.sched_point("send");
         self.fault_tick()?;
         // Checksum the *pristine* payload before fault injection: the
         // injector models wire damage, which by definition happens after the
@@ -422,6 +551,7 @@ impl Comm {
             .world
             .checksum
             .then(|| checksum64(self.stream_seed(self.rank, key_tag, self.epoch), &payload));
+        let (clock, type_sig) = self.send_stamp(sig, payload.len());
         if let Some(faults) = &self.world.faults {
             let (src_w, dst_w) = (self.world_rank(), self.members[dest]);
             match faults.on_message(src_w, dst_w, key_tag, &mut payload) {
@@ -451,6 +581,8 @@ impl Comm {
                 payload: Payload::Bytes(payload),
                 checksum,
                 taints: Vec::new(),
+                clock,
+                type_sig,
             },
         );
         Ok(())
@@ -467,7 +599,9 @@ impl Comm {
         key_tag: u64,
         payload: Vec<u8>,
     ) -> Result<()> {
+        self.sched_point("send_control");
         self.fault_tick()?;
+        let (clock, type_sig) = self.send_stamp(None, payload.len());
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
         self.world.mailboxes[self.members[dest]].deposit(
             key,
@@ -477,6 +611,8 @@ impl Comm {
                 payload: Payload::Bytes(payload),
                 checksum: None,
                 taints: Vec::new(),
+                clock,
+                type_sig,
             },
         );
         Ok(())
@@ -489,6 +625,7 @@ impl Comm {
     ///
     /// Callers must have checked [`WorldState::zerocopy_active`]: a message
     /// fault plan would need to mutate the payload, which a loan forbids.
+    #[track_caller]
     pub(crate) fn deposit_shared(
         &self,
         dest: usize,
@@ -496,6 +633,7 @@ impl Comm {
         buf: &[u8],
         dt: Datatype,
     ) -> Result<Arc<ZcCell>> {
+        self.sched_point("lend");
         // Same op accounting as `deposit_to`, so op positions (the fault
         // plan coordinate system) are identical across wire paths.
         self.fault_tick()?;
@@ -519,6 +657,18 @@ impl Comm {
         };
         self.world.transport.zerocopy_msgs.fetch_add(1, Ordering::Relaxed);
         let cell = Arc::new(ZcCell::default());
+        let (clock, type_sig) = self.send_stamp(Some(TypeSig::of(&dt)), 0);
+        // Track the loan *after* the send tick, so the lend clock covers the
+        // lend event itself.
+        if let Some(check) = &self.world.check {
+            check.register_loan(
+                &cell,
+                self.world_rank(),
+                self.members[dest],
+                buf.as_ptr() as usize,
+                buf.len(),
+            );
+        }
         let handle = ZcHandle::new(buf, dt, Arc::clone(&cell));
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
         self.world.mailboxes[self.members[dest]].deposit(
@@ -529,6 +679,8 @@ impl Comm {
                 payload: Payload::Shared(handle),
                 checksum,
                 taints,
+                clock,
+                type_sig,
             },
         );
         Ok(cell)
@@ -550,18 +702,35 @@ impl Comm {
                 Ok(b)
             }
             Payload::Shared(h) => {
+                self.sched_point("zc_claim");
                 if !h.cell.try_claim() {
                     // The sender revoked the loan (timeout / death) before we
                     // got here; the payload is unrecoverable.
                     return Err(Error::PeerDead { rank: src });
                 }
+                // Record the claim (a read of the loaned range). A detected
+                // race is surfaced only after the copy completes: the claim
+                // succeeded, so the sender is parked until finish() — erroring
+                // out before driving the cell to Done would strand it.
+                let race = match &self.world.check {
+                    Some(check) => {
+                        check.loan_claimed(&h.cell, self.world_rank()).err().map(Error::DataRace)
+                    }
+                    None => None,
+                };
                 // SAFETY: the claim succeeded, so the sender is blocked in
                 // ZcCell::wait and its buffer stays alive until finish().
                 let src_buf = unsafe { h.src_slice() };
                 let mut out = Vec::with_capacity(h.packed_len());
                 let packed = h.dt.pack_into(src_buf, &mut out);
+                if let Some(check) = &self.world.check {
+                    check.loan_done(&h.cell, self.world_rank());
+                }
                 h.cell.finish();
                 packed?;
+                if let Some(race) = race {
+                    return Err(race);
+                }
                 for &init in &taints {
                     Keystream::new(init).scramble(&mut out);
                 }
@@ -577,6 +746,7 @@ impl Comm {
     }
 
     pub(crate) fn take_envelope_from(&self, src: usize, key_tag: u64) -> Result<Envelope> {
+        self.sched_point("recv");
         self.fault_tick()?;
         let key: MsgKey = (self.comm_id, src, key_tag);
         let src_world = self.members[src];
@@ -608,7 +778,10 @@ impl Comm {
                 c.finish_wait(me_world, matches!(outcome, TakeOutcome::Delivered(_)))
             });
         match outcome {
-            TakeOutcome::Delivered(env) => Ok(env),
+            TakeOutcome::Delivered(env) => {
+                self.note_delivery(&env);
+                Ok(env)
+            }
             TakeOutcome::TimedOut => Err(Error::Timeout {
                 rank: self.rank,
                 src: Some(src),
@@ -675,9 +848,16 @@ impl Comm {
         self.deposit_to(dest, user_key_tag(tag), data.to_vec())
     }
 
-    /// Send a slice of POD values to `dest` with `tag`.
+    /// Send a slice of POD values to `dest` with `tag`. With checking
+    /// enabled the element size is stamped into the envelope so a typed
+    /// receive with a different element type fails with
+    /// [`Error::TypeMismatch`] instead of silently reinterpreting bytes.
     pub fn send<T: Pod>(&self, dest: usize, tag: Tag, data: &[T]) -> Result<()> {
-        self.send_bytes(dest, tag, bytes_of(data))
+        self.check_rank(dest)?;
+        let bytes = bytes_of(data).to_vec();
+        let sig =
+            TypeSig { extent: bytes.len() as u64, elem: std::mem::size_of::<T>() as u32, shape: 0 };
+        self.deposit_sig(dest, user_key_tag(tag), bytes, Some(sig))
     }
 
     /// Send an owned byte buffer without copying it.
@@ -695,14 +875,23 @@ impl Comm {
     /// Receive from any source; returns the payload and its origin. Fails
     /// fast with [`Error::PeerDead`] once every other member is dead.
     pub fn recv_bytes_any(&self, tag: Tag) -> Result<(RecvStatus, Vec<u8>)> {
+        self.sched_point("recv_any");
         self.fault_tick()?;
         let me = self.rank;
+        // Seeded rotation of the source-scan start explores different
+        // delivery orders when several sources are ready; 0 (lowest source
+        // first) without a scheduler.
+        let start = match &self.world.sched {
+            Some(s) => s.pick(self.world_rank()) % self.size().max(1),
+            None => 0,
+        };
         let wait = ddrtrace::span("minimpi", "mailbox_wait_any");
         let outcome = loop {
             let o = self.my_mailbox().take_any_watched(
                 self.comm_id,
                 user_key_tag(tag),
                 self.size(),
+                start,
                 self.timeout.get(),
                 || (0..self.size()).all(|r| r == me || !self.is_alive(r)),
             );
@@ -718,6 +907,7 @@ impl Comm {
         drop(wait);
         match outcome {
             TakeOutcome::Delivered(env) => {
+                self.note_delivery(&env);
                 let src = env.src;
                 let bytes = self.materialize(src, user_key_tag(tag), env)?;
                 Ok((RecvStatus { src, len: bytes.len() }, bytes))
@@ -735,9 +925,20 @@ impl Comm {
         }
     }
 
+    /// Typed receive: take the envelope, verify the sender's datatype
+    /// signature against `want` *before* consuming the payload (a mismatched
+    /// zero-copy loan is dropped, revoking it), then materialize.
+    fn take_from_typed(&self, src: usize, key_tag: u64, want: TypeSig) -> Result<Vec<u8>> {
+        let env = self.take_envelope_from(src, key_tag)?;
+        self.verify_type_sig(src, key_tag, env.type_sig.as_ref(), &want)?;
+        self.materialize(src, key_tag, env)
+    }
+
     /// Receive a `Vec<T>` of POD values from `src` with `tag`.
     pub fn recv_vec<T: Pod>(&self, src: usize, tag: Tag) -> Result<Vec<T>> {
-        let bytes = self.recv_bytes(src, tag)?;
+        self.check_rank(src)?;
+        let want = TypeSig { extent: 0, elem: std::mem::size_of::<T>() as u32, shape: 0 };
+        let bytes = self.take_from_typed(src, user_key_tag(tag), want)?;
         vec_from_bytes(&bytes)
             .ok_or(Error::SizeMismatch { expected: std::mem::size_of::<T>(), got: bytes.len() })
     }
@@ -745,8 +946,10 @@ impl Comm {
     /// Receive into a caller-provided buffer; the message length must equal
     /// the buffer length exactly.
     pub fn recv_into<T: Pod>(&self, src: usize, tag: Tag, buf: &mut [T]) -> Result<()> {
-        let bytes = self.recv_bytes(src, tag)?;
+        self.check_rank(src)?;
         let want = std::mem::size_of_val(buf);
+        let sig = TypeSig { extent: want as u64, elem: std::mem::size_of::<T>() as u32, shape: 0 };
+        let bytes = self.take_from_typed(src, user_key_tag(tag), sig)?;
         if bytes.len() != want {
             return Err(Error::SizeMismatch { expected: want, got: bytes.len() });
         }
@@ -757,6 +960,7 @@ impl Comm {
     /// Non-blocking receive attempt.
     pub fn try_recv_bytes(&self, src: usize, tag: Tag) -> Result<Option<Vec<u8>>> {
         self.check_rank(src)?;
+        self.sched_point("try_recv");
         self.fault_tick()?;
         loop {
             match self.my_mailbox().try_take((self.comm_id, src, user_key_tag(tag))) {
@@ -764,7 +968,10 @@ impl Comm {
                     self.world.transport.fenced_msgs.fetch_add(1, Ordering::Relaxed);
                     ddrtrace::instant_arg("minimpi", "fenced_msg", "src", src as i64);
                 }
-                Some(env) => return Ok(Some(self.materialize(src, user_key_tag(tag), env)?)),
+                Some(env) => {
+                    self.note_delivery(&env);
+                    return Ok(Some(self.materialize(src, user_key_tag(tag), env)?));
+                }
                 None => return Ok(None),
             }
         }

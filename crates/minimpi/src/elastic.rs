@@ -247,6 +247,7 @@ impl Comm {
             return Err(Error::StaleEpoch { comm_epoch: self.epoch, world_epoch: entry_epoch });
         }
         let timeout = reconfig_timeout(self.timeout());
+        self.sched_point("reconfig");
         let generation = self.reconfig_seq.get();
         self.reconfig_seq.set(generation + 1);
         let span = ddrtrace::span("minimpi", "reconfigure");

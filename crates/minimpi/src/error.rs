@@ -1,6 +1,6 @@
 //! Error type for runtime failures.
 
-use crate::check::{DeadlockReport, DivergenceReport};
+use crate::check::{DeadlockReport, DivergenceReport, LoanLeakReport, RaceReport, TypeSig};
 use std::fmt;
 
 /// Errors surfaced by the minimpi runtime.
@@ -70,6 +70,32 @@ pub enum Error {
     /// a confirmed receive cycle. The report lists every member of the cycle
     /// and what it was waiting for — the watchdog never needs to fire.
     Deadlock(Box<DeadlockReport>),
+    /// With checking enabled, the happens-before checker found two causally
+    /// unordered accesses to the same tracked buffer, at least one of them a
+    /// write — e.g. a sender mutating a buffer while a receiver's zero-copy
+    /// claim is still copying out of it. The report names the resource, both
+    /// ranks, both operations and both call sites.
+    DataRace(Box<RaceReport>),
+    /// With checking enabled, one or more zero-copy loans were still live
+    /// (never claimed and copied, never revoked) when the universe finished —
+    /// a lent buffer whose ownership was never returned to the application.
+    LoanLeak(Box<LoanLeakReport>),
+    /// With checking enabled, a receive matched a message whose datatype
+    /// signature (extent, element size, subarray shape) disagrees with what
+    /// the receiver declared — caught before the bytes are silently
+    /// reinterpreted.
+    TypeMismatch {
+        /// Sender (communicator-local).
+        src: usize,
+        /// Receiver (communicator-local).
+        dst: usize,
+        /// Raw key tag of the mismatched message.
+        tag: u64,
+        /// Signature the receiver declared.
+        expected: TypeSig,
+        /// Signature stamped by the sender.
+        got: TypeSig,
+    },
     /// The communicator handle predates the current membership epoch: a
     /// [`crate::Comm::reconfigure`] completed since this handle was built, so
     /// any traffic it could produce would be fenced as stale. The holder must
@@ -139,6 +165,15 @@ impl fmt::Display for Error {
                 write!(f, "collective divergence: {report}")
             }
             Error::Deadlock(report) => write!(f, "{report}"),
+            Error::DataRace(report) => write!(f, "data race: {report}"),
+            Error::LoanLeak(report) => write!(f, "loan leak: {report}"),
+            Error::TypeMismatch { src, dst, tag, expected, got } => {
+                let op = crate::comm::describe_key_tag(*tag);
+                write!(
+                    f,
+                    "datatype signature mismatch: rank {src} sent {got} but rank {dst} expected {expected} ({op})"
+                )
+            }
             Error::StaleEpoch { comm_epoch, world_epoch } => write!(
                 f,
                 "communicator from epoch {comm_epoch} used after reconfiguration to epoch {world_epoch} — rebuild it via reconfigure()"

@@ -74,8 +74,34 @@
 //!   confirmed cycle into [`Error::Deadlock`] on every member, listing the
 //!   full cycle, long before the watchdog would fire.
 //!
+//! * **Happens-before race & lifetime checking** — each rank carries a
+//!   vector clock, piggybacked on every envelope and joined at delivery;
+//!   zero-copy loans and explicitly annotated buffers ([`Comm::check_write`]
+//!   / [`Comm::check_read`]) are tracked resources. Two causally unordered
+//!   accesses to overlapping bytes, at least one a write — e.g. a sender
+//!   mutating a buffer while a receiver's claim is still copying — fail with
+//!   [`Error::DataRace`]; loans still live at the end of the run panic with
+//!   [`Error::LoanLeak`].
+//! * **Datatype signature verification** — sends stamp a [`TypeSig`]
+//!   (extent, element size, subarray shape) into the envelope; typed
+//!   receives and `alltoallw` deliveries that disagree fail with
+//!   [`Error::TypeMismatch`] before the bytes are reinterpreted.
+//!
 //! When checking is off (the default) the cost is one `Option` branch per
 //! operation and no detector thread exists.
+//!
+//! ## Deterministic schedule exploration
+//!
+//! `Universe::builder().sched_seed(s)` (or `DDR_SCHED_SEED=s`) arms a seeded
+//! scheduler hook at every wait/poll point: sends, receives, zero-copy
+//! claims, retransmit polls, and the reconfigure rendezvous may yield or
+//! sleep for a few hundred microseconds, and any-source receives rotate
+//! their source preference — all as a pure function of (seed, rank, op
+//! count), so a given seed replays the same perturbation. Each run folds its
+//! delivery orders into a seed-independent fingerprint
+//! ([`take_last_fingerprint`]) that an explorer (see the `ddrcheck` crate)
+//! uses to prune equivalent schedules while sweeping seeds. Unseeded, the
+//! hook is one `Option` branch per operation.
 //!
 //! ## Example
 //!
@@ -106,11 +132,16 @@ mod life;
 mod mailbox;
 mod pod;
 mod request;
+mod sched;
 mod universe;
+mod vclock;
 mod zerocopy;
 
 pub use cart::CartComm;
-pub use check::{CollFingerprint, CollectiveKind, DeadlockReport, DivergenceReport, PendingRecv};
+pub use check::{
+    CheckCounters, CollFingerprint, CollectiveKind, DeadlockReport, DivergenceReport, LeakedLoan,
+    LoanLeakReport, PendingRecv, RaceReport, TypeSig,
+};
 pub use collectives::ExchangeReport;
 pub use comm::{Comm, RecvStatus, Tag, ANY_SOURCE};
 pub use datatype::{ByteRuns, Datatype, Subarray};
@@ -120,5 +151,7 @@ pub use fault::{FaultAction, FaultPlan, MessageMatcher};
 pub use integrity::IntegrityCounters;
 pub use pod::{bytes_of, bytes_of_mut, Pod};
 pub use request::RecvRequest;
+pub use sched::take_last_fingerprint;
 pub use universe::{Universe, UniverseBuilder};
+pub use vclock::VectorClock;
 pub use zerocopy::{PoolStats, TransportCounters};

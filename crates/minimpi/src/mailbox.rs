@@ -40,6 +40,12 @@ pub(crate) struct Envelope {
     /// scramble to its own copy at claim time. Empty (no allocation) in the
     /// overwhelmingly common clean case; always empty for `Bytes`.
     pub taints: Vec<u64>,
+    /// Sender's vector-clock snapshot, piggybacked when checking is enabled
+    /// (`None` otherwise) and joined into the receiver's clock at delivery.
+    pub clock: Option<crate::vclock::VectorClock>,
+    /// Sender's datatype signature, stamped when checking is enabled and
+    /// verified against the receiver's declared expectation.
+    pub type_sig: Option<crate::check::TypeSig>,
 }
 
 #[derive(Default)]
@@ -182,25 +188,34 @@ impl Mailbox {
     }
 
     /// Block until a message with communicator `comm_id` and tag `tag` from
-    /// *any* source is available. Scans in ascending source order for
-    /// determinism when several are ready. Gives up early when `abort()`
-    /// reports true (e.g. every possible source is dead).
+    /// *any* source is available. Scans sources in ascending order starting
+    /// at `start` (wrapping) — deterministic when several are ready, but a
+    /// seeded scheduler can rotate the preference to explore different
+    /// delivery orders. Gives up early when `abort()` reports true (e.g.
+    /// every possible source is dead).
     pub fn take_any_watched(
         &self,
         comm_id: u64,
         tag: u64,
         size: usize,
+        start: usize,
         timeout: Duration,
         abort: impl Fn() -> bool,
     ) -> TakeOutcome {
-        fn scan(q: &mut Queues, comm_id: u64, tag: u64, size: usize) -> Option<Envelope> {
-            (0..size).find_map(|src| Mailbox::pop(q, (comm_id, src, tag)))
+        fn scan(
+            q: &mut Queues,
+            comm_id: u64,
+            tag: u64,
+            size: usize,
+            start: usize,
+        ) -> Option<Envelope> {
+            (0..size).find_map(|i| Mailbox::pop(q, (comm_id, (start + i) % size.max(1), tag)))
         }
 
         let deadline = Instant::now() + timeout;
         let mut q = self.lock();
         loop {
-            if let Some(env) = scan(&mut q, comm_id, tag, size) {
+            if let Some(env) = scan(&mut q, comm_id, tag, size, start) {
                 return TakeOutcome::Delivered(env);
             }
             if abort() {
@@ -218,7 +233,7 @@ impl Mailbox {
             if res.timed_out() {
                 // One last scan after the final wakeup, in case a deposit
                 // raced with the timeout.
-                return match scan(&mut q, comm_id, tag, size) {
+                return match scan(&mut q, comm_id, tag, size, start) {
                     Some(env) => TakeOutcome::Delivered(env),
                     None if abort() => TakeOutcome::Aborted,
                     None => TakeOutcome::TimedOut,
@@ -235,6 +250,11 @@ impl Mailbox {
 }
 
 /// Result of a blocking mailbox retrieval.
+///
+/// `Delivered` is much larger than the unit variants, but every take site
+/// destructures the outcome immediately — boxing the envelope would add an
+/// allocation per delivery for a value that never outlives the match.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum TakeOutcome {
     /// A matching message arrived (or was already queued).
     Delivered(Envelope),
@@ -256,6 +276,8 @@ mod tests {
             payload: Payload::Bytes(bytes),
             checksum: None,
             taints: Vec::new(),
+            clock: None,
+            type_sig: None,
         }
     }
 
@@ -308,7 +330,7 @@ mod tests {
         let mb = Mailbox::default();
         mb.deposit((2, 4, 8), bytes_env(4, vec![4]));
         mb.deposit((2, 1, 8), bytes_env(1, vec![1]));
-        let env = match mb.take_any_watched(2, 8, 8, Duration::from_secs(1), || false) {
+        let env = match mb.take_any_watched(2, 8, 8, 0, Duration::from_secs(1), || false) {
             TakeOutcome::Delivered(env) => env,
             _ => panic!("expected delivery"),
         };

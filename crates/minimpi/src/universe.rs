@@ -39,6 +39,7 @@ pub struct UniverseBuilder {
     checksum: Option<bool>,
     retransmit_max: Option<u32>,
     retransmit_backoff: Option<Duration>,
+    sched_seed: Option<u64>,
     trace: Option<PathBuf>,
 }
 
@@ -131,6 +132,21 @@ impl UniverseBuilder {
         self
     }
 
+    /// Seed the deterministic schedule explorer for this universe: every
+    /// wait/poll point (sends, receives, zero-copy claims, retransmit polls,
+    /// reconfigure rendezvous) consults a per-rank counterful hash of this
+    /// seed and may yield or inject a short adversarial delay, and any-source
+    /// receives rotate their source-scan preference — so different seeds
+    /// exercise different (but individually reproducible) interleavings.
+    /// When unset, `DDR_SCHED_SEED` decides; with neither, the hook
+    /// compiles down to one `Option` branch per operation. Orthogonal to
+    /// [`UniverseBuilder::check`]: seed + check finds races *and* explores
+    /// schedules, seed alone just perturbs timing.
+    pub fn sched_seed(mut self, seed: u64) -> Self {
+        self.sched_seed = Some(seed);
+        self
+    }
+
     /// Capture a trace of this universe run and write it to `path` as
     /// Chrome trace-event JSON (loadable in Perfetto). Equivalent to setting
     /// `DDR_TRACE=<path>`; the builder takes precedence. When tracing is off,
@@ -173,6 +189,7 @@ impl UniverseBuilder {
             self.checksum,
             self.retransmit_max,
             self.retransmit_backoff,
+            self.sched_seed,
         ));
         // Tracing: the builder's path wins over `DDR_TRACE`. If a capture
         // window is already open (a bench tracing across several universes),
@@ -273,6 +290,25 @@ impl UniverseBuilder {
             if ddrtrace::enabled() {
                 record_world_metrics(&world);
             }
+            // Publish the schedule fingerprint before any panic can
+            // propagate: the explorer reads it even for failing schedules.
+            if let Some(sched) = &world.sched {
+                sched.publish();
+            }
+            // Loan-leak scan: only meaningful when every rank finished
+            // cleanly — a panicked or failed rank legitimately strands its
+            // in-flight loans (the epoch sweep / Drop revocation handles
+            // them), so a leak report there would be noise on top of the
+            // real failure.
+            let all_clean =
+                outcomes.iter().all(|o| o.is_ok()) && respawn_outcomes.iter().all(|o| o.is_ok());
+            if all_clean {
+                if let Some(check) = &world.check {
+                    if let Some(report) = check.leaked_loans() {
+                        panic!("{}", crate::Error::LoanLeak(report));
+                    }
+                }
+            }
             if own_capture {
                 let trace = ddrtrace::capture::stop();
                 if let Some(path) = &trace_path {
@@ -337,6 +373,16 @@ fn record_world_metrics(world: &WorldState) {
     ddrtrace::metrics::add("integrity", "detected", i.detected);
     ddrtrace::metrics::add("integrity", "retransmits", i.retransmits);
     ddrtrace::metrics::add("integrity", "exhausted", i.exhausted);
+    if let Some(check) = &world.check {
+        let c = check.counters();
+        ddrtrace::metrics::add("check", "races", c.races);
+        ddrtrace::metrics::add("check", "deadlocks", c.deadlocks);
+        ddrtrace::metrics::add("check", "divergences", c.divergences);
+        ddrtrace::metrics::add("check", "type_mismatches", c.type_mismatches);
+    }
+    if world.sched.is_some() {
+        ddrtrace::metrics::add("check", "schedules_explored", 1);
+    }
 }
 
 impl Universe {

@@ -1,0 +1,132 @@
+//! Vector clocks ordering events across ranks for the happens-before
+//! analyses in [`crate::check`].
+//!
+//! Each world rank owns one clock. A rank ticks its own component on every
+//! send and joins the sender's snapshot into its own clock on every
+//! delivery, so `a.leq(b)` holds exactly when the event that produced
+//! snapshot `a` happens-before the event that produced `b`. Two snapshots
+//! where neither `leq` the other are *concurrent* — the raw material of a
+//! data race.
+
+/// A vector clock: one logical-time component per world rank.
+///
+/// The clock is a pure value type; [`crate::check::CheckState`] owns the
+/// per-rank instances and serializes updates. Snapshots of it travel on
+/// envelopes when checking is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// A zeroed clock for a world of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Number of components (the world size it was built for).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the clock has no components (a zero-rank world).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// This rank's own component.
+    pub fn get(&self, rank: usize) -> u64 {
+        self.0.get(rank).copied().unwrap_or(0)
+    }
+
+    /// Advance `rank`'s own component by one logical step.
+    pub fn tick(&mut self, rank: usize) {
+        if let Some(c) = self.0.get_mut(rank) {
+            *c += 1;
+        }
+    }
+
+    /// Pointwise maximum: absorb everything `other` has observed.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Componentwise `≤` — the happens-before-or-equal order. Returns true
+    /// when every component of `self` is at most the matching component of
+    /// `other`, i.e. the event that produced `self` happens-before (or is)
+    /// the event that produced `other`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Neither clock orders the other: the two events are concurrent.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_advances_own_component_only() {
+        let mut c = VectorClock::new(3);
+        c.tick(1);
+        c.tick(1);
+        assert_eq!((c.get(0), c.get(1), c.get(2)), (0, 2, 0));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        a.tick(0);
+        let mut b = VectorClock::new(3);
+        b.tick(1);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (1, 2, 0));
+    }
+
+    #[test]
+    fn leq_orders_causal_chain() {
+        let mut a = VectorClock::new(2);
+        a.tick(0); // send on rank 0
+        let mut b = VectorClock::new(2);
+        b.join(&a);
+        b.tick(1); // delivery + local step on rank 1
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn unrelated_events_are_concurrent() {
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let mut b = VectorClock::new(2);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut c = VectorClock::new(3);
+        c.tick(2);
+        assert_eq!(c.to_string(), "[0 0 1]");
+    }
+}

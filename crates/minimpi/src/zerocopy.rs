@@ -126,6 +126,13 @@ impl ZcCell {
         }
         revoked
     }
+
+    /// Whether the loan reached a terminal state (`Done` or `Revoked`) — i.e.
+    /// its sender is no longer (or never was) on the hook. Used by the
+    /// checker's finalize-time loan-leak scan.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state.load(Ordering::Acquire), DONE | REVOKED)
+    }
 }
 
 /// A lent region travelling through a mailbox: the sender's whole send

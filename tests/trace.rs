@@ -191,3 +191,77 @@ fn tracing_off_adds_less_than_one_percent() {
         median * budget * 1e3
     );
 }
+
+/// The same guard for the concurrency checker: with checking off the checker
+/// is simply absent (`Option::None`), so every hook — send stamping, type
+/// verification, delivery notes, scheduler points, and the public
+/// [`minimpi::Comm::check_write`] annotation API — reduces to one
+/// discriminant test. Measure that disabled per-call cost directly and bound
+/// a generous estimate of hooks hit per redistribution against the same
+/// budget as the tracing guard.
+#[test]
+fn checking_off_adds_less_than_one_percent() {
+    let _serial = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Per-hook cost while disabled, measured through the public annotation
+    // API on a check-off universe: check_write without a checker takes the
+    // same `None` branch every internal hook compiles to.
+    let measure_per_hook = || {
+        Universe::run(1, |comm| {
+            assert!(comm.check_counters().is_none(), "checking must be off for this guard");
+            const OPS: u32 = 200_000;
+            let buf = [0u8; 64];
+            let start = Instant::now();
+            for _ in 0..OPS {
+                std::hint::black_box(comm.check_write(&buf)).unwrap();
+            }
+            start.elapsed().as_secs_f64() / OPS as f64
+        })[0]
+    };
+
+    // Hooks hit per redistribution: each traced event sits near a handful of
+    // check guards, so count the events once and over-provision eight
+    // guards per event.
+    ddr::trace::capture::start();
+    redistribute_once(Universe::builder().zerocopy(false), 256, 8);
+    let hooks = 8.0 * ddr::trace::capture::stop().events.len() as f64;
+    assert!(hooks > 0.0, "traced run must record events");
+
+    let measure = || {
+        let start = Instant::now();
+        redistribute_once(Universe::builder().zerocopy(false), 256, 8);
+        start.elapsed().as_secs_f64()
+    };
+    measure(); // warm up thread spawn, pool, allocator
+    let median_redistribution = || {
+        let mut samples: Vec<f64> = (0..5).map(|_| measure()).collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+
+    // Same budget and retry policy as the tracing guard: wall-clock
+    // microbenchmarks jitter on loaded runners, but a disabled path that
+    // grows a lock, an allocation, or a clock update costs orders of
+    // magnitude more than the budget and fails every attempt.
+    let budget = if cfg!(debug_assertions) { 0.10 } else { 0.01 };
+    const ATTEMPTS: usize = 3;
+    let mut worst = (f64::INFINITY, 0.0, 0.0); // (per_hook, overhead, median)
+    for _ in 0..ATTEMPTS {
+        let per_hook = measure_per_hook();
+        let median = median_redistribution();
+        let overhead = per_hook * hooks;
+        if overhead < median * budget {
+            return;
+        }
+        worst = (per_hook, overhead, median);
+    }
+    let (per_hook, overhead, median) = worst;
+    panic!(
+        "disabled checking too expensive in all {ATTEMPTS} attempts: \
+         {hooks} hooks x {:.1} ns = {:.4} ms vs {:.0}% of redistribution ({:.4} ms)",
+        per_hook * 1e9,
+        overhead * 1e3,
+        budget * 100.0,
+        median * budget * 1e3
+    );
+}
