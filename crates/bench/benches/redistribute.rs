@@ -27,6 +27,9 @@ struct Case {
     name: &'static str,
     kind: DataKind,
     domain: Block,
+    /// Owned chunks per rank; the plan's round count. 1 = the classic
+    /// single-round cases, > 1 = the multi-round pipelined family.
+    chunks: usize,
     /// Inner `reorganize` repetitions per timed sample (amortizes small cases).
     reps: u32,
 }
@@ -38,7 +41,13 @@ fn cases() -> Vec<Case> {
         ("1d/repartition/1Mi", 1 << 20),
         ("1d/repartition/4Mi", 1 << 22),
     ] {
-        v.push(Case { name, kind: DataKind::D1, domain: Block::d1(0, len).unwrap(), reps: 0 });
+        v.push(Case {
+            name,
+            kind: DataKind::D1,
+            domain: Block::d1(0, len).unwrap(),
+            chunks: 1,
+            reps: 0,
+        });
     }
     for (name, n) in [
         ("2d/in_transit_repartition/256", 256usize),
@@ -49,6 +58,7 @@ fn cases() -> Vec<Case> {
             name,
             kind: DataKind::D2,
             domain: Block::d2([0, 0], [n, n]).unwrap(),
+            chunks: 1,
             reps: 0,
         });
     }
@@ -61,6 +71,24 @@ fn cases() -> Vec<Case> {
             name,
             kind: DataKind::D3,
             domain: Block::d3([0, 0, 0], [n, n, n]).unwrap(),
+            chunks: 1,
+            reps: 0,
+        });
+    }
+    // Multi-round family: each rank owns four interleaved column slabs, so
+    // the plan has four rounds and the depth-2 pipeline has real overlap to
+    // win. These are the cases the `pipelined` / `round_sync` columns and
+    // the mailbox-wait-share acceptance gate are measured on.
+    for (name, n) in [
+        ("2d/pipelined_repartition/512", 512usize),
+        ("2d/pipelined_repartition/1024", 1024),
+        ("2d/pipelined_repartition/2048", 2048),
+    ] {
+        v.push(Case {
+            name,
+            kind: DataKind::D2,
+            domain: Block::d2([0, 0], [n, n]).unwrap(),
+            chunks: 4,
             reps: 0,
         });
     }
@@ -74,29 +102,42 @@ fn cases() -> Vec<Case> {
     v
 }
 
-/// Producer layout (what each rank owns) and consumer layout (what it needs).
-fn layouts(case: &Case, r: usize) -> (Block, Block) {
+/// Producer layout (the chunks each rank owns) and consumer layout (the
+/// block it needs).
+fn layouts(case: &Case, r: usize) -> (Vec<Block>, Block) {
     match case.kind {
         // 1-D: reverse the rank order so every byte crosses ranks.
         DataKind::D1 => (
-            slab(&case.domain, 0, NPROCS, r).unwrap(),
+            vec![slab(&case.domain, 0, NPROCS, r).unwrap()],
             slab(&case.domain, 0, NPROCS, NPROCS - 1 - r).unwrap(),
         ),
-        // 2-D: row slabs → column slabs, the in-transit repartition.
+        // 2-D single-chunk: row slabs → column slabs, the in-transit
+        // repartition. Multi-chunk: rank r owns interleaved column slabs
+        // r, r+NPROCS, ... (one per round) and needs a row slab.
         DataKind::D2 => {
-            (slab(&case.domain, 1, NPROCS, r).unwrap(), slab(&case.domain, 0, NPROCS, r).unwrap())
+            if case.chunks == 1 {
+                (
+                    vec![slab(&case.domain, 1, NPROCS, r).unwrap()],
+                    slab(&case.domain, 0, NPROCS, r).unwrap(),
+                )
+            } else {
+                let owned = (0..case.chunks)
+                    .map(|k| slab(&case.domain, 1, NPROCS * case.chunks, r + NPROCS * k).unwrap())
+                    .collect();
+                (owned, slab(&case.domain, 0, NPROCS, r).unwrap())
+            }
         }
         // 3-D: z-slabs → near-cubic bricks.
         DataKind::D3 => (
-            slab(&case.domain, 2, NPROCS, r).unwrap(),
+            vec![slab(&case.domain, 2, NPROCS, r).unwrap()],
             brick(&case.domain, near_cubic_grid(NPROCS), r).unwrap(),
         ),
     }
 }
 
-/// Time `reps` reorganizations through the selected plane; returns the
-/// slowest rank's per-reorganize time.
-fn inner_time(case: &Case, zerocopy: bool, checksum: bool) -> Duration {
+/// Time `reps` reorganizations through the selected plane at the given
+/// pipeline depth; returns the slowest rank's per-reorganize time.
+fn inner_time(case: &Case, zerocopy: bool, checksum: bool, depth: usize) -> Duration {
     let case = *case;
     let times =
         Universe::builder().zerocopy(zerocopy).checksum(checksum).run(NPROCS, move |comm| {
@@ -104,13 +145,24 @@ fn inner_time(case: &Case, zerocopy: bool, checksum: bool) -> Duration {
             let (owned, need) = layouts(&case, r);
             let desc = Descriptor::for_type::<f32>(NPROCS, case.kind).unwrap();
             let plan =
-                desc.setup_data_mapping_with(comm, &[owned], need, ValidationPolicy::Skip).unwrap();
-            let data = vec![r as f32 + 0.5; owned.count() as usize];
+                desc.setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Skip).unwrap();
+            let data: Vec<Vec<f32>> =
+                owned.iter().map(|b| vec![r as f32 + 0.5; b.count() as usize]).collect();
+            let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
             let mut out = vec![0f32; need.count() as usize];
             comm.barrier().unwrap();
             let start = Instant::now();
             for _ in 0..case.reps {
-                plan.reorganize(comm, &[&data], &mut out).unwrap();
+                let (report, _) = plan
+                    .reorganize_with_stats_depth(
+                        comm,
+                        &refs,
+                        &mut out,
+                        ddr_core::Strategy::Alltoallw,
+                        depth,
+                    )
+                    .unwrap();
+                assert!(report.is_complete());
             }
             let elapsed = start.elapsed();
             black_box(&out);
@@ -130,6 +182,11 @@ const PATHS: [(&str, bool, bool); 4] = [
     ("staged_nochecksum", false, false),
 ];
 
+/// The pipeline columns, measured on the multi-round cases only: the same
+/// zero-copy plane at depth 1 (round-synchronous reference) and depth 2
+/// (`DDR_PIPELINE_DEPTH` default — two rounds in flight).
+const DEPTH_PATHS: [(&str, usize); 2] = [("round_sync", 1), ("pipelined", 2)];
+
 fn bench_redistribute(c: &mut Criterion) {
     let mut g = c.benchmark_group("redistribute");
     g.sample_size(9);
@@ -137,21 +194,31 @@ fn bench_redistribute(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(case.domain.count() * 4));
         for (path, zerocopy, checksum) in PATHS {
             g.bench_with_input(BenchmarkId::new(case.name, path), &case, |b, case| {
-                b.iter_custom(|_| inner_time(case, zerocopy, checksum));
+                b.iter_custom(|_| inner_time(case, zerocopy, checksum, 1));
             });
+        }
+        if case.chunks > 1 {
+            for (path, depth) in DEPTH_PATHS {
+                g.bench_with_input(BenchmarkId::new(case.name, path), &case, |b, case| {
+                    b.iter_custom(|_| inner_time(case, true, true, depth));
+                });
+            }
         }
     }
     g.finish();
 }
 
+/// One per-phase summary row: `(phase, count, total_ns, max_ns)`.
+type PhaseRow = (String, u64, u64, u64);
+
 /// One traced run of a case through the zero-copy plane: capture the span
-/// stream and fold it into `(phase, count, total_ns, max_ns)` rows — the
-/// per-phase breakdown the JSON report carries next to the raw timings —
-/// plus the number of messages the run actually loaned (zero means every
-/// message sat below `DDR_ZC_THRESHOLD` and staged instead).
-fn phase_breakdown(case: &Case) -> (Vec<(String, u64, u64, u64)>, u64) {
+/// stream and fold it into [`PhaseRow`]s — the per-phase breakdown the JSON
+/// report carries next to the raw timings — plus the number of messages the
+/// run actually loaned (zero means every message sat below
+/// `DDR_ZC_THRESHOLD` and staged instead).
+fn phase_breakdown(case: &Case, depth: usize) -> (Vec<PhaseRow>, u64, Duration) {
     ddrtrace::capture::start();
-    inner_time(case, true, true);
+    let dur = inner_time(case, true, true, depth);
     let trace = ddrtrace::capture::stop();
     let loaned = trace
         .metrics
@@ -164,7 +231,17 @@ fn phase_breakdown(case: &Case) -> (Vec<(String, u64, u64, u64)>, u64) {
         .iter()
         .map(|r| (r.phase.clone(), r.count, r.total_ns, r.max_ns))
         .collect();
-    (rows, loaned)
+    (rows, loaned, dur)
+}
+
+/// A phase's share of the traced run's wall-clock. Span totals accumulate
+/// across all ranks and inner reps, so the denominator is the per-reorganize
+/// slowest-rank time scaled back up by reps × ranks — comparable between
+/// depth-1 and depth-2 runs of the same case.
+fn phase_share(rows: &[PhaseRow], needle: &str, dur: Duration, reps: u32) -> f64 {
+    let wall = dur.as_nanos() as f64 * reps as f64 * NPROCS as f64;
+    let total: u64 = rows.iter().filter(|(p, ..)| p.contains(needle)).map(|(_, _, t, _)| *t).sum();
+    total as f64 / wall.max(1.0)
 }
 
 /// Pair up `<case>/zerocopy` and `<case>/staged` results and write the
@@ -186,7 +263,7 @@ fn emit_json(c: &Criterion) {
         else {
             continue;
         };
-        let (phases, loaned) = phase_breakdown(&case);
+        let (phases, loaned, _) = phase_breakdown(&case, 1);
         // Both measurements are reported as measured, always. When every
         // message of a case sits below the loan threshold (`loaned == 0`)
         // the two planes execute the identical staged code, so their ratio
@@ -215,13 +292,14 @@ fn emit_json(c: &Criterion) {
         // hashed at both pack and verify): on/off ratio, > 1.0 = slower.
         let checksum_cost = st.as_secs_f64() / st_ns.as_secs_f64().max(1e-12);
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"bytes\": {}, \"zerocopy_ns\": {}, \"staged_ns\": {}, \
+            "    {{\"name\": \"{}\", \"bytes\": {}, \"rounds\": {}, \
+             \"zerocopy_ns\": {}, \"staged_ns\": {}, \
              \"zerocopy_nochecksum_ns\": {}, \"staged_nochecksum_ns\": {}, \
              \"checksum_cost\": {:.3}, \
-             \"speedup\": {:.3}, \"loaned_msgs\": {loaned}, \"identical_path\": {},\n     \
-             \"phases\": [\n",
+             \"speedup\": {:.3}, \"loaned_msgs\": {loaned}, \"identical_path\": {},\n",
             case.name,
             case.domain.count() * 4,
+            case.chunks,
             zc.as_nanos(),
             st.as_nanos(),
             zc_ns.as_nanos(),
@@ -230,6 +308,40 @@ fn emit_json(c: &Criterion) {
             sp,
             *loaned == 0,
         ));
+        // Multi-round cases additionally carry the pipelined-vs-round-sync
+        // comparison: depth-2 and depth-1 timings from the criterion columns
+        // and, from one traced sample per depth, the mailbox-wait share of
+        // wall-clock plus the pipeline's own overlap/round-in-flight
+        // evidence. All numbers are reported exactly as measured.
+        if case.chunks > 1 {
+            if let (Some(pl), Some(rs)) =
+                (lookup(case.name, "pipelined"), lookup(case.name, "round_sync"))
+            {
+                let (rows1, _, dur1) = phase_breakdown(case, 1);
+                let (rows2, _, dur2) = phase_breakdown(case, 2);
+                let overlap_ns: u64 = rows2
+                    .iter()
+                    .filter(|(p, ..)| p.contains("overlap"))
+                    .map(|(_, _, t, _)| *t)
+                    .sum();
+                json.push_str(&format!(
+                    "     \"pipeline\": {{\"round_sync_ns\": {}, \"pipelined_ns\": {}, \
+                     \"pipeline_speedup\": {:.3}, \
+                     \"mailbox_wait_share_round_sync\": {:.4}, \
+                     \"mailbox_wait_share_pipelined\": {:.4}, \
+                     \"overlap_ns\": {overlap_ns}, \
+                     \"trace_round_sync_ns\": {}, \"trace_pipelined_ns\": {}}},\n",
+                    rs.as_nanos(),
+                    pl.as_nanos(),
+                    rs.as_secs_f64() / pl.as_secs_f64().max(1e-12),
+                    phase_share(&rows1, "mailbox_wait", dur1, case.reps),
+                    phase_share(&rows2, "mailbox_wait", dur2, case.reps),
+                    dur1.as_nanos(),
+                    dur2.as_nanos(),
+                ));
+            }
+        }
+        json.push_str("     \"phases\": [\n");
         for (j, (phase, count, total, max)) in phases.iter().enumerate() {
             json.push_str(&format!(
                 "       {{\"phase\": \"{phase}\", \"count\": {count}, \"total_ns\": {total}, \

@@ -4,10 +4,26 @@ use crate::error::{DdrError, Result};
 use crate::plan::Plan;
 use crate::recover::{LossKind, PartialCompletion};
 use crate::stats::RedistStats;
-use minimpi::{bytes_of, bytes_of_mut, Comm, Datatype, Pod};
+use minimpi::{bytes_of, bytes_of_mut, AlltoallwRequest, Comm, Datatype, Pod};
+use std::collections::VecDeque;
 
 /// Marker trait for element types DDR can move: any plain-old-data type.
 pub use minimpi::Pod as Element;
+
+/// Default bound on in-flight redistribution rounds when `DDR_PIPELINE_DEPTH`
+/// is unset: round N+1 is packed and posted while round N drains.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
+
+/// The pipeline depth redistribution runs at: `DDR_PIPELINE_DEPTH` when set
+/// (clamped to at least 1 — depth 1 *is* the round-synchronous loop),
+/// otherwise [`DEFAULT_PIPELINE_DEPTH`]. All ranks read the same
+/// environment, so the depth is uniform across the communicator; programs
+/// that need a per-call depth use [`Plan::reorganize_with_stats_depth`].
+pub fn pipeline_depth() -> usize {
+    minimpi::env::u64_var("DDR_PIPELINE_DEPTH")
+        .map(|v| (v.max(1)) as usize)
+        .unwrap_or(DEFAULT_PIPELINE_DEPTH)
+}
 
 /// How the per-round exchange is carried out on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,6 +159,24 @@ impl Plan {
         need: &mut [T],
         strategy: Strategy,
     ) -> Result<(PartialCompletion, RedistStats)> {
+        self.reorganize_with_stats_depth(comm, owned, need, strategy, pipeline_depth())
+    }
+
+    /// [`Plan::reorganize_with_stats`] with an explicit pipeline depth
+    /// instead of the `DDR_PIPELINE_DEPTH` environment knob: up to `depth`
+    /// alltoallw rounds are posted before the oldest is waited on, so round
+    /// N+1's sends land in peers' mailboxes while round N drains. Depth 1
+    /// reproduces the round-synchronous loop exactly; the depth must be the
+    /// same on every rank. Only [`Strategy::Alltoallw`] pipelines — the
+    /// point-to-point strategy stays round-synchronous.
+    pub fn reorganize_with_stats_depth<T: Element>(
+        &self,
+        comm: &Comm,
+        owned: &[&[T]],
+        need: &mut [T],
+        strategy: Strategy,
+        depth: usize,
+    ) -> Result<(PartialCompletion, RedistStats)> {
         if comm.size() != self.nprocs || comm.rank() != self.rank {
             return Err(DdrError::ProcessCountMismatch {
                 descriptor: self.nprocs,
@@ -152,7 +186,7 @@ impl Plan {
         self.check_buffers(owned, need)?;
         let _reorg = ddrtrace::span_arg("redist", "reorganize", "rounds", self.rounds.len() as i64);
         let failures = match self.resolve_strategy(strategy) {
-            Strategy::Alltoallw => self.reorganize_alltoallw(comm, owned, need)?,
+            Strategy::Alltoallw => self.reorganize_alltoallw(comm, owned, need, depth)?,
             Strategy::PointToPoint => self.reorganize_p2p(comm, owned, need)?,
             Strategy::Auto => unreachable!("resolved above"),
         };
@@ -196,30 +230,86 @@ impl Plan {
     /// round so the maximum amount of data survives a peer death, and
     /// classifies each loss so retransmit exhaustion (the peer is alive but
     /// its data never verified) is reported distinctly from death.
+    ///
+    /// Pipelined: up to `depth` rounds are posted (their sends buffered or
+    /// loaned eagerly) before the oldest round's receives are waited on.
+    /// Receive selections are disjoint across rounds and peers by plan
+    /// construction, so in-flight rounds may all deliver into `need`; every
+    /// rank posts rounds in the same ascending order, keeping the collective
+    /// sequence aligned whatever the interleaving. The per-round `overlap`
+    /// span measures post-to-wait time — the window a round's data was in
+    /// flight while this rank worked on other rounds.
     fn reorganize_alltoallw<T: Pod>(
         &self,
         comm: &Comm,
         owned: &[&[T]],
         need: &mut [T],
+        depth: usize,
     ) -> Result<Vec<(usize, usize, LossKind)>> {
         let n = self.nprocs;
+        let depth = depth.max(1);
         let need_bytes = bytes_of_mut(need);
-        let mut failures = Vec::new();
-        for (r, round) in self.rounds.iter().enumerate() {
+        // Requests borrow their round's send buffer and type tables, so all
+        // of them must outlive the in-flight window.
+        let send_bufs: Vec<&[u8]> = (0..self.rounds.len())
+            .map(|r| owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]))
+            .collect();
+        let types: Vec<(Vec<Datatype>, Vec<Datatype>)> = self
+            .rounds
+            .iter()
+            .map(|round| {
+                let mut send_types = vec![Datatype::Empty; n];
+                let mut recv_types = vec![Datatype::Empty; n];
+                for t in &round.sends {
+                    send_types[t.peer] = Datatype::Subarray(t.subarray);
+                }
+                for t in &round.recvs {
+                    recv_types[t.peer] = Datatype::Subarray(t.subarray);
+                }
+                (send_types, recv_types)
+            })
+            .collect();
+
+        /// Wait the oldest in-flight round. An error drops the younger
+        /// requests still queued, which revokes their loans and settles
+        /// their peers.
+        fn drain_one<'a>(
+            inflight: &mut VecDeque<(usize, AlltoallwRequest<'a>, ddrtrace::SpanGuard)>,
+            need_bytes: &mut [u8],
+            failures: &mut Vec<(usize, usize, LossKind)>,
+        ) -> Result<()> {
+            let Some((r, req, overlap)) = inflight.pop_front() else { return Ok(()) };
+            drop(overlap); // the round's overlap window closes as its wait begins
             let _round = ddrtrace::span_arg("redist", "round", "round", r as i64);
-            let send_buf: &[u8] = owned.get(r).map(|b| bytes_of(b)).unwrap_or(&[]);
-            let mut send_types = vec![Datatype::Empty; n];
-            let mut recv_types = vec![Datatype::Empty; n];
-            for t in &round.sends {
-                send_types[t.peer] = Datatype::Subarray(t.subarray);
-            }
-            for t in &round.recvs {
-                recv_types[t.peer] = Datatype::Subarray(t.subarray);
-            }
-            let report = comm.alltoallw_salvage(send_buf, &send_types, need_bytes, &recv_types)?;
+            let report = req.wait(need_bytes)?;
             failures.extend(
                 report.failed.into_iter().map(|(peer, e)| (r, peer, LossKind::from_error(&e))),
             );
+            Ok(())
+        }
+
+        // Overlapping rounds write concurrently into `need_bytes`; sound only
+        // while no two receives (in-round or cross-round) target the same
+        // cell. Mapping construction guarantees this; cheap insurance here.
+        debug_assert!(self.recv_regions_disjoint());
+
+        let mut failures = Vec::new();
+        let mut inflight: VecDeque<(usize, AlltoallwRequest<'_>, ddrtrace::SpanGuard)> =
+            VecDeque::with_capacity(depth);
+        for r in 0..self.rounds.len() {
+            while inflight.len() >= depth {
+                drain_one(&mut inflight, &mut *need_bytes, &mut failures)?;
+            }
+            let req = comm.ialltoallw_salvage(send_bufs[r], &types[r].0, &types[r].1)?;
+            if !inflight.is_empty() {
+                ddrtrace::metrics::add("redist", "overlapped_posts", 1);
+            }
+            ddrtrace::counter!("redist_rounds_in_flight", (inflight.len() + 1) as i64);
+            let overlap = ddrtrace::span_arg("redist", "overlap", "round", r as i64);
+            inflight.push_back((r, req, overlap));
+        }
+        while !inflight.is_empty() {
+            drain_one(&mut inflight, &mut *need_bytes, &mut failures)?;
         }
         Ok(failures)
     }

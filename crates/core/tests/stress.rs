@@ -344,6 +344,156 @@ fn chaos_soak_respawn_restores_byte_identical_redistribution() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pipeline chaos soak: faults landing while two rounds are in flight.
+// ---------------------------------------------------------------------------
+
+/// One depth-2 pipelined redistribution: each rank owns two column slabs
+/// (two rounds), needs a row slab, and both rounds' `ialltoallw` requests
+/// are posted before the first is waited — so a fault injected anywhere in
+/// the exchange lands with nonblocking requests (and, under zero-copy,
+/// their loans) outstanding.
+fn pipelined_step(c: &minimpi::Comm, domain: &Block) -> Result<Vec<u64>, DdrError> {
+    let n = c.size();
+    let r = c.rank();
+    let owned = vec![slab(domain, 1, 2 * n, r).unwrap(), slab(domain, 1, 2 * n, r + n).unwrap()];
+    let need = slab(domain, 0, n, r).unwrap();
+    let desc = Descriptor::for_type::<u64>(n, DataKind::D2)?;
+    let plan = desc.setup_data_mapping_with(c, &owned, need, ValidationPolicy::Strict)?;
+    assert_eq!(plan.num_rounds(), 2, "the soak needs a genuinely multi-round plan");
+    let data: Vec<Vec<u64>> = owned.iter().map(|b| b.coords().map(cell_value).collect()).collect();
+    let refs: Vec<&[u64]> = data.iter().map(|v| v.as_slice()).collect();
+    let mut out = vec![0u64; need.count() as usize];
+    let (report, _) =
+        plan.reorganize_with_stats_depth(c, &refs, &mut out, Strategy::Alltoallw, 2)?;
+    if !report.is_complete() {
+        return Err(DdrError::Incomplete(Box::new(report)));
+    }
+    for (got, co) in out.iter().zip(need.coords()) {
+        assert_eq!(*got, cell_value(co), "rank {r} epoch {}", c.epoch());
+    }
+    Ok(out)
+}
+
+/// 24-seed pipeline chaos soak. Even seeds kill a rank at a seeded op count
+/// somewhere in the depth-2 exchange; survivors must fail fast (the two
+/// outstanding requests are cancelled, their loans drained — a leak would
+/// panic the universe teardown under `check`), reconfigure into epoch 1
+/// with the casualty respawned, and redistribute byte-identically to an
+/// unfaulted reference. Odd seeds corrupt an in-flight message under
+/// checksums: when it hits an exchange payload the NACK/retransmit path
+/// must recover to exact bytes with requests still in flight; when it hits
+/// a setup collective the run must surface `IntegrityFailure` fast — either
+/// way, no hang and no leak.
+#[test]
+fn pipeline_chaos_soak_recovers_with_two_rounds_in_flight() {
+    let n = 4usize;
+    let domain = Block::d2([0, 0], [16, 16]).unwrap();
+
+    // Unfaulted reference for the post-recovery epoch-1 bytes.
+    let reference = Universe::builder().timeout(Duration::from_secs(30)).run(n, move |comm| {
+        pipelined_step(comm, &domain).unwrap();
+        let c = comm.reconfigure().unwrap();
+        pipelined_step(&c, &domain).unwrap()
+    });
+
+    // Kill-op bound: the minimum clean op count over ranks, so every even
+    // seed's kill fires during step 0 whoever the victim is.
+    let max_op = Universe::run(n, move |comm| {
+        pipelined_step(comm, &domain).unwrap();
+        comm.op_count()
+    })
+    .into_iter()
+    .min()
+    .unwrap();
+
+    let mut retransmitted = 0u32;
+    for seed in 0..24u64 {
+        let start = Instant::now();
+        if seed % 2 == 0 {
+            // Kill arm: mirror the respawn soak, but with the depth-2
+            // pipeline under fire and zero-copy loans outstanding.
+            let plan = FaultPlan::seeded(seed, n, max_op);
+            let out = Universe::builder()
+                .zerocopy(true)
+                .zerocopy_threshold(0)
+                .timeout(Duration::from_secs(30))
+                .fault_plan(plan)
+                .run(n, move |comm| {
+                    let rec = if comm.epoch() == 0 {
+                        comm.set_timeout(Duration::from_millis(800));
+                        let _ = pipelined_step(comm, &domain);
+                        if !comm.is_alive(comm.rank()) {
+                            return None;
+                        }
+                        comm.set_timeout(Duration::from_secs(30));
+                        match comm.reconfigure() {
+                            Ok(c) => Some(c),
+                            Err(_) => return None,
+                        }
+                    } else {
+                        None // respawned replacement, already in epoch 1
+                    };
+                    let c = rec.as_ref().unwrap_or(comm);
+                    assert_eq!(c.epoch(), 1, "seed {seed}: recovery must land in epoch 1");
+                    assert_eq!(c.size(), n, "seed {seed}: respawn must restore membership");
+                    Some(pipelined_step(c, &domain).unwrap())
+                });
+            let finished = out.iter().filter(|o| o.is_some()).count();
+            assert!(finished >= n - 1, "seed {seed}: at most one original thread may die");
+            for (r, res) in out.iter().enumerate() {
+                if let Some(bytes) = res {
+                    assert_eq!(
+                        bytes, &reference[r],
+                        "seed {seed} rank {r}: post-recovery bytes differ from unfaulted run"
+                    );
+                }
+            }
+        } else {
+            // Corrupt arm: flip bytes in one seeded in-flight message with
+            // checksums armed.
+            let src = (seed as usize / 2) % n;
+            let dest = (src + 1 + (seed as usize / 3) % (n - 1)) % n;
+            let occurrence = (seed / 5) % 4;
+            let plan = FaultPlan::new(seed).corrupt_message(src, dest, None, occurrence);
+            let out = Universe::builder()
+                .checksum(true)
+                .timeout(Duration::from_secs(20))
+                .fault_plan(plan)
+                .run(n, move |comm| pipelined_step(comm, &domain));
+            for (r, res) in out.iter().enumerate() {
+                match res {
+                    // Retransmit recovered (or the occurrence never matched):
+                    // exact bytes, in-place assertions already ran.
+                    Ok(bytes) => {
+                        assert_eq!(bytes.len(), 16 * 4, "seed {seed} rank {r}");
+                    }
+                    // The corruption hit a setup collective, where detection
+                    // is fail-fast rather than retransmitted — acceptable,
+                    // but it must surface as integrity loss (or a structured
+                    // partial report on the peers that lost the casualty),
+                    // not a hang.
+                    Err(DdrError::Mpi(MpiError::IntegrityFailure { .. }))
+                    | Err(DdrError::Mpi(MpiError::PeerDead { .. }))
+                    | Err(DdrError::Mpi(MpiError::Timeout { .. }))
+                    | Err(DdrError::Incomplete(_)) => {}
+                    other => panic!("seed {seed} rank {r}: unexpected outcome {other:?}"),
+                }
+            }
+            if out.iter().all(|r| r.is_ok()) {
+                retransmitted += 1;
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(15),
+            "seed {seed}: resolution must not burn the watchdog"
+        );
+    }
+    // The corrupt arm must actually have exercised recovery-to-clean-bytes
+    // on a decent share of its seeds, not fail-fast every time.
+    assert!(retransmitted >= 6, "only {retransmitted}/12 corrupt seeds recovered cleanly");
+}
+
 /// End-to-end elasticity under the deadlock checker AND under zero-copy: a
 /// rank disappears mid-redistribution (after the mapping, before its
 /// exchange — so with zero-copy active its peers' loans must be revoked,

@@ -222,7 +222,11 @@ impl FrameReceiver {
                 };
                 match polled {
                     Some(bytes) => {
-                        let frame = Frame::decode(&bytes)?;
+                        let frame = Frame::decode(&bytes);
+                        // The payload is copied out by decode; recycle the
+                        // wire buffer so the producer's next send reuses it.
+                        comm.release_staging(bytes);
+                        let frame = frame?;
                         if frame.step == step {
                             self.stats.received += 1;
                             return Ok(Some(frame));

@@ -142,7 +142,7 @@ pub use check::{
     CheckCounters, CollFingerprint, CollectiveKind, DeadlockReport, DivergenceReport, LeakedLoan,
     LoanLeakReport, PendingRecv, RaceReport, TypeSig,
 };
-pub use collectives::ExchangeReport;
+pub use collectives::{AlltoallwRequest, ExchangeReport};
 pub use comm::{Comm, RecvStatus, Tag, ANY_SOURCE};
 pub use datatype::{ByteRuns, Datatype, Subarray};
 pub use elastic::RecoveryCounters;

@@ -5,7 +5,8 @@
 //! ([`crate::UniverseBuilder::sched_seed`] or `DDR_SCHED_SEED`), every
 //! wait/poll point in the runtime — mailbox sends and receives, zero-copy
 //! lend/claim/drain handshakes, retransmit verdict polls, the reconfigure
-//! rendezvous — calls [`SchedState::perturb`], which deterministically
+//! rendezvous, and the nonblocking-request lifecycle (`ialltoallw` post,
+//! `iwait`, `itest`) — calls [`SchedState::perturb`], which deterministically
 //! decides from `(seed, rank, per-rank op count, point name)` whether to do
 //! nothing, yield, or sleep briefly. That shifts the relative timing of
 //! ranks without changing any program semantics, so a sweep over seeds (see

@@ -2,10 +2,10 @@
 //! runtime can be driven into it, the failure path that produces it.
 
 use minimpi::{
-    CollFingerprint, CollectiveKind, DeadlockReport, DivergenceReport, Error, LeakedLoan,
+    CollFingerprint, CollectiveKind, Datatype, DeadlockReport, DivergenceReport, Error, LeakedLoan,
     LoanLeakReport, PendingRecv, RaceReport, TypeSig, Universe,
 };
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn fingerprint(kind: CollectiveKind, root: usize, line: u32) -> CollFingerprint {
     CollFingerprint { kind, root, sig: 0, file: "app.rs", line }
@@ -236,6 +236,55 @@ fn untyped_send_passes_typed_receive_under_check() {
         }
     });
     assert_eq!(out[1], 7);
+}
+
+/// The error path of the nonblocking API: an `ialltoallw` request posted
+/// with a zero-copy loan outstanding is dropped without `wait` — the shape
+/// of any `?` between post and completion. Drop must drain the loan on the
+/// way out: the never-claimed loan is revoked immediately (not stranded
+/// until the watchdog fires), and the checker's finalize must not panic
+/// with a LoanLeak — this test running under `check(true)` without
+/// `#[should_panic]` is that assertion.
+#[test]
+fn dropped_request_without_wait_drains_loans() {
+    let len = 4096usize;
+    let watchdog = Duration::from_secs(30);
+    let start = Instant::now();
+    let out =
+        Universe::builder().check(true).zerocopy(true).zerocopy_threshold(0).timeout(watchdog).run(
+            2,
+            move |comm| {
+                if comm.rank() == 1 {
+                    // Never touches the exchange: the loan stays unclaimed, so
+                    // only rank 0's drop path can release it.
+                    return None;
+                }
+                let contig = Datatype::Contiguous { len_bytes: len, offset: 0 };
+                let send_types = [Datatype::Empty, contig];
+                let recv_types = [Datatype::Empty, contig];
+                let buf: &'static [u8] = Box::leak(vec![9u8; len].into_boxed_slice());
+                let req = comm.ialltoallw(buf, &send_types, &recv_types).unwrap();
+                let loans_posted = comm.transport_counters().zerocopy_msgs;
+                // The planted error between post and wait; `req` unwinds with
+                // the exchange still in flight.
+                comm.set_timeout(Duration::from_millis(100));
+                let err = comm.recv_bytes(1, 4242).unwrap_err();
+                drop(req);
+                Some((err, loans_posted))
+            },
+        );
+    // Teardown reached without a LoanLeak panic and without burning the
+    // watchdog: the drop really drained the loan.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "request drop must not block on the unclaimed loan"
+    );
+    let (err, loans_posted) = out[0].clone().unwrap();
+    assert!(loans_posted >= 1, "the post must actually have minted a zero-copy loan");
+    assert!(
+        matches!(err, Error::Timeout { .. } | Error::PeerDead { .. }),
+        "planted error path took an unexpected shape: {err}"
+    );
 }
 
 #[test]
