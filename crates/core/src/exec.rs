@@ -6,6 +6,7 @@ use crate::recover::{LossKind, PartialCompletion};
 use crate::stats::RedistStats;
 use minimpi::{bytes_of, bytes_of_mut, AlltoallwRequest, Comm, Datatype, Pod};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// Marker trait for element types DDR can move: any plain-old-data type.
 pub use minimpi::Pod as Element;
@@ -23,6 +24,164 @@ pub fn pipeline_depth() -> usize {
     minimpi::env::u64_var("DDR_PIPELINE_DEPTH")
         .map(|v| (v.max(1)) as usize)
         .unwrap_or(DEFAULT_PIPELINE_DEPTH)
+}
+
+/// What the pipeline auto-fallback gate (`DDR_PIPELINE_AUTO`, default on)
+/// has concluded so far in this process: `None` while still probing (or the
+/// gate never activated), `Some(true)` once it measured pipelined
+/// redistribution slower than round-synchronous and fell back to depth 1,
+/// `Some(false)` once it measured pipelining a win and locked it in.
+pub fn pipeline_fallback_engaged() -> Option<bool> {
+    pipegate::status()
+}
+
+/// Adaptive pipelined-vs-round-synchronous gate.
+///
+/// The pipelined drain is a heuristic win: it hides mailbox latency but
+/// costs pool-buffer residency and poll wakeups, and on some shapes (many
+/// small rounds on an unloaded machine) it measures *slower* than the plain
+/// round-synchronous loop. Rather than ship a knob the user must tune, the
+/// env-depth path ([`Plan::reorganize_with_stats`]) A/B-probes its first
+/// calls: ranks alternate between the configured depth and depth 1 (a
+/// thread-local call counter keeps ranks in lockstep — every rank makes the
+/// same number of collective calls, and universe ranks are fresh threads),
+/// accumulating wall-clock-per-byte for each arm in process-global state.
+/// After [`pipegate::MIN_SAMPLES`] calls per arm it decides once, for the
+/// process: if pipelining is slower by more than a noise margin, fall back
+/// to depth 1 with a single warning on stderr, a `pipeline_fallback` trace
+/// instant, and a `redist.pipeline_fallback` metric.
+///
+/// Mixed depths across ranks (transient, while ranks observe the decision
+/// at different call indices) cannot deadlock: every rank posts rounds in
+/// the same ascending order and sends are eager, so a rank waiting round
+/// `r` only needs every peer to have *posted* round `r`, which inductively
+/// holds at any depth mix.
+mod pipegate {
+    use std::cell::Cell;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Calls per arm before deciding.
+    pub(super) const MIN_SAMPLES: u32 = 8;
+    /// Pipelined must be worse by more than this margin (percent, ns/byte)
+    /// to trigger the fallback — breaking even keeps the configured depth.
+    const MARGIN_PCT: u128 = 5;
+
+    /// Which arm a probing call ran under.
+    #[derive(Clone, Copy)]
+    pub(super) enum Arm {
+        Pipelined,
+        Sync,
+    }
+
+    struct GateState {
+        pipe_ns: u128,
+        pipe_bytes: u128,
+        pipe_samples: u32,
+        sync_ns: u128,
+        sync_bytes: u128,
+        sync_samples: u32,
+        /// `Some(true)`: fell back to depth 1; `Some(false)`: pipelining won.
+        decided: Option<bool>,
+    }
+
+    static GATE: Mutex<GateState> = Mutex::new(GateState {
+        pipe_ns: 0,
+        pipe_bytes: 0,
+        pipe_samples: 0,
+        sync_ns: 0,
+        sync_bytes: 0,
+        sync_samples: 0,
+        decided: None,
+    });
+
+    thread_local! {
+        /// Per-rank collective-call counter; ranks alternate arms in
+        /// lockstep because every rank makes the same number of calls.
+        static CALLS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn status() -> Option<bool> {
+        GATE.lock().unwrap_or_else(|e| e.into_inner()).decided
+    }
+
+    /// Pick the depth for this call: the settled depth once decided,
+    /// otherwise alternate arms and return which one to attribute the
+    /// sample to.
+    pub(super) fn arm(env_depth: usize) -> (usize, Option<Arm>) {
+        match status() {
+            Some(true) => (1, None),
+            Some(false) => (env_depth, None),
+            None => {
+                let n = CALLS.with(|c| {
+                    let n = c.get();
+                    c.set(n + 1);
+                    n
+                });
+                if n % 2 == 0 {
+                    (env_depth, Some(Arm::Pipelined))
+                } else {
+                    (1, Some(Arm::Sync))
+                }
+            }
+        }
+    }
+
+    /// Fold one probing call's measurement in; decide once both arms have
+    /// enough samples.
+    pub(super) fn record(arm: Arm, elapsed: Duration, bytes: u64, env_depth: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let mut g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        if g.decided.is_some() {
+            return;
+        }
+        let ns = elapsed.as_nanos();
+        match arm {
+            Arm::Pipelined => {
+                g.pipe_ns += ns;
+                g.pipe_bytes += bytes as u128;
+                g.pipe_samples += 1;
+            }
+            Arm::Sync => {
+                g.sync_ns += ns;
+                g.sync_bytes += bytes as u128;
+                g.sync_samples += 1;
+            }
+        }
+        if g.pipe_samples < MIN_SAMPLES || g.sync_samples < MIN_SAMPLES {
+            return;
+        }
+        let fallback = fallback_needed(g.pipe_ns, g.pipe_bytes, g.sync_ns, g.sync_bytes);
+        g.decided = Some(fallback);
+        if fallback {
+            let pipe = g.pipe_ns as f64 / g.pipe_bytes as f64;
+            let sync = g.sync_ns as f64 / g.sync_bytes as f64;
+            let n = g.pipe_samples + g.sync_samples;
+            eprintln!(
+                "ddr: pipelined redistribution (depth {env_depth}) measured slower than \
+                 round-synchronous ({pipe:.3} vs {sync:.3} ns/byte over {n} calls); \
+                 falling back to depth 1. Set DDR_PIPELINE_DEPTH=1 to silence this, \
+                 or DDR_PIPELINE_AUTO=0 to pin the configured depth."
+            );
+            ddrtrace::instant_arg("redist", "pipeline_fallback", "depth", env_depth as i64);
+            ddrtrace::metrics::set("redist", "pipeline_fallback", 1);
+        }
+    }
+
+    /// The decision rule, pure for testing: fall back when the pipelined
+    /// arm's ns-per-byte exceeds the round-synchronous arm's by more than
+    /// the noise margin. Cross-multiplied in `u128` — no division, no
+    /// floats, no overflow for any realistic totals.
+    pub(super) fn fallback_needed(
+        pipe_ns: u128,
+        pipe_bytes: u128,
+        sync_ns: u128,
+        sync_bytes: u128,
+    ) -> bool {
+        pipe_ns * sync_bytes * 100 > sync_ns * pipe_bytes * (100 + MARGIN_PCT)
+    }
 }
 
 /// How the per-round exchange is carried out on the wire.
@@ -159,16 +318,39 @@ impl Plan {
         need: &mut [T],
         strategy: Strategy,
     ) -> Result<(PartialCompletion, RedistStats)> {
-        self.reorganize_with_stats_depth(comm, owned, need, strategy, pipeline_depth())
+        let depth = pipeline_depth();
+        // The auto-fallback gate ([`pipegate`]) only arms on the env-depth
+        // path, for plans that actually pipeline (multi-round alltoallw at
+        // depth > 1), and only when timings are trustworthy: fault
+        // injection, checking, and schedule seeds both distort wall clock
+        // and key behavior to op counts that must stay deterministic.
+        let gated = depth > 1
+            && self.rounds.len() > 1
+            && matches!(self.resolve_strategy(strategy), Strategy::Alltoallw)
+            && !comm.timing_perturbed()
+            && minimpi::env::flag("DDR_PIPELINE_AUTO").unwrap_or(true);
+        if !gated {
+            return self.reorganize_with_stats_depth(comm, owned, need, strategy, depth);
+        }
+        let (use_depth, arm) = pipegate::arm(depth);
+        let start = Instant::now();
+        let out = self.reorganize_with_stats_depth(comm, owned, need, strategy, use_depth);
+        if let (Ok((_, stats)), Some(arm)) = (&out, arm) {
+            pipegate::record(arm, start.elapsed(), stats.sent_bytes + stats.local_bytes, depth);
+        }
+        out
     }
 
     /// [`Plan::reorganize_with_stats`] with an explicit pipeline depth
     /// instead of the `DDR_PIPELINE_DEPTH` environment knob: up to `depth`
     /// alltoallw rounds are posted before the oldest is waited on, so round
     /// N+1's sends land in peers' mailboxes while round N drains. Depth 1
-    /// reproduces the round-synchronous loop exactly; the depth must be the
-    /// same on every rank. Only [`Strategy::Alltoallw`] pipelines — the
-    /// point-to-point strategy stays round-synchronous.
+    /// reproduces the round-synchronous loop exactly. Ranks should normally
+    /// agree on the depth, but disagreement is safe: every rank posts
+    /// rounds in the same ascending order and sends are eager, so depth
+    /// only schedules local waits (the auto-fallback gate relies on this).
+    /// Only [`Strategy::Alltoallw`] pipelines — the point-to-point strategy
+    /// stays round-synchronous.
     pub fn reorganize_with_stats_depth<T: Element>(
         &self,
         comm: &Comm,
@@ -270,22 +452,66 @@ impl Plan {
             })
             .collect();
 
-        /// Wait the oldest in-flight round. An error drops the younger
+        /// How long the opportunistic drain polls before handing the oldest
+        /// round to the blocking `wait` (which restores the watchdog timeout
+        /// and deadlock-detector registration).
+        const POLL_WINDOW: Duration = Duration::from_millis(50);
+        /// Sleep between progress polls — long enough to stay off the
+        /// mailbox locks, short against any message latency worth hiding.
+        const POLL_SLEEP: Duration = Duration::from_micros(50);
+
+        /// Drain the oldest in-flight round. An error drops the younger
         /// requests still queued, which revokes their loans and settles
         /// their peers.
+        ///
+        /// While the oldest round is incomplete, every younger in-flight
+        /// round gets a nonblocking progress poll too, so already-arrived
+        /// envelopes are verified and unpacked *inside* the oldest round's
+        /// wait instead of queueing behind it. (This was the measured
+        /// pipelining regression: depth > 1 posted rounds eagerly but then
+        /// blocked on the oldest, deferring every younger round's unpack —
+        /// the dominant per-round cost — to the tail of the exchange, where
+        /// it serialized.) Under fault injection, runtime checking, or
+        /// seeded schedule exploration the blocking path is kept: those
+        /// modes key behavior to per-rank op counts, which a timing-driven
+        /// poll loop would make nondeterministic.
         fn drain_one<'a>(
+            comm: &Comm,
             inflight: &mut VecDeque<(usize, AlltoallwRequest<'a>, ddrtrace::SpanGuard)>,
             need_bytes: &mut [u8],
             failures: &mut Vec<(usize, usize, LossKind)>,
         ) -> Result<()> {
-            let Some((r, req, overlap)) = inflight.pop_front() else { return Ok(()) };
+            let Some((r, mut req, overlap)) = inflight.pop_front() else { return Ok(()) };
             drop(overlap); // the round's overlap window closes as its wait begins
             let _round = ddrtrace::span_arg("redist", "round", "round", r as i64);
-            let report = req.wait(need_bytes)?;
-            failures.extend(
-                report.failed.into_iter().map(|(peer, e)| (r, peer, LossKind::from_error(&e))),
-            );
-            Ok(())
+            let mut note = |report: minimpi::ExchangeReport| {
+                failures.extend(
+                    report.failed.into_iter().map(|(peer, e)| (r, peer, LossKind::from_error(&e))),
+                );
+            };
+            if comm.timing_perturbed() || inflight.is_empty() {
+                note(req.wait(need_bytes)?);
+                return Ok(());
+            }
+            let deadline = Instant::now() + POLL_WINDOW;
+            loop {
+                if req.test(need_bytes)? {
+                    note(req.report());
+                    return Ok(());
+                }
+                for (_, young, _) in inflight.iter_mut() {
+                    // A hard error aborts exactly like the oldest round's
+                    // would: propagate, dropping the rest of the queue.
+                    // Salvage-mode losses stay recorded inside the request
+                    // and surface when it is popped, preserving round order.
+                    young.test(need_bytes)?;
+                }
+                if Instant::now() >= deadline {
+                    note(req.wait(need_bytes)?);
+                    return Ok(());
+                }
+                std::thread::sleep(POLL_SLEEP);
+            }
         }
 
         // Overlapping rounds write concurrently into `need_bytes`; sound only
@@ -298,7 +524,7 @@ impl Plan {
             VecDeque::with_capacity(depth);
         for r in 0..self.rounds.len() {
             while inflight.len() >= depth {
-                drain_one(&mut inflight, &mut *need_bytes, &mut failures)?;
+                drain_one(comm, &mut inflight, &mut *need_bytes, &mut failures)?;
             }
             let req = comm.ialltoallw_salvage(send_bufs[r], &types[r].0, &types[r].1)?;
             if !inflight.is_empty() {
@@ -309,7 +535,7 @@ impl Plan {
             inflight.push_back((r, req, overlap));
         }
         while !inflight.is_empty() {
-            drain_one(&mut inflight, &mut *need_bytes, &mut failures)?;
+            drain_one(comm, &mut inflight, &mut *need_bytes, &mut failures)?;
         }
         Ok(failures)
     }
@@ -349,5 +575,31 @@ impl Plan {
             }
         }
         Ok(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipegate_fallback_rule() {
+        // More than 5% slower per byte: fall back.
+        assert!(pipegate::fallback_needed(110, 100, 100, 100));
+        // Equal, within margin, or faster: keep the configured depth.
+        assert!(!pipegate::fallback_needed(100, 100, 100, 100));
+        assert!(!pipegate::fallback_needed(104, 100, 100, 100));
+        assert!(!pipegate::fallback_needed(90, 100, 100, 100));
+        // Per-byte normalization: same wall clock over twice the bytes is a
+        // 2x win for the pipelined arm, not a tie.
+        assert!(!pipegate::fallback_needed(100, 200, 100, 100));
+        assert!(pipegate::fallback_needed(100, 100, 100, 220));
+    }
+
+    #[test]
+    fn pipegate_needs_both_arms() {
+        // The rule never fires off one-sided totals: zero bytes on either
+        // side cannot satisfy the strict inequality in either direction.
+        assert!(!pipegate::fallback_needed(100, 100, 0, 0));
     }
 }

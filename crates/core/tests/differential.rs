@@ -399,6 +399,49 @@ fn fault_plan_forces_staging_and_paths_still_agree() {
     assert!(a[3].2.lost_bytes > 0);
 }
 
+/// Kernel-dispatch differential: a repartition big enough that every
+/// cross-rank transfer exceeds the copy pool's 4 MiB fan-out bound, so the
+/// staged path packs through the pooled kernel tier and the zero-copy path
+/// claims through the pooled `copy_to` tier — while the transpose geometry
+/// (x-slabs to y-slabs) keeps the per-row runs strided. Whatever tier
+/// dispatch picks, every configuration must reproduce the analytically
+/// known cell values exactly, under `check(true)` too.
+#[test]
+fn kernel_dispatch_tiers_agree_under_check_and_zerocopy() {
+    let domain = Block::d2([0, 0], [2048, 2048]).unwrap();
+    let nprocs = 2;
+    let before = minimpi::pack_counters();
+    for (zerocopy, check) in [(true, false), (false, false), (true, true), (false, true)] {
+        let out = Universe::builder().zerocopy(zerocopy).check(check).run(nprocs, move |comm| {
+            let r = comm.rank();
+            let desc = Descriptor::for_type::<u64>(nprocs, DataKind::D2).unwrap();
+            let owned = [decompose::slab(&domain, 0, nprocs, r).unwrap()];
+            let need = decompose::slab(&domain, 1, nprocs, r).unwrap();
+            let plan =
+                desc.setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Strict).unwrap();
+            let data: Vec<u64> = owned[0].coords().map(cell_value).collect();
+            let mut buf = vec![u64::MAX; need.count() as usize];
+            plan.reorganize(comm, &[&data], &mut buf).unwrap();
+            (need, buf)
+        });
+        for (r, (need, buf)) in out.iter().enumerate() {
+            for (i, (coord, &got)) in need.coords().zip(buf).enumerate() {
+                assert_eq!(
+                    got,
+                    cell_value(coord),
+                    "zerocopy={zerocopy} check={check}: rank {r} cell {i} wrong"
+                );
+            }
+        }
+    }
+    // The staged configurations really did cross the pooled-pack bound.
+    let after = minimpi::pack_counters();
+    assert!(
+        after.pool_dispatches > before.pool_dispatches,
+        "multi-MiB packs never reached the pooled kernel tier"
+    );
+}
+
 /// Pool hygiene: 100 redistributions through the staged path must keep the
 /// universe's buffer pool bounded by its high-water trim policy, not grow
 /// with the iteration count.

@@ -8,12 +8,12 @@
 
 use crate::check::{CollFingerprint, CollectiveKind, TypeSig};
 use crate::comm::{coll_key_tag, Comm};
-use crate::datatype::{copy_selection, for_each_run_pair, Datatype};
+use crate::datatype::{copy_selection, Datatype};
 use crate::error::{Error, Result};
 use crate::fault::{mix64, Keystream};
 use crate::mailbox::{Envelope, Payload};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
-use crate::zerocopy::{CopyPool, ZcCell, ZcWait, PARALLEL_COPY_MIN_BYTES};
+use crate::zerocopy::{ZcCell, ZcWait, PARALLEL_COPY_MIN_BYTES};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -525,8 +525,7 @@ impl Comm {
         // (checksums on) and possible (a corrupt-capable plan installed):
         // clean runs keep the exact wire protocol, op counts, and blocking
         // receive paths they had before the integrity plane existed.
-        let retx = self.world.checksum
-            && self.world.faults.as_ref().is_some_and(|f| f.has_corrupt_rules());
+        let retx = self.recovery_armed();
         let span = ddrtrace::span_arg("minimpi", "alltoallw", "seq", seq as i64);
 
         let progress = recv_types
@@ -578,9 +577,10 @@ impl Comm {
                 req.loans.push((d, cell));
             } else {
                 let _pack = ddrtrace::span_arg("minimpi", "pack", "bytes", dt.packed_len() as i64);
-                let mut packed = self.world.pool.acquire(dt.packed_len());
-                dt.pack_into(send_buf, &mut packed)?;
-                self.deposit_sig(d, tag, packed, Some(TypeSig::of(dt)))?;
+                // Fused pack+checksum: one traversal of the source selection
+                // produces both the packed payload and its envelope checksum.
+                let (packed, pre) = self.pack_staged(dt, send_buf, tag)?;
+                self.deposit_sig_pre(d, tag, packed, Some(TypeSig::of(dt)), pre)?;
             }
         }
 
@@ -736,7 +736,9 @@ impl Comm {
 
     /// Place one received alltoallw message into `recv_buf` through `dt`,
     /// verifying its envelope checksum along the way. Staged payloads verify
-    /// in packed form before unpacking; zero-copy loans are claimed, copied
+    /// in packed form — *before* unpacking when recovery is armed (a corrupt
+    /// payload must never touch `recv_buf` ahead of its retransmit), fused
+    /// into the unpack traversal otherwise; zero-copy loans are claimed, copied
     /// straight out of the sender's buffer, tainted with any claim-time
     /// corrupt-fault keystreams, and re-verified over the receiver's copy
     /// *before* the loan cell flips to DONE — a corrupt claim never silently
@@ -758,11 +760,19 @@ impl Comm {
         match payload {
             Payload::Bytes(packed) => {
                 let _unpack = ddrtrace::span_arg("minimpi", "unpack", "bytes", packed.len() as i64);
-                // Verify in packed form: cheaper than post-unpack selection
-                // walking, and a corrupt payload never touches `recv_buf`.
-                let res = self
-                    .verify_payload(src, key_tag, epoch, checksum, &packed)
-                    .and_then(|()| dt.unpack(&packed, recv_buf));
+                let res = if self.recovery_armed() {
+                    // Verify in packed form *before* unpacking: a corrupt
+                    // payload must never touch `recv_buf`, because the
+                    // NACK/retransmit protocol will deliver a clean copy
+                    // into it afterwards.
+                    self.verify_payload(src, key_tag, epoch, checksum, &packed)
+                        .and_then(|()| dt.unpack(&packed, recv_buf))
+                } else {
+                    // No retransmit can follow, so a mismatch is terminal
+                    // either way — fold verification into the unpack
+                    // traversal and skip the separate hash pass.
+                    self.unpack_verifying(src, key_tag, epoch, checksum, dt, &packed, recv_buf)
+                };
                 // The buffer came from the sender's pool.acquire; the pool is
                 // world-shared, so recycling here closes the loop.
                 self.world.pool.release(packed);
@@ -815,8 +825,9 @@ impl Comm {
     }
 
     /// Copy `src_dt`'s selection of the sender's buffer into `dst_dt`'s
-    /// selection of `recv_buf`, fanning the runs out across the copy pool
-    /// for large messages.
+    /// selection of `recv_buf`. [`copy_selection`] dispatches through the
+    /// pack-kernel layer, which fans large copies out across the copy pool;
+    /// this wrapper only keeps the transport-level counter.
     fn zc_copy_in(
         &self,
         src_buf: &[u8],
@@ -824,19 +835,10 @@ impl Comm {
         dst_dt: &Datatype,
         recv_buf: &mut [u8],
     ) -> Result<()> {
-        if src_dt.packed_len() < PARALLEL_COPY_MIN_BYTES {
-            return copy_selection(src_buf, src_dt, recv_buf, dst_dt);
+        if src_dt.packed_len() >= PARALLEL_COPY_MIN_BYTES {
+            self.world.transport.parallel_copies.fetch_add(1, Ordering::Relaxed);
         }
-        src_dt.check_bounds(src_buf.len())?;
-        dst_dt.check_bounds(recv_buf.len())?;
-        let mut pairs = Vec::new();
-        for_each_run_pair(src_dt, dst_dt, |s, d, len| pairs.push((s, d, len)))?;
-        // The destination runs of one selection are pairwise disjoint, so
-        // sharding them across workers is race-free.
-        let shards = shard_runs(pairs);
-        CopyPool::global().run_batch(src_buf.as_ptr(), recv_buf.as_mut_ptr(), shards);
-        self.world.transport.parallel_copies.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        copy_selection(src_buf, src_dt, recv_buf, dst_dt)
     }
 
     /// Sparse personalized exchange: send each `(dest, payload)` pair and
@@ -1497,9 +1499,8 @@ impl<'a> RetxSender<'a> {
                             "bytes",
                             dt.packed_len() as i64,
                         );
-                        let mut packed = comm.world.pool.acquire(dt.packed_len());
-                        dt.pack_into(self.send_buf, &mut packed)?;
-                        comm.deposit_sig(d, self.retx_tag, packed, Some(TypeSig::of(dt)))?;
+                        let (packed, pre) = comm.pack_staged(dt, self.send_buf, self.retx_tag)?;
+                        comm.deposit_sig_pre(d, self.retx_tag, packed, Some(TypeSig::of(dt)), pre)?;
                         comm.world.integrity.retransmits.fetch_add(1, Ordering::Relaxed);
                         ddrtrace::instant_arg("minimpi", "integrity_retransmit", "dest", d as i64);
                     }
@@ -1544,31 +1545,6 @@ impl<'a> RetxSender<'a> {
             std::thread::sleep(RETX_POLL);
         }
     }
-}
-
-/// Split run-copy triples into up to four byte-balanced contiguous shards
-/// for [`CopyPool::run_batch`]. Contiguous chunking preserves the per-shard
-/// ascending destination order (friendlier to the prefetcher than
-/// round-robin).
-fn shard_runs(pairs: Vec<(usize, usize, usize)>) -> Vec<Vec<(usize, usize, usize)>> {
-    const SHARDS: usize = 4;
-    let total: usize = pairs.iter().map(|&(_, _, n)| n).sum();
-    let target = total.div_ceil(SHARDS).max(1);
-    let mut shards: Vec<Vec<(usize, usize, usize)>> = Vec::with_capacity(SHARDS);
-    let mut cur = Vec::new();
-    let mut cur_bytes = 0usize;
-    for run in pairs {
-        cur_bytes += run.2;
-        cur.push(run);
-        if cur_bytes >= target && shards.len() + 1 < SHARDS {
-            shards.push(std::mem::take(&mut cur));
-            cur_bytes = 0;
-        }
-    }
-    if !cur.is_empty() {
-        shards.push(cur);
-    }
-    shards
 }
 
 /// Per-source outcome of a salvaged exchange: which sources failed to

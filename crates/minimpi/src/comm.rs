@@ -398,6 +398,45 @@ impl Comm {
         Err(Error::IntegrityFailure { src, dst: self.rank, tag: key_tag, attempt: 0 })
     }
 
+    /// Unpack a staged payload into `recv_buf` with envelope verification
+    /// folded into the same traversal — the receive-side counterpart of
+    /// checksum-during-pack. Only sound on paths with **no retransmit
+    /// protocol**: the payload reaches `recv_buf` before the verdict is
+    /// known, so a mismatch here must be terminal (the collective fails and
+    /// the buffer contents are unspecified, exactly as for any other
+    /// mid-exchange error). Callers with recovery armed must keep the
+    /// verify-then-unpack order ([`Comm::verify_payload`]) instead.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn unpack_verifying(
+        &self,
+        src: usize,
+        key_tag: u64,
+        epoch: u64,
+        expected: Option<u64>,
+        dt: &Datatype,
+        packed: &[u8],
+        recv_buf: &mut [u8],
+    ) -> Result<()> {
+        let Some(want) = expected else { return dt.unpack(packed, recv_buf) };
+        self.world.integrity.checked.fetch_add(1, Ordering::Relaxed);
+        let mut c = Checksum::new(self.stream_seed(src, key_tag, epoch));
+        dt.unpack_hashed(packed, recv_buf, &mut c)?;
+        if c.finish() == want {
+            return Ok(());
+        }
+        self.world.integrity.detected.fetch_add(1, Ordering::Relaxed);
+        ddrtrace::instant_arg("minimpi", "integrity_detected", "src", src as i64);
+        Err(Error::IntegrityFailure { src, dst: self.rank, tag: key_tag, attempt: 0 })
+    }
+
+    /// True when corruption recovery (NACK/retransmit) is armed: checksums
+    /// are on *and* an installed fault plan can actually corrupt messages.
+    /// Gates both the alltoallw recovery protocol and the receive-side
+    /// checksum fusion (which is only sound when no retransmit can follow).
+    pub(crate) fn recovery_armed(&self) -> bool {
+        self.world.checksum && self.world.faults.as_ref().is_some_and(|f| f.has_corrupt_rules())
+    }
+
     /// Verify a delivered payload *in place* in `buf`, walking `dt`'s byte
     /// runs in packed order — the zero-copy claim path's counterpart of
     /// [`Comm::verify_payload`], equal to hashing the packed form.
@@ -539,18 +578,39 @@ impl Comm {
         &self,
         dest: usize,
         key_tag: u64,
+        payload: Vec<u8>,
+        sig: Option<TypeSig>,
+    ) -> Result<()> {
+        self.deposit_sig_pre(dest, key_tag, payload, sig, None)
+    }
+
+    /// [`Comm::deposit_sig`] with an optionally precomputed envelope
+    /// checksum: the staged alltoallw path folds the checksum *during* the
+    /// pack copy ([`crate::kernels`]) and passes it here, skipping the
+    /// second pass over the payload. `precomputed` must equal
+    /// `checksum64(stream_seed(rank, key_tag, epoch), &payload)` — the
+    /// split-point independence of the hash guarantees the fused fold does.
+    pub(crate) fn deposit_sig_pre(
+        &self,
+        dest: usize,
+        key_tag: u64,
         mut payload: Vec<u8>,
         sig: Option<TypeSig>,
+        precomputed: Option<u64>,
     ) -> Result<()> {
         self.sched_point("send");
         self.fault_tick()?;
         // Checksum the *pristine* payload before fault injection: the
         // injector models wire damage, which by definition happens after the
-        // sender sealed the envelope.
-        let checksum = self
-            .world
-            .checksum
-            .then(|| checksum64(self.stream_seed(self.rank, key_tag, self.epoch), &payload));
+        // sender sealed the envelope. (A precomputed checksum was folded at
+        // pack time, equally before injection.)
+        let checksum = match precomputed {
+            Some(c) if self.world.checksum => Some(c),
+            _ => self
+                .world
+                .checksum
+                .then(|| checksum64(self.stream_seed(self.rank, key_tag, self.epoch), &payload)),
+        };
         let (clock, type_sig) = self.send_stamp(sig, payload.len());
         if let Some(faults) = &self.world.faults {
             let (src_w, dst_w) = (self.world_rank(), self.members[dest]);
@@ -586,6 +646,39 @@ impl Comm {
             },
         );
         Ok(())
+    }
+
+    /// Pack `dt`'s selection of `send_buf` into a pool buffer, folding the
+    /// envelope checksum for (`key_tag`, this epoch) into the same pass when
+    /// checksumming is on. Returns the packed payload and the checksum to
+    /// hand to [`Comm::deposit_sig_pre`] — one traversal of the source bytes
+    /// instead of pack-then-hash.
+    pub(crate) fn pack_staged(
+        &self,
+        dt: &Datatype,
+        send_buf: &[u8],
+        key_tag: u64,
+    ) -> Result<(Vec<u8>, Option<u64>)> {
+        let mut packed = self.world.pool.acquire(dt.packed_len());
+        let pre = if self.world.checksum {
+            let mut sum = Checksum::new(self.stream_seed(self.rank, key_tag, self.epoch));
+            dt.pack_into_hashed(send_buf, &mut packed, &mut sum)?;
+            Some(sum.finish())
+        } else {
+            dt.pack_into(send_buf, &mut packed)?;
+            None
+        };
+        Ok((packed, pre))
+    }
+
+    /// True when any timing-perturbing instrumentation is armed (fault
+    /// injection, runtime checking, seeded schedule exploration). Adaptive
+    /// heuristics that compare wall-clock measurements (e.g. the pipeline
+    /// auto-fallback gate) must stay inert under these modes: the timings
+    /// are not representative, and injected sleeps would make the decision
+    /// seed-dependent.
+    pub fn timing_perturbed(&self) -> bool {
+        self.world.faults.is_some() || self.world.check.is_some() || self.world.sched.is_some()
     }
 
     /// Deposit a control-plane message (retransmit verdicts/NACKs). Control

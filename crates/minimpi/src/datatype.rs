@@ -13,6 +13,8 @@
 //! `[sx, sy, sz]`, element `(x, y, z)` lives at `x + sx * (y + sy * z)`.
 
 use crate::error::{Error, Result};
+use crate::integrity::Checksum;
+use crate::kernels::{self, RunShape};
 
 /// Maximum dimensionality supported (the paper supports 1-D, 2-D and 3-D).
 pub const MAX_DIMS: usize = 3;
@@ -34,6 +36,10 @@ pub struct Subarray {
     pub starts: [usize; MAX_DIMS],
     /// Size in bytes of one array element.
     pub elem_size: usize,
+    /// Fused run structure, derived once at construction so `byte_runs` and
+    /// the pack/unpack kernels never re-derive the dimension merge. Fully a
+    /// function of the fields above (`PartialEq` stays consistent).
+    shape: RunShape,
 }
 
 impl Subarray {
@@ -72,7 +78,8 @@ impl Subarray {
                 });
             }
         }
-        Ok(Subarray { ndims, sizes, subsizes, starts, elem_size })
+        let shape = RunShape::derive(&sizes, &subsizes, &starts, elem_size);
+        Ok(Subarray { ndims, sizes, subsizes, starts, elem_size, shape })
     }
 
     /// 1-D convenience constructor.
@@ -141,45 +148,35 @@ impl Subarray {
     /// Iterate the selection as maximal contiguous byte runs
     /// `(byte_offset, byte_len)`, in packed (row-major, coordinate 0
     /// fastest) order. Fully covered leading dimensions are merged into
-    /// longer runs, so a full-array selection yields exactly one run.
+    /// longer runs, so a full-array selection yields exactly one run. The
+    /// run structure is cached at construction ([`kernels::RunShape`]), so
+    /// this is a field copy, not a re-derivation.
     pub fn byte_runs(&self) -> ByteRuns {
-        let es = self.elem_size;
-        if self.count() == 0 {
-            return ByteRuns { run_bytes: 0, base: 0, dims: [(0, 0); 2], idx: [0; 2], left: 0 };
-        }
-        // Longest prefix of dimensions the rectangle covers completely: those
-        // merge into the contiguous run (their start is necessarily 0).
-        let mut p = 0;
-        while p < MAX_DIMS && self.subsizes[p] == self.sizes[p] {
-            p += 1;
-        }
-        let stride = |d: usize| -> usize { self.sizes[..d].iter().product::<usize>() };
-        let mut run_elems: usize = self.sizes[..p].iter().product();
-        let mut base_elems = 0usize;
-        if p < MAX_DIMS {
-            run_elems *= self.subsizes[p];
-            base_elems += self.starts[p] * stride(p);
-        }
-        // At most two dimensions remain to iterate over (p+1.. / MAX_DIMS=3);
-        // dims[0] is the inner (faster-varying) one.
-        let mut dims = [(1usize, 0usize); 2];
-        for (slot, d) in ((p + 1)..MAX_DIMS).enumerate() {
-            dims[slot] = (self.subsizes[d], stride(d) * es);
-            base_elems += self.starts[d] * stride(d);
-        }
-        let left = dims[0].0 * dims[1].0;
-        ByteRuns { run_bytes: run_elems * es, base: base_elems * es, dims, idx: [0; 2], left }
+        ByteRuns::from_shape(&self.shape)
     }
 
     /// Pack the selected rectangle out of `src` (the full array, as bytes)
-    /// and append it to `out`. Each maximal contiguous run is copied with a
-    /// single `copy_from_slice`.
+    /// and append it to `out`, through the tiered kernel dispatcher
+    /// (fused memcpy / lane gather / pooled fan-out — see
+    /// [`crate::kernels`]).
     pub fn pack_into(&self, src: &[u8], out: &mut Vec<u8>) -> Result<()> {
         self.check_buf(src.len())?;
-        out.reserve(self.packed_len());
-        for (off, len) in self.byte_runs() {
-            out.extend_from_slice(&src[off..off + len]);
-        }
+        kernels::pack_runs(src, &self.shape, out);
+        Ok(())
+    }
+
+    /// [`Subarray::pack_into`] that additionally folds the packed bytes into
+    /// `sum` during the copy. Bit-identical to packing and then hashing the
+    /// packed payload (the envelope checksum is split-point independent),
+    /// without the second pass.
+    pub(crate) fn pack_into_hashed(
+        &self,
+        src: &[u8],
+        out: &mut Vec<u8>,
+        sum: &mut Checksum,
+    ) -> Result<()> {
+        self.check_buf(src.len())?;
+        kernels::pack_runs_hashed(src, &self.shape, out, sum);
         Ok(())
     }
 
@@ -197,11 +194,25 @@ impl Subarray {
         if packed.len() != self.packed_len() {
             return Err(Error::SizeMismatch { expected: self.packed_len(), got: packed.len() });
         }
-        let mut cursor = 0usize;
-        for (off, len) in self.byte_runs() {
-            dst[off..off + len].copy_from_slice(&packed[cursor..cursor + len]);
-            cursor += len;
+        kernels::unpack_runs(packed, &self.shape, dst);
+        Ok(())
+    }
+
+    /// [`Subarray::unpack`] that additionally folds the packed bytes into
+    /// `sum` during the scatter — the receive-side counterpart of
+    /// [`Subarray::pack_into_hashed`], for paths that fuse envelope
+    /// verification into the unpack.
+    pub(crate) fn unpack_hashed(
+        &self,
+        packed: &[u8],
+        dst: &mut [u8],
+        sum: &mut Checksum,
+    ) -> Result<()> {
+        self.check_buf(dst.len())?;
+        if packed.len() != self.packed_len() {
+            return Err(Error::SizeMismatch { expected: self.packed_len(), got: packed.len() });
         }
+        kernels::unpack_runs_hashed(packed, &self.shape, dst, sum);
         Ok(())
     }
 
@@ -235,6 +246,12 @@ pub struct ByteRuns {
     dims: [(usize, usize); 2],
     idx: [usize; 2],
     left: usize,
+}
+
+impl ByteRuns {
+    pub(crate) fn from_shape(s: &RunShape) -> ByteRuns {
+        ByteRuns { run_bytes: s.run_bytes, base: s.base, dims: s.dims, idx: [0; 2], left: s.nruns }
+    }
 }
 
 impl Iterator for ByteRuns {
@@ -307,6 +324,9 @@ pub(crate) fn for_each_run_pair(
 
 /// Copy `src_dt`'s selection of `src` directly into `dst_dt`'s selection of
 /// `dst`. Both buffers are validated against their datatypes up front.
+/// Large copies (≥ 4 MiB) collect the run pairs and fan out across the
+/// [`crate::kernels`] pool dispatcher — the same tier `pack_into`/`unpack`
+/// use — so `copy_to` and the zero-copy claim share one dispatch point.
 pub(crate) fn copy_selection(
     src: &[u8],
     src_dt: &Datatype,
@@ -315,6 +335,13 @@ pub(crate) fn copy_selection(
 ) -> Result<()> {
     src_dt.check_bounds(src.len())?;
     dst_dt.check_bounds(dst.len())?;
+    let total = src_dt.packed_len();
+    if total >= crate::zerocopy::PARALLEL_COPY_MIN_BYTES && !cfg!(miri) {
+        let mut pairs = Vec::new();
+        for_each_run_pair(src_dt, dst_dt, |s, d, n| pairs.push((s, d, n)))?;
+        kernels::copy_pairs(src, dst, pairs, total);
+        return Ok(());
+    }
     for_each_run_pair(src_dt, dst_dt, |s, d, n| {
         dst[d..d + n].copy_from_slice(&src[s..s + n]);
     })
@@ -350,16 +377,10 @@ impl Datatype {
     /// runs in packed order (see [`Subarray::byte_runs`]).
     pub fn byte_runs(&self) -> ByteRuns {
         match self {
-            Datatype::Empty => {
-                ByteRuns { run_bytes: 0, base: 0, dims: [(0, 0); 2], idx: [0; 2], left: 0 }
+            Datatype::Empty => ByteRuns::from_shape(&RunShape::EMPTY),
+            Datatype::Contiguous { len_bytes, offset } => {
+                ByteRuns::from_shape(&RunShape::contiguous(*offset, *len_bytes))
             }
-            Datatype::Contiguous { len_bytes, offset } => ByteRuns {
-                run_bytes: *len_bytes,
-                base: *offset,
-                dims: [(1, 0); 2],
-                idx: [0; 2],
-                left: usize::from(*len_bytes > 0),
-            },
             Datatype::Subarray(s) => s.byte_runs(),
         }
     }
@@ -405,6 +426,27 @@ impl Datatype {
         }
     }
 
+    /// [`Datatype::pack_into`] that folds the packed bytes into `sum` during
+    /// the copy — the sender-side checksum fusion (see
+    /// [`Subarray::pack_into_hashed`]).
+    pub(crate) fn pack_into_hashed(
+        &self,
+        src: &[u8],
+        out: &mut Vec<u8>,
+        sum: &mut Checksum,
+    ) -> Result<()> {
+        match self {
+            Datatype::Empty => Ok(()),
+            Datatype::Contiguous { .. } => {
+                let start = out.len();
+                self.pack_into(src, out)?;
+                sum.update(&out[start..]);
+                Ok(())
+            }
+            Datatype::Subarray(s) => s.pack_into_hashed(src, out, sum),
+        }
+    }
+
     /// Unpack `packed` into this datatype's selection of `dst`.
     pub fn unpack(&self, packed: &[u8], dst: &mut [u8]) -> Result<()> {
         match self {
@@ -432,6 +474,37 @@ impl Datatype {
                 Ok(())
             }
             Datatype::Subarray(s) => s.unpack(packed, dst),
+        }
+    }
+
+    /// [`Datatype::unpack`] that folds the packed bytes into `sum` during
+    /// the scatter — the receive-side checksum fusion (see
+    /// [`Subarray::unpack_hashed`]).
+    pub(crate) fn unpack_hashed(
+        &self,
+        packed: &[u8],
+        dst: &mut [u8],
+        sum: &mut Checksum,
+    ) -> Result<()> {
+        match self {
+            Datatype::Empty => self.unpack(packed, dst),
+            Datatype::Contiguous { len_bytes, offset } => {
+                if packed.len() != *len_bytes {
+                    return Err(Error::SizeMismatch { expected: *len_bytes, got: packed.len() });
+                }
+                let end = offset + len_bytes;
+                if end > dst.len() {
+                    return Err(Error::DatatypeMismatch {
+                        detail: format!(
+                            "contiguous range {offset}..{end} exceeds buffer of {} bytes",
+                            dst.len()
+                        ),
+                    });
+                }
+                sum.update_copying_to(packed, &mut dst[*offset..end]);
+                Ok(())
+            }
+            Datatype::Subarray(s) => s.unpack_hashed(packed, dst, sum),
         }
     }
 }

@@ -85,6 +85,127 @@ impl Checksum {
     /// Fold `bytes` into the running state.
     pub fn update(&mut self, bytes: &[u8]) {
         self.total = self.total.wrapping_add(bytes.len() as u64);
+        self.fold_bytes(bytes);
+    }
+
+    /// [`Checksum::update`] fused with a copy: appends `src` to `out` and
+    /// folds it into the state in the same pass, loading each 32-byte group
+    /// once for both the store and the lane multiplies. Bit-identical to
+    /// `out.extend_from_slice(src); self.update(src)` — this is the kernel
+    /// behind checksum-during-pack ([`crate::kernels`]), where the separate
+    /// hash pass would double the memory traffic of a fused (single-run)
+    /// pack.
+    pub fn update_copying(&mut self, src: &[u8], out: &mut Vec<u8>) {
+        self.total = self.total.wrapping_add(src.len() as u64);
+        if self.pending_len > 0 {
+            // Mid-chunk state: rare (only multi-run selections with non-8×
+            // run lengths), and the realignment bookkeeping would dominate —
+            // take the two-pass route.
+            out.extend_from_slice(src);
+            self.fold_bytes(src);
+            return;
+        }
+        let p = (self.chunk_idx & 3) as usize;
+        let mut l0 = self.lanes[p];
+        let mut l1 = self.lanes[(p + 1) & 3];
+        let mut l2 = self.lanes[(p + 2) & 3];
+        let mut l3 = self.lanes[(p + 3) & 3];
+        let start = out.len();
+        out.reserve(src.len());
+        let mut groups = src.chunks_exact(32);
+        let ngroups = src.len() / 32;
+        // SAFETY: `reserve` guarantees `src.len()` spare bytes after
+        // `start`; the loop writes exactly `32 * ngroups` of them before
+        // `set_len`. The stored bytes are the loaded bytes
+        // (`from_le_bytes`/`to_le_bytes` round-trip), so the copy is exact.
+        unsafe {
+            let mut dst = out.as_mut_ptr().add(start);
+            for g in &mut groups {
+                let c0 = u64::from_le_bytes(g[0..8].try_into().unwrap());
+                let c1 = u64::from_le_bytes(g[8..16].try_into().unwrap());
+                let c2 = u64::from_le_bytes(g[16..24].try_into().unwrap());
+                let c3 = u64::from_le_bytes(g[24..32].try_into().unwrap());
+                (dst as *mut [u8; 8]).write_unaligned(c0.to_le_bytes());
+                (dst.add(8) as *mut [u8; 8]).write_unaligned(c1.to_le_bytes());
+                (dst.add(16) as *mut [u8; 8]).write_unaligned(c2.to_le_bytes());
+                (dst.add(24) as *mut [u8; 8]).write_unaligned(c3.to_le_bytes());
+                l0 = (l0 ^ c0).wrapping_mul(FOLD);
+                l1 = (l1 ^ c1).wrapping_mul(FOLD);
+                l2 = (l2 ^ c2).wrapping_mul(FOLD);
+                l3 = (l3 ^ c3).wrapping_mul(FOLD);
+                dst = dst.add(32);
+            }
+            out.set_len(start + 32 * ngroups);
+        }
+        self.lanes[p] = l0;
+        self.lanes[(p + 1) & 3] = l1;
+        self.lanes[(p + 2) & 3] = l2;
+        self.lanes[(p + 3) & 3] = l3;
+        self.chunk_idx += 4 * ngroups as u64;
+        let tail = groups.remainder();
+        out.extend_from_slice(tail);
+        self.fold_tail(tail);
+    }
+
+    /// [`Checksum::update_copying`] for an initialized slice destination:
+    /// copies `src` into `dst` (equal lengths) and folds it in the same
+    /// pass. Bit-identical to `dst.copy_from_slice(src); self.update(src)`
+    /// — the kernel behind verify-during-unpack on receive paths with no
+    /// retransmit protocol, where a second hash pass over the payload was
+    /// the last remaining double traversal.
+    pub fn update_copying_to(&mut self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "copy-fold length mismatch");
+        self.total = self.total.wrapping_add(src.len() as u64);
+        if self.pending_len > 0 {
+            // Mid-chunk state: rare, take the two-pass route (see
+            // `update_copying`).
+            dst.copy_from_slice(src);
+            self.fold_bytes(src);
+            return;
+        }
+        let p = (self.chunk_idx & 3) as usize;
+        let mut l0 = self.lanes[p];
+        let mut l1 = self.lanes[(p + 1) & 3];
+        let mut l2 = self.lanes[(p + 2) & 3];
+        let mut l3 = self.lanes[(p + 3) & 3];
+        let mut groups = src.chunks_exact(32);
+        let ngroups = src.len() / 32;
+        // SAFETY: `dst` is at least as long as `src` (asserted above); the
+        // loop writes exactly `32 * ngroups <= src.len()` bytes. The stored
+        // bytes are the loaded bytes (`from_le_bytes`/`to_le_bytes`
+        // round-trip), so the copy is exact.
+        unsafe {
+            let mut out = dst.as_mut_ptr();
+            for g in &mut groups {
+                let c0 = u64::from_le_bytes(g[0..8].try_into().unwrap());
+                let c1 = u64::from_le_bytes(g[8..16].try_into().unwrap());
+                let c2 = u64::from_le_bytes(g[16..24].try_into().unwrap());
+                let c3 = u64::from_le_bytes(g[24..32].try_into().unwrap());
+                (out as *mut [u8; 8]).write_unaligned(c0.to_le_bytes());
+                (out.add(8) as *mut [u8; 8]).write_unaligned(c1.to_le_bytes());
+                (out.add(16) as *mut [u8; 8]).write_unaligned(c2.to_le_bytes());
+                (out.add(24) as *mut [u8; 8]).write_unaligned(c3.to_le_bytes());
+                l0 = (l0 ^ c0).wrapping_mul(FOLD);
+                l1 = (l1 ^ c1).wrapping_mul(FOLD);
+                l2 = (l2 ^ c2).wrapping_mul(FOLD);
+                l3 = (l3 ^ c3).wrapping_mul(FOLD);
+                out = out.add(32);
+            }
+        }
+        self.lanes[p] = l0;
+        self.lanes[(p + 1) & 3] = l1;
+        self.lanes[(p + 2) & 3] = l2;
+        self.lanes[(p + 3) & 3] = l3;
+        self.chunk_idx += 4 * ngroups as u64;
+        let tail = groups.remainder();
+        dst[32 * ngroups..].copy_from_slice(tail);
+        self.fold_tail(tail);
+    }
+
+    /// Fold `bytes` without touching the length accumulator (shared by
+    /// [`Checksum::update`] and the fused-copy path, which account for the
+    /// length themselves).
+    fn fold_bytes(&mut self, bytes: &[u8]) {
         let mut rest = bytes;
         // Top up a partial chunk first so chunk boundaries are independent of
         // how the caller split the byte sequence.
@@ -105,19 +226,38 @@ impl Checksum {
         }
         // Bulk: one 32-byte group per iteration touches each lane exactly
         // once, so the four multiplies are independent and pipeline — this
-        // is what makes the hash memory-bound instead of latency-bound.
-        // The lane phase `p` is invariant across groups (chunk_idx += 4).
+        // is what makes the hash memory-bound instead of latency-bound. The
+        // lane phase `p` is invariant across groups (chunk_idx += 4), so the
+        // four lanes live in registers for the whole loop instead of
+        // round-tripping through `self.lanes` every group.
         let p = (self.chunk_idx & 3) as usize;
+        let mut l0 = self.lanes[p];
+        let mut l1 = self.lanes[(p + 1) & 3];
+        let mut l2 = self.lanes[(p + 2) & 3];
+        let mut l3 = self.lanes[(p + 3) & 3];
         let mut groups = rest.chunks_exact(32);
+        let ngroups = rest.len() / 32;
         for g in &mut groups {
-            for k in 0..4 {
-                let chunk = u64::from_le_bytes(g[8 * k..8 * k + 8].try_into().unwrap());
-                let lane = &mut self.lanes[(p + k) & 3];
-                *lane = (*lane ^ chunk).wrapping_mul(FOLD);
-            }
-            self.chunk_idx += 4;
+            let c0 = u64::from_le_bytes(g[0..8].try_into().unwrap());
+            let c1 = u64::from_le_bytes(g[8..16].try_into().unwrap());
+            let c2 = u64::from_le_bytes(g[16..24].try_into().unwrap());
+            let c3 = u64::from_le_bytes(g[24..32].try_into().unwrap());
+            l0 = (l0 ^ c0).wrapping_mul(FOLD);
+            l1 = (l1 ^ c1).wrapping_mul(FOLD);
+            l2 = (l2 ^ c2).wrapping_mul(FOLD);
+            l3 = (l3 ^ c3).wrapping_mul(FOLD);
         }
-        let tail = groups.remainder();
+        self.lanes[p] = l0;
+        self.lanes[(p + 1) & 3] = l1;
+        self.lanes[(p + 2) & 3] = l2;
+        self.lanes[(p + 3) & 3] = l3;
+        self.chunk_idx += 4 * ngroups as u64;
+        self.fold_tail(groups.remainder());
+    }
+
+    /// Fold the sub-32-byte remainder of a bulk loop: whole 8-byte chunks,
+    /// then buffer the partial chunk.
+    fn fold_tail(&mut self, tail: &[u8]) {
         let mut chunks = tail.chunks_exact(8);
         for c in &mut chunks {
             self.fold(u64::from_le_bytes(c.try_into().unwrap()));
@@ -238,6 +378,61 @@ mod tests {
             c.update(std::slice::from_ref(b));
         }
         assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    #[ignore = "manual throughput probe"]
+    fn hash_throughput_probe() {
+        let data = vec![0xA5u8; 1 << 16];
+        let mut h = 0u64;
+        let start = std::time::Instant::now();
+        let iters = 4096u32;
+        for i in 0..iters {
+            h ^= checksum64(i as u64, &data);
+        }
+        let el = start.elapsed();
+        let gbs = (data.len() as f64 * iters as f64) / el.as_secs_f64() / 1e9;
+        println!("checksum64 64KiB: {gbs:.2} GB/s ({el:?} total, h={h})");
+    }
+
+    #[test]
+    fn update_copying_matches_two_pass() {
+        let data = gen_payload(5, 4097);
+        // `pre` bytes fed first set up the interesting starting states:
+        // chunk-aligned (fast path, phase 0), phase ≠ 0 (pre = 8, 24), and a
+        // buffered partial chunk (pre = 3, 13 → two-pass fallback).
+        for pre in [0usize, 3, 8, 13, 24, 32] {
+            for len in [0usize, 1, 7, 8, 31, 32, 33, 64, 801, 4000] {
+                let (head, body) = (&data[..pre], &data[pre..pre + len]);
+                let mut reference = Checksum::new(77);
+                reference.update(head);
+                let mut fused = reference.clone();
+                let mut out = vec![0xEEu8; 5];
+                fused.update_copying(body, &mut out);
+                assert_eq!(&out[..5], &[0xEE; 5], "pre {pre} len {len}");
+                assert_eq!(&out[5..], body, "pre {pre} len {len}");
+                reference.update(body);
+                assert_eq!(fused.finish(), reference.finish(), "pre {pre} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_copying_to_matches_two_pass() {
+        let data = gen_payload(6, 4097);
+        for pre in [0usize, 3, 8, 13, 24, 32] {
+            for len in [0usize, 1, 7, 8, 31, 32, 33, 64, 801, 4000] {
+                let (head, body) = (&data[..pre], &data[pre..pre + len]);
+                let mut reference = Checksum::new(78);
+                reference.update(head);
+                let mut fused = reference.clone();
+                let mut dst = vec![0u8; len];
+                fused.update_copying_to(body, &mut dst);
+                assert_eq!(dst, body, "pre {pre} len {len}");
+                reference.update(body);
+                assert_eq!(fused.finish(), reference.finish(), "pre {pre} len {len}");
+            }
+        }
     }
 
     #[test]

@@ -128,6 +128,7 @@ pub mod env;
 mod error;
 mod fault;
 mod integrity;
+mod kernels;
 mod life;
 mod mailbox;
 mod pod;
@@ -149,9 +150,18 @@ pub use elastic::RecoveryCounters;
 pub use error::{Error, Result};
 pub use fault::{FaultAction, FaultPlan, MessageMatcher};
 pub use integrity::IntegrityCounters;
+pub use kernels::PackCounters;
 pub use pod::{bytes_of, bytes_of_mut, Pod};
 pub use request::RecvRequest;
 pub use sched::take_last_fingerprint;
 pub use universe::{Universe, UniverseBuilder};
 pub use vclock::VectorClock;
 pub use zerocopy::{PoolStats, TransportCounters};
+
+/// Snapshot of the process-global pack-kernel dispatch counters
+/// (`pack.{fused_runs,vector_bytes,scalar_bytes,pool_dispatches}` in the
+/// ddr-trace report). Totals are monotone across the process lifetime;
+/// take deltas around a region to attribute work to it.
+pub fn pack_counters() -> PackCounters {
+    kernels::snapshot()
+}

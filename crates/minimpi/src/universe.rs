@@ -368,6 +368,14 @@ fn record_world_metrics(world: &WorldState) {
     ddrtrace::metrics::set("recover", "epoch", world.epoch());
     ddrtrace::metrics::add("recover", "respawns", world.elastic.respawns());
     ddrtrace::metrics::add("recover", "fenced_msgs", t.fenced_msgs);
+    // Pack-kernel counters are process-global monotone totals (the kernel
+    // layer has no per-world state), so publish with `set`, not `add` —
+    // `add` would double-count them across universes in one process.
+    let k = crate::kernels::snapshot();
+    ddrtrace::metrics::set("pack", "fused_runs", k.fused_runs);
+    ddrtrace::metrics::set("pack", "vector_bytes", k.vector_bytes);
+    ddrtrace::metrics::set("pack", "scalar_bytes", k.scalar_bytes);
+    ddrtrace::metrics::set("pack", "pool_dispatches", k.pool_dispatches);
     let i = world.integrity.snapshot();
     ddrtrace::metrics::add("integrity", "checked", i.checked);
     ddrtrace::metrics::add("integrity", "detected", i.detected);

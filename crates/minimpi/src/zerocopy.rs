@@ -501,6 +501,62 @@ impl CopyPool {
         }
         latch.wait();
     }
+
+    /// Like [`CopyPool::run_batch`], but every shard goes to the workers and
+    /// the calling thread runs `local` instead of shard 0 — the shape the
+    /// checksum-during-pack kernel uses: the submitter folds the hash over
+    /// the source runs while the workers move the bytes. Blocks until both
+    /// `local` and every shard completed. Same caller contract as
+    /// `run_batch`.
+    pub fn run_batch_with(
+        &self,
+        src: *const u8,
+        dst: *mut u8,
+        shards: Vec<Vec<(usize, usize, usize)>>,
+        local: impl FnOnce(),
+    ) {
+        let latch = Arc::new(Latch::default());
+        for runs in shards {
+            if runs.is_empty() {
+                continue;
+            }
+            latch.add(1);
+            let job = CopyJob { src, dst, runs, latch: Arc::clone(&latch) };
+            if let Err(e) = self.tx.send(job) {
+                // Inline fallback (all workers dead): still count the shard
+                // down, or the latch below would never open.
+                run_job(&e.0);
+                e.0.latch.count_down();
+            }
+        }
+        local();
+        latch.wait();
+    }
+}
+
+/// Split run-copy triples into up to four byte-balanced contiguous shards
+/// for [`CopyPool::run_batch`]. Contiguous chunking preserves the per-shard
+/// ascending destination order (friendlier to the prefetcher than
+/// round-robin).
+pub(crate) fn shard_runs(pairs: Vec<(usize, usize, usize)>) -> Vec<Vec<(usize, usize, usize)>> {
+    const SHARDS: usize = 4;
+    let total: usize = pairs.iter().map(|&(_, _, n)| n).sum();
+    let target = total.div_ceil(SHARDS).max(1);
+    let mut shards: Vec<Vec<(usize, usize, usize)>> = Vec::with_capacity(SHARDS);
+    let mut cur = Vec::new();
+    let mut cur_bytes = 0usize;
+    for run in pairs {
+        cur_bytes += run.2;
+        cur.push(run);
+        if cur_bytes >= target && shards.len() + 1 < SHARDS {
+            shards.push(std::mem::take(&mut cur));
+            cur_bytes = 0;
+        }
+    }
+    if !cur.is_empty() {
+        shards.push(cur);
+    }
+    shards
 }
 
 /// Reads `DDR_NO_ZEROCOPY`: a truthy value disables the zero-copy fast path

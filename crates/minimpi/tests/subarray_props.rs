@@ -12,10 +12,12 @@ fn mix(s: &mut u64) -> u64 {
     *s >> 17
 }
 
-/// Derive a valid random subarray from `seed`. `edge` forces one of the two
+/// Derive a valid random subarray from `seed`. `edge` forces one of the
 /// edge shapes: `1` = full-extent (the selection is the whole array),
 /// `2` = zero-extent in one dimension (an empty selection, possibly sitting
-/// on the far edge of the array).
+/// on the far edge of the array), `3` = single-element inner stride (a
+/// one-element-wide column: every packed run is `elem_size` bytes, the
+/// pack kernels' worst case).
 fn subarray_from_seed(seed: u64, edge: u64) -> Subarray {
     let mut s = seed | 1;
     let ndims = 1 + (mix(&mut s) % 3) as usize;
@@ -39,6 +41,13 @@ fn subarray_from_seed(seed: u64, edge: u64) -> Subarray {
             // A zero-extent rectangle may start anywhere up to the far edge.
             starts[d] = (mix(&mut s) % (sizes[d] + 1) as u64) as usize;
         }
+        3 => {
+            // Inner dimension strided at one element: run never merges with
+            // its neighbor, so the gather walks elem_size-byte runs.
+            sizes[0] = sizes[0].max(2);
+            subsizes[0] = 1;
+            starts[0] = (mix(&mut s) % sizes[0] as u64) as usize;
+        }
         _ => {}
     }
     Subarray::new(ndims, sizes, subsizes, starts, elem_size).unwrap()
@@ -47,6 +56,72 @@ fn subarray_from_seed(seed: u64, edge: u64) -> Subarray {
 /// Distinct nonzero filler for each byte position.
 fn filled(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i % 251 + 1) as u8).collect()
+}
+
+/// Scalar reference pack, derived from nothing but element-coordinate
+/// arithmetic — no `byte_runs`, no kernel layer. The element at subarray
+/// coordinate `(x, y, z)` lives at array index
+/// `(starts.0 + x) + sizes.0 * ((starts.1 + y) + sizes.1 * (starts.2 + z))`,
+/// and packed order walks `x` fastest. This is the ground truth the fused /
+/// vectorized / pooled kernels must reproduce byte for byte.
+fn reference_pack(sa: &Subarray, src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sa.packed_len());
+    for z in 0..sa.subsizes[2] {
+        for y in 0..sa.subsizes[1] {
+            for x in 0..sa.subsizes[0] {
+                let e = (sa.starts[0] + x)
+                    + sa.sizes[0] * ((sa.starts[1] + y) + sa.sizes[1] * (sa.starts[2] + z));
+                let off = e * sa.elem_size;
+                out.extend_from_slice(&src[off..off + sa.elem_size]);
+            }
+        }
+    }
+    out
+}
+
+/// The kernel-vs-scalar-reference property, shared with the committed
+/// regression corpus below: `pack`, `pack_into`, `unpack`, and `copy_to`
+/// must all agree with [`reference_pack`]'s coordinate walk whichever
+/// kernel tier (fused memcpy, lane gather, scalar fallback) dispatch picks.
+fn check_against_reference(seed: u64, edge: u64) -> Result<(), TestCaseError> {
+    let sa = subarray_from_seed(seed, edge);
+    let src = filled(sa.full_len());
+    let expect = reference_pack(&sa, &src);
+
+    prop_assert_eq!(sa.pack(&src).unwrap(), expect.clone());
+
+    let mut appended = vec![0xAAu8; 5];
+    sa.pack_into(&src, &mut appended).unwrap();
+    prop_assert_eq!(&appended[..5], &[0xAA; 5]);
+    prop_assert_eq!(&appended[5..], expect.as_slice());
+
+    // unpack must be the exact inverse scatter of the reference walk.
+    let mut dst = vec![0u8; sa.full_len()];
+    sa.unpack(&expect, &mut dst).unwrap();
+    let mut expect_dst = vec![0u8; sa.full_len()];
+    let mut cursor = 0;
+    for z in 0..sa.subsizes[2] {
+        for y in 0..sa.subsizes[1] {
+            for x in 0..sa.subsizes[0] {
+                let e = (sa.starts[0] + x)
+                    + sa.sizes[0] * ((sa.starts[1] + y) + sa.sizes[1] * (sa.starts[2] + z));
+                let off = e * sa.elem_size;
+                expect_dst[off..off + sa.elem_size]
+                    .copy_from_slice(&expect[cursor..cursor + sa.elem_size]);
+                cursor += sa.elem_size;
+            }
+        }
+    }
+    prop_assert_eq!(dst, expect_dst);
+
+    // copy_to into a flat destination is pack without the intermediate.
+    if sa.count() > 0 {
+        let flat = Subarray::d1(sa.count(), sa.count(), 0, sa.elem_size).unwrap();
+        let mut direct = vec![0u8; flat.full_len()];
+        sa.copy_to(&src, &flat, &mut direct).unwrap();
+        prop_assert_eq!(direct, expect);
+    }
+    Ok(())
 }
 
 /// The core round-trip property, shared with the committed regression
@@ -122,6 +197,31 @@ proptest! {
     }
 
     #[test]
+    fn kernels_match_scalar_reference_random(seed in any::<u64>()) {
+        check_against_reference(seed, 0)?;
+    }
+
+    #[test]
+    fn kernels_match_scalar_reference_full_extent(seed in any::<u64>()) {
+        check_against_reference(seed, 1)?;
+    }
+
+    #[test]
+    fn kernels_match_scalar_reference_zero_extent(seed in any::<u64>()) {
+        check_against_reference(seed, 2)?;
+    }
+
+    #[test]
+    fn kernels_match_scalar_reference_single_elem_stride(seed in any::<u64>()) {
+        check_against_reference(seed, 3)?;
+    }
+
+    #[test]
+    fn single_elem_stride_roundtrips(seed in any::<u64>()) {
+        check_roundtrip(seed, 3)?;
+    }
+
+    #[test]
     fn copy_to_reshapes_losslessly(seed_a in any::<u64>(), seed_b in any::<u64>()) {
         // Two independent geometries with the same element count and size:
         // shipping a into b's shape and re-flattening is the identity.
@@ -176,6 +276,9 @@ const REGRESSION_CORPUS: &[(u64, u64)] = &[
     (0x9e37_79b9_7f4a_7c15, 1), // golden-ratio seed, full extent
     (42, 2),                    // zero-extent rectangle at the far edge
     (7_777_777, 0),             // 3-D multi-byte-elem interior rectangle
+    (3, 3),                     // 1-byte elements at single-element stride
+    (0xdead_beef, 3),           // single-element stride, multi-byte elems
+    (0x1234_5678_9abc_def0, 3), // 3-D single-element inner column
 ];
 
 #[test]
@@ -183,6 +286,12 @@ fn regression_corpus_replays_clean() {
     for &(seed, edge) in REGRESSION_CORPUS {
         if let Err(e) = check_roundtrip(seed, edge) {
             panic!("regression corpus case (seed {seed:#x}, edge {edge}) failed: {e}");
+        }
+        if let Err(e) = check_against_reference(seed, edge) {
+            panic!(
+                "regression corpus case (seed {seed:#x}, edge {edge}) \
+                 diverged from the scalar reference: {e}"
+            );
         }
     }
 }

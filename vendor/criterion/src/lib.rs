@@ -236,6 +236,26 @@ impl Criterion {
         self.benchmark_group("bench").bench_function(id, f);
         self
     }
+
+    /// Record an externally measured result under `group/id`, printing the
+    /// same report line `bench_function` would. (Shim extension: benches
+    /// that interleave samples across several variants — to cancel
+    /// measurement-block drift — time the variants themselves and feed the
+    /// medians in here.)
+    pub fn record(
+        &mut self,
+        group: impl Into<String>,
+        id: impl Into<BenchmarkId>,
+        median: Duration,
+        throughput: Option<Throughput>,
+    ) {
+        let mut g = self.benchmark_group(group);
+        if let Some(t) = throughput {
+            g.throughput(t);
+        }
+        let id = id.into();
+        g.report(&id, median);
+    }
 }
 
 /// Bundle benchmark functions into a runnable group function.
@@ -305,6 +325,13 @@ mod tests {
         let mut c = Criterion::default().test_mode(true);
         c.benchmark_group("g").bench_function("x", |b| b.iter(|| 1));
         assert_eq!(c.results()[0].0, "g/x");
+    }
+
+    #[test]
+    fn record_reports_external_measurements() {
+        let mut c = Criterion::default().test_mode(true);
+        c.record("ext", "case", Duration::from_micros(3), Some(Throughput::Bytes(4096)));
+        assert_eq!(c.results(), &[("ext/case".to_string(), Duration::from_micros(3))]);
     }
 
     #[test]
