@@ -171,6 +171,71 @@ fn inner_time(case: &Case, zerocopy: bool, checksum: bool, depth: usize) -> Dura
     times.into_iter().max().unwrap()
 }
 
+/// One flow-governor probe of a case: governor high-water, credit-stall
+/// share, and the depth the executor settled on.
+struct FlowProbe {
+    /// Governor high-water mark across the run, bytes.
+    peak_staging_bytes: usize,
+    /// Sender park time as a share of total rank-time (stalled ms across
+    /// all ranks / (wall-clock × NPROCS)).
+    credit_stall_share: f64,
+    /// `RedistStats::effective_depth` of the last reorganize.
+    effective_depth: usize,
+    /// Per-reorganize slowest-rank time, like [`inner_time`].
+    elapsed: Duration,
+}
+
+/// Run a case once through the *staged* plane (zero-copy loans charge the
+/// governor nothing, so staged is the plane whose footprint the governor
+/// actually meters) under an optional memory budget, and read the flow
+/// ledger. `budget == 0` leaves the governor unmetered.
+fn flow_probe(case: &Case, budget: usize, depth: usize) -> FlowProbe {
+    let case = *case;
+    let mut builder = Universe::builder().zerocopy(false).checksum(true);
+    if budget > 0 {
+        builder = builder.mem_budget(budget);
+    }
+    let out = builder.run(NPROCS, move |comm| {
+        let r = comm.rank();
+        let (owned, need) = layouts(&case, r);
+        let desc = Descriptor::for_type::<f32>(NPROCS, case.kind).unwrap();
+        let plan =
+            desc.setup_data_mapping_with(comm, &owned, need, ValidationPolicy::Skip).unwrap();
+        let data: Vec<Vec<f32>> =
+            owned.iter().map(|b| vec![r as f32 + 0.5; b.count() as usize]).collect();
+        let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![0f32; need.count() as usize];
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        let mut eff = 0usize;
+        for _ in 0..case.reps {
+            let (report, stats) = plan
+                .reorganize_with_stats_depth(
+                    comm,
+                    &refs,
+                    &mut out,
+                    ddr_core::Strategy::Alltoallw,
+                    depth,
+                )
+                .unwrap();
+            assert!(report.is_complete());
+            eff = stats.effective_depth;
+        }
+        let elapsed = start.elapsed();
+        black_box(&out);
+        // The ledger is universe-global, so any rank's reading is the run's.
+        (elapsed, comm.mem_high_water(), comm.flow_counters().stalled_ms, eff)
+    });
+    let wall = out.iter().map(|s| s.0).max().unwrap();
+    let (_, peak, stalled_ms, eff) = out[0];
+    FlowProbe {
+        peak_staging_bytes: peak,
+        credit_stall_share: stalled_ms as f64 / (wall.as_secs_f64() * 1e3 * NPROCS as f64).max(1.0),
+        effective_depth: eff,
+        elapsed: wall / case.reps,
+    }
+}
+
 /// The measured planes: zero-copy and staged, each with envelope checksums
 /// on (the default) and off (`DDR_CHECKSUM=0`). The `nochecksum` columns
 /// exist so the integrity plane's cost is a measured number in the JSON
@@ -314,6 +379,7 @@ fn emit_json(c: &Criterion) {
         let pack_before = minimpi::pack_counters();
         let (phases, loaned, _) = phase_breakdown(&case, 1);
         let pack_after = minimpi::pack_counters();
+        let flow = flow_probe(&case, 0, if case.chunks > 1 { 2 } else { 1 });
         // Both measurements are reported as measured, always. When every
         // message of a case sits below the loan threshold (`loaned == 0`)
         // the two planes execute the identical staged code, so their ratio
@@ -333,6 +399,7 @@ fn emit_json(c: &Criterion) {
             loaned,
             pack_before,
             pack_after,
+            flow,
         ));
     }
     let auto_fallback = probe_pipeline_auto();
@@ -344,6 +411,51 @@ fn emit_json(c: &Criterion) {
     let mut json = String::from("{\n  \"bench\": \"redistribute\",\n  \"element\": \"f32\",\n");
     json.push_str(&format!("  \"nprocs\": {NPROCS},\n"));
     json.push_str(&format!("  \"pipeline_auto_fallback\": {auto_fallback_json},\n"));
+    // Constrained-budget exhibit: re-run the deepest multi-round case on the
+    // staged plane with the governor set to 25 % of its just-measured
+    // unconstrained high-water — floored at 5/4 of one round's global
+    // cross-rank bytes, the analytic minimum below which an alltoallw's
+    // senders can all park with no receiver yet draining (the gate then
+    // converts the wedge into a structured MemoryPressure rather than
+    // degrading). Degradation must be smooth: the run completes
+    // (flow_probe asserts completeness), the measured peak stays inside
+    // the budget, the executor clamps its depth, and the slowdown is an
+    // honest measured ratio — not a crash, not a hang.
+    let constrained_case = "2d/pipelined_repartition/2048";
+    if let Some((case, .., flow)) = entries.iter().find(|(c, ..)| c.name == constrained_case) {
+        let all: Vec<ddr_core::Layout> = (0..NPROCS)
+            .map(|r| {
+                let (owned, need) = layouts(case, r);
+                ddr_core::Layout { owned, need }
+            })
+            .collect();
+        let gs = ddr_core::GlobalStats::compute(&all, 4);
+        let round_global_max =
+            gs.sent.iter().map(|r| r.iter().sum::<u64>()).max().unwrap_or(0) as usize;
+        let budget = (flow.peak_staging_bytes / 4).max(round_global_max + round_global_max / 4);
+        let cons = flow_probe(case, budget, 2);
+        json.push_str(&format!(
+            "  \"constrained_budget\": {{\n    \"case\": \"{constrained_case}\",\n    \
+             \"unconstrained_peak_staging_bytes\": {},\n    \
+             \"round_global_max_bytes\": {round_global_max},\n    \
+             \"mem_budget\": {budget},\n    \
+             \"peak_staging_bytes\": {},\n    \
+             \"within_budget\": {},\n    \
+             \"effective_depth\": {},\n    \
+             \"credit_stall_share\": {:.4},\n    \
+             \"unconstrained_ns\": {},\n    \
+             \"constrained_ns\": {},\n    \
+             \"slowdown\": {:.3}\n  }},\n",
+            flow.peak_staging_bytes,
+            cons.peak_staging_bytes,
+            cons.peak_staging_bytes <= budget,
+            cons.effective_depth,
+            cons.credit_stall_share,
+            flow.elapsed.as_nanos(),
+            cons.elapsed.as_nanos(),
+            cons.elapsed.as_secs_f64() / flow.elapsed.as_secs_f64().max(1e-12),
+        ));
+    }
     if let Some((_, zc, st, _, _, sp, ..)) = entries.iter().find(|(c, ..)| c.name == headline) {
         let sp_json = sp.map_or("null".to_string(), |s| format!("{s:.3}"));
         json.push_str(&format!(
@@ -354,7 +466,7 @@ fn emit_json(c: &Criterion) {
         ));
     }
     json.push_str("  \"cases\": [\n");
-    for (i, (case, zc, st, zc_ns, st_ns, sp, phases, loaned, pack_before, pack_after)) in
+    for (i, (case, zc, st, zc_ns, st_ns, sp, phases, loaned, pack_before, pack_after, flow)) in
         entries.iter().enumerate()
     {
         // Checksum cost on the staged plane (where every payload byte is
@@ -366,6 +478,7 @@ fn emit_json(c: &Criterion) {
              \"zerocopy_ns\": {}, \"staged_ns\": {}, \
              \"zerocopy_nochecksum_ns\": {}, \"staged_nochecksum_ns\": {}, \
              \"checksum_cost\": {:.3}, \
+             \"peak_staging_bytes\": {}, \"credit_stall_share\": {:.4}, \
              \"speedup\": {sp_json}, \"loaned_msgs\": {loaned}, \"identical_path\": {},\n",
             case.name,
             case.domain.count() * 4,
@@ -375,6 +488,8 @@ fn emit_json(c: &Criterion) {
             zc_ns.as_nanos(),
             st_ns.as_nanos(),
             checksum_cost,
+            flow.peak_staging_bytes,
+            flow.credit_stall_share,
             *loaned == 0,
         ));
         // Pack-kernel dispatch deltas across the traced sample: which tier

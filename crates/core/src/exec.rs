@@ -26,6 +26,19 @@ pub fn pipeline_depth() -> usize {
         .unwrap_or(DEFAULT_PIPELINE_DEPTH)
 }
 
+/// Largest sum over any `window`-length run of consecutive rounds — the
+/// analytic peak of staged bytes a pipeline of that depth keeps in flight.
+fn window_peak(per_round: &[u64], window: usize) -> u64 {
+    let window = window.max(1).min(per_round.len().max(1));
+    let mut sum: u64 = per_round.iter().take(window).sum();
+    let mut peak = sum;
+    for i in window..per_round.len() {
+        sum = sum + per_round[i] - per_round[i - window];
+        peak = peak.max(sum);
+    }
+    peak
+}
+
 /// What the pipeline auto-fallback gate (`DDR_PIPELINE_AUTO`, default on)
 /// has concluded so far in this process: `None` while still probing (or the
 /// gate never activated), `Some(true)` once it measured pipelined
@@ -367,19 +380,83 @@ impl Plan {
         }
         self.check_buffers(owned, need)?;
         let _reorg = ddrtrace::span_arg("redist", "reorganize", "rounds", self.rounds.len() as i64);
-        let failures = match self.resolve_strategy(strategy) {
-            Strategy::Alltoallw => self.reorganize_alltoallw(comm, owned, need, depth)?,
+        let resolved = self.resolve_strategy(strategy);
+        let eff = match resolved {
+            Strategy::Alltoallw => self.effective_alltoallw_depth(comm, depth),
+            _ => 1,
+        };
+        let failures = match resolved {
+            Strategy::Alltoallw => self.reorganize_alltoallw(comm, owned, need, eff)?,
             Strategy::PointToPoint => self.reorganize_p2p(comm, owned, need)?,
             Strategy::Auto => unreachable!("resolved above"),
         };
-        let stats = RedistStats::from_plan(self, &failures);
+        let mut stats = RedistStats::from_plan(self, &failures);
+        stats.effective_depth = eff;
+        stats.throttled_rounds = self.rounds.len().min(depth.max(1)) - self.rounds.len().min(eff);
         if ddrtrace::enabled() {
             ddrtrace::metrics::add("redist", "sent_bytes", stats.sent_bytes);
             ddrtrace::metrics::add("redist", "local_bytes", stats.local_bytes);
             ddrtrace::metrics::add("redist", "messages_sent", stats.messages_sent);
             ddrtrace::metrics::add("redist", "failed_recvs", stats.failed_recvs);
+            ddrtrace::metrics::add("redist", "throttled_rounds", stats.throttled_rounds as u64);
         }
         Ok((PartialCompletion::from_failures(self, &failures), stats))
+    }
+
+    /// Clamp a requested alltoallw pipeline depth to what the
+    /// communicator's flow-control windows and memory governor can absorb
+    /// without parking every round on the credit gate:
+    ///
+    /// 1. a depth-`d` window keeps up to `d` envelopes in flight toward a
+    ///    single peer, so `d` never exceeds the per-pair message window;
+    /// 2. those envelopes stage up to `d × max_single_send` bytes at one
+    ///    receiver, so `d` is held under the per-pair byte window;
+    /// 3. the analytic peak of in-flight staged bytes — the worst
+    ///    depth-window of this rank's per-round send totals, times every
+    ///    rank staging concurrently — must fit the governor's *remaining*
+    ///    budget, otherwise the depth shrinks (to 1 in the limit, which
+    ///    reproduces the round-synchronous loop).
+    ///
+    /// Ranks can resolve different depths (their remaining budgets differ);
+    /// that is safe for the same reason explicit depth disagreement is —
+    /// rounds post in ascending order everywhere and depth only schedules
+    /// local waits. Flow control can only *shrink* the window, never grow
+    /// it past the request.
+    fn effective_alltoallw_depth(&self, comm: &Comm, requested: usize) -> usize {
+        let mut eff = requested.max(1);
+        if eff == 1 {
+            return 1;
+        }
+        let cfg = comm.flow_config();
+        eff = eff.min(cfg.msg_credits.clamp(1, usize::MAX as u64) as usize);
+        let max_peer_round: u64 = self
+            .rounds
+            .iter()
+            .flat_map(|round| round.sends.iter())
+            .filter(|t| t.peer != self.rank)
+            .map(|t| t.bytes())
+            .max()
+            .unwrap_or(0);
+        if let Some(per_window) = (cfg.byte_credits as u64).checked_div(max_peer_round) {
+            eff = eff.min(per_window.max(1) as usize);
+        }
+        let budget = comm.mem_budget();
+        if budget > 0 && eff > 1 {
+            let remaining = budget.saturating_sub(comm.mem_usage()) as u64;
+            let per_round: Vec<u64> = self
+                .rounds
+                .iter()
+                .map(|round| {
+                    round.sends.iter().filter(|t| t.peer != self.rank).map(|t| t.bytes()).sum()
+                })
+                .collect();
+            while eff > 1
+                && window_peak(&per_round, eff).saturating_mul(self.nprocs as u64) > remaining
+            {
+                eff -= 1;
+            }
+        }
+        eff
     }
 
     /// The [`RedistStats`] a fully successful execution of this plan will

@@ -79,6 +79,14 @@ pub enum LintCode {
     /// runtime's pack/unpack pool when the zero-copy path is off) exceeds
     /// the configured bound.
     PeakStagingExceeded,
+    /// The analytic peak of in-flight staged bytes — what the memory
+    /// governor meters — exceeds the configured `DDR_MEM_BUDGET`. Error
+    /// severity when a single transfer alone is larger than the whole
+    /// budget (the runtime fails that deposit with `MemoryPressure`);
+    /// warning severity when only the pipelined window overflows (the
+    /// executor degrades — shrinking depth toward 1 — but throughput
+    /// suffers).
+    MemBudgetExceeded,
 }
 
 impl fmt::Display for LintCode {
@@ -93,6 +101,7 @@ impl fmt::Display for LintCode {
             LintCode::RoundCountMismatch => "round-count-mismatch",
             LintCode::PhantomTransfer => "phantom-transfer",
             LintCode::PeakStagingExceeded => "peak-staging-exceeded",
+            LintCode::MemBudgetExceeded => "mem-budget-exceeded",
         })
     }
 }
@@ -538,6 +547,95 @@ pub fn lint_staging(plans: &[Plan], bound_bytes: u64) -> Vec<LintDiagnostic> {
     diags
 }
 
+/// Predict whether executing `plans` at pipeline `depth` fits a
+/// `budget_bytes` memory-governor budget (`DDR_MEM_BUDGET`), extending
+/// [`lint_staging`]'s per-round model across the pipelined window.
+///
+/// The model matches the runtime's governor accounting: every cross-rank
+/// staged send materializes once — in the receiver's mailbox until popped —
+/// so the global in-flight footprint of a depth-`d` pipeline peaks at the
+/// worst `d`-round window of summed cross-rank send bytes (self-sends are
+/// local copies and are never metered). Two classes of finding:
+///
+/// * **error** — a single staged transfer larger than the entire budget:
+///   the runtime can never admit it and fails that deposit with
+///   `MemoryPressure` whatever the depth;
+/// * **warning** — the windowed peak exceeds the budget: the executor
+///   degrades (senders park on the governor gate, the effective depth
+///   shrinks toward 1) rather than failing, but throughput suffers and the
+///   degradation is worth knowing about before the job runs.
+///
+/// A `budget_bytes` of 0 means unbudgeted (the governor only meters); no
+/// diagnostics are produced.
+pub fn lint_memory(plans: &[Plan], depth: usize, budget_bytes: u64) -> Vec<LintDiagnostic> {
+    let mut diags = Vec::new();
+    if budget_bytes == 0 {
+        return diags;
+    }
+    for p in plans {
+        for (r, round) in p.rounds.iter().enumerate() {
+            for t in round.sends.iter().filter(|t| t.peer != p.rank) {
+                if t.bytes() > budget_bytes {
+                    diags.push(
+                        LintDiagnostic::error(
+                            LintCode::MemBudgetExceeded,
+                            format!(
+                                "a single {}-byte staged send to rank {} exceeds the whole \
+                                 {budget_bytes}-byte memory budget",
+                                t.bytes(),
+                                t.peer
+                            ),
+                            "split the transfer over more rounds or raise DDR_MEM_BUDGET — \
+                             the runtime will reject this deposit with MemoryPressure",
+                        )
+                        .at_rank(p.rank)
+                        .at_round(r),
+                    );
+                }
+            }
+        }
+    }
+
+    // Global cross-rank staged bytes per round, then the worst depth-window.
+    let rounds = plans.iter().map(|p| p.rounds.len()).max().unwrap_or(0);
+    if rounds == 0 {
+        return diags;
+    }
+    let mut per_round = vec![0u64; rounds];
+    for p in plans {
+        for (r, round) in p.rounds.iter().enumerate() {
+            per_round[r] +=
+                round.sends.iter().filter(|t| t.peer != p.rank).map(|t| t.bytes()).sum::<u64>();
+        }
+    }
+    let d = depth.max(1).min(rounds);
+    let mut sum: u64 = per_round.iter().take(d).sum();
+    let (mut peak, mut peak_start) = (sum, 0usize);
+    for i in d..rounds {
+        sum = sum + per_round[i] - per_round[i - d];
+        if sum > peak {
+            (peak, peak_start) = (sum, i + 1 - d);
+        }
+    }
+    if peak > budget_bytes {
+        diags.push(
+            LintDiagnostic::warning(
+                LintCode::MemBudgetExceeded,
+                format!(
+                    "a depth-{d} pipeline keeps up to {peak} staged bytes in flight \
+                     (rounds {peak_start}..{}), exceeding the {budget_bytes}-byte \
+                     memory budget",
+                    peak_start + d
+                ),
+                "the executor will degrade (shrink the effective pipeline depth toward 1); \
+                 lower the requested depth, shrink the chunks, or raise DDR_MEM_BUDGET",
+            )
+            .at_round(peak_start),
+        );
+    }
+    diags
+}
+
 /// Full static analysis of a mapping before execution: lint the layouts,
 /// recompute every rank's plan and lint each one, then cross-check the set.
 /// This is what [`ValidationPolicy::Audit`] runs inside
@@ -720,6 +818,58 @@ mod tests {
         assert_eq!(d.code, LintCode::PeakStagingExceeded);
         assert!(d.rank.is_some() && d.round.is_some());
         assert!(d.message.contains("95-byte bound"), "got: {}", d.message);
+    }
+
+    /// Cross-rank staged send bytes of round `r` across all plans — the
+    /// quantity `lint_memory` windows over.
+    fn round_total(plans: &[Plan], r: usize) -> u64 {
+        plans
+            .iter()
+            .filter_map(|p| p.rounds.get(r).map(|round| (p.rank, round)))
+            .flat_map(|(rank, round)| {
+                round.sends.iter().filter(move |t| t.peer != rank).map(|t| t.bytes())
+            })
+            .sum()
+    }
+
+    #[test]
+    fn memory_within_budget_is_clean_and_unbudgeted_is_silent() {
+        let plans = e1_plans();
+        let total: u64 = (0..2).map(|r| round_total(&plans, r)).sum();
+        assert!(lint_memory(&plans, 2, total + 1).is_empty());
+        assert!(lint_memory(&plans, 2, 0).is_empty(), "budget 0 means unbudgeted");
+    }
+
+    #[test]
+    fn pipelined_window_over_budget_warns_but_depth_one_fits() {
+        let plans = e1_plans();
+        let r0 = round_total(&plans, 0);
+        let r1 = round_total(&plans, 1);
+        // Budget admits either round alone but not both in flight at once.
+        let budget = r0.max(r1) + 1;
+        assert!(budget <= r0 + r1, "e1 rounds must both move data");
+        assert!(lint_memory(&plans, 1, budget).is_empty());
+        let diags = lint_memory(&plans, 2, budget);
+        assert_eq!(diags.len(), 1, "got {diags:?}");
+        assert_eq!(diags[0].code, LintCode::MemBudgetExceeded);
+        assert!(!has_errors(&diags), "window overflow degrades, it does not abort");
+        assert!(diags[0].message.contains("depth-2"), "got: {}", diags[0].message);
+    }
+
+    #[test]
+    fn transfer_larger_than_whole_budget_is_an_error() {
+        let plans = e1_plans();
+        let biggest = plans
+            .iter()
+            .flat_map(|p| {
+                p.rounds.iter().flat_map(move |r| r.sends.iter().filter(move |t| t.peer != p.rank))
+            })
+            .map(|t| t.bytes())
+            .max()
+            .unwrap();
+        let diags = lint_memory(&plans, 1, biggest - 1);
+        assert!(has_errors(&diags), "an inadmissible transfer must be an error: {diags:?}");
+        assert!(diags.iter().any(|d| d.code == LintCode::MemBudgetExceeded && d.rank.is_some()));
     }
 
     #[test]

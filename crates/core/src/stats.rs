@@ -38,6 +38,17 @@ pub struct RedistStats {
     pub integrity_recvs: u64,
     /// Bytes those failed receives would have delivered.
     pub lost_bytes: u64,
+    /// Pipeline depth the executor actually ran at, after clamping the
+    /// requested depth against the credit windows and the memory governor's
+    /// remaining budget (0 when depth selection did not run, e.g. stats
+    /// built analytically via `Plan::expected_stats`). Runtime-dependent:
+    /// differential comparisons normalize it out.
+    pub effective_depth: usize,
+    /// Rounds that could not be posted at the requested depth because flow
+    /// control clamped the window — `min(rounds, requested) − min(rounds,
+    /// effective)`. Zero when nothing was throttled. Runtime-dependent, like
+    /// `effective_depth`.
+    pub throttled_rounds: usize,
 }
 
 impl RedistStats {

@@ -163,12 +163,24 @@ fn run_path(case: &Case, zerocopy: bool, check: bool, strategy: Strategy) -> Vec
     })
 }
 
+/// Strip the runtime-dependent flow-control fields before comparing:
+/// `effective_depth`/`throttled_rounds` legitimately differ between depths,
+/// paths, and the analytic plan prediction — the *data-movement* accounting
+/// is what must agree exactly.
+fn plan_pure(s: RedistStats) -> RedistStats {
+    RedistStats { effective_depth: 0, throttled_rounds: 0, ..s }
+}
+
 /// Byte-identical receive buffers and identical stats across the two paths.
 fn assert_paths_agree(seed: u64, fast: &[RankRun], legacy: &[RankRun]) {
     for (r, (f, l)) in fast.iter().zip(legacy).enumerate() {
         assert_eq!(f.need, l.need, "seed {seed}: rank {r} buffers diverge between paths");
-        assert_eq!(f.stats, l.stats, "seed {seed}: rank {r} stats diverge between paths");
-        assert_eq!(f.stats, f.expected, "seed {seed}: rank {r} stats diverge from plan");
+        assert_eq!(
+            plan_pure(f.stats),
+            plan_pure(l.stats),
+            "seed {seed}: rank {r} stats diverge between paths"
+        );
+        assert_eq!(plan_pure(f.stats), f.expected, "seed {seed}: rank {r} stats diverge from plan");
     }
     // The legacy path must never have minted a zero-copy loan...
     for (r, l) in legacy.iter().enumerate() {
@@ -252,7 +264,11 @@ fn differential_holds_for_point_to_point_strategy() {
         let p2p = run_path(&case, true, false, Strategy::PointToPoint);
         for (r, (f, p)) in fast.iter().zip(&p2p).enumerate() {
             assert_eq!(f.need, p.need, "seed {seed}: rank {r} p2p buffer diverges");
-            assert_eq!(f.stats, p.stats, "seed {seed}: rank {r} p2p stats diverge");
+            assert_eq!(
+                plan_pure(f.stats),
+                plan_pure(p.stats),
+                "seed {seed}: rank {r} p2p stats diverge"
+            );
         }
     }
 }
@@ -297,10 +313,11 @@ fn assert_depths_agree(seed: u64, depth: usize, pipelined: &[RankRun], round_syn
             "seed {seed}: rank {r} buffers diverge between depth {depth} and depth 1"
         );
         assert_eq!(
-            p.stats, s.stats,
+            plan_pure(p.stats),
+            plan_pure(s.stats),
             "seed {seed}: rank {r} stats diverge between depth {depth} and depth 1"
         );
-        assert_eq!(p.stats, p.expected, "seed {seed}: rank {r} stats diverge from plan");
+        assert_eq!(plan_pure(p.stats), p.expected, "seed {seed}: rank {r} stats diverge from plan");
     }
 }
 
@@ -389,7 +406,7 @@ fn fault_plan_forces_staging_and_paths_still_agree() {
     for (r, ((na, ca, sa, counters), (nb, cb, sb, _))) in a.iter().zip(&b).enumerate() {
         assert_eq!(na, nb, "rank {r}: degraded buffers diverge");
         assert_eq!(ca, cb, "rank {r}: completion status diverges");
-        assert_eq!(sa, sb, "rank {r}: degraded stats diverge");
+        assert_eq!(plan_pure(*sa), plan_pure(*sb), "rank {r}: degraded stats diverge");
         // The fault plan must have forced staging even with zerocopy requested.
         assert_eq!(counters.zerocopy_msgs, 0, "rank {r}: zerocopy engaged under a fault plan");
     }

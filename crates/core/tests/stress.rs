@@ -494,6 +494,201 @@ fn pipeline_chaos_soak_recovers_with_two_rounds_in_flight() {
     assert!(retransmitted >= 6, "only {retransmitted}/12 corrupt seeds recovered cleanly");
 }
 
+// ---------------------------------------------------------------------------
+// Backpressure chaos soak: faults under 1-credit windows and a tiny budget.
+// ---------------------------------------------------------------------------
+
+/// Flow control must degrade the pipeline, not change its answer: with a
+/// 1-message credit window the executor clamps the requested depth-2
+/// pipeline to 1 and reports the throttling; with a memory budget below the
+/// depth-2 window's analytic peak the governor does the same. Either way
+/// the exchange completes with exact bytes.
+#[test]
+fn flow_control_clamps_pipeline_depth_and_reports_throttling() {
+    let n = 4usize;
+    // Big enough that redistribution bytes dwarf the setup collectives: each
+    // rank stages ~3 KiB of cross-rank sends per round, so the depth-2
+    // window's analytic peak is ~24 KiB globally and depth-1's is ~12 KiB.
+    let domain = Block::d2([0, 0], [64, 64]).unwrap();
+    let step = move |c: &minimpi::Comm| {
+        let r = c.rank();
+        let owned =
+            vec![slab(&domain, 1, 2 * n, r).unwrap(), slab(&domain, 1, 2 * n, r + n).unwrap()];
+        let need = slab(&domain, 0, n, r).unwrap();
+        let desc = Descriptor::for_type::<u64>(n, DataKind::D2).unwrap();
+        let plan = desc.setup_data_mapping_with(c, &owned, need, ValidationPolicy::Strict).unwrap();
+        let data: Vec<Vec<u64>> =
+            owned.iter().map(|b| b.coords().map(cell_value).collect()).collect();
+        let refs: Vec<&[u64]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![0u64; need.count() as usize];
+        let (report, stats) =
+            plan.reorganize_with_stats_depth(c, &refs, &mut out, Strategy::Alltoallw, 2).unwrap();
+        assert!(report.is_complete());
+        for (got, co) in out.iter().zip(need.coords()) {
+            assert_eq!(*got, cell_value(co), "rank {r}");
+        }
+        (stats.effective_depth, stats.throttled_rounds)
+    };
+
+    // Credit clamp: a 1-message window cannot keep 2 rounds in flight.
+    let by_credits = Universe::builder().flow_control(1, 1 << 20).run(n, step);
+    // Governor clamp: a 16 KiB budget sits between the depth-1 and depth-2
+    // analytic peaks, so the executor must shrink the window to fit.
+    let by_budget = Universe::builder().mem_budget(16 << 10).run(n, step);
+    for (clamp, out) in [("credits", by_credits), ("budget", by_budget)] {
+        for (r, got) in out.iter().enumerate() {
+            assert_eq!(
+                *got,
+                (1, 1),
+                "{clamp} clamp rank {r}: expected effective depth 1 with 1 throttled round"
+            );
+        }
+    }
+}
+
+/// 24-seed chaos soak with flow control at its meanest settings: 1-message
+/// credit windows, a 512-byte pair window, and a memory budget a few KiB
+/// above one round's global staging footprint — every deposit of the run
+/// flows through a nearly-closed gate. Even seeds kill a rank mid-exchange
+/// (zero-copy on, so shedding and loan revocation interleave with the
+/// recovery); odd seeds corrupt an in-flight message under checksums, so
+/// the NACK/retransmit path runs with the retransmit deposits themselves
+/// metered. Whatever the fault: byte-identical output against an
+/// unconstrained, unfaulted reference; the governor's measured peak stays
+/// within budget; and `MemoryPressure` never escapes — backpressure
+/// degrades, it does not abort.
+#[test]
+fn backpressure_chaos_soak_stays_byte_identical_within_budget() {
+    let n = 4usize;
+    let domain = Block::d2([0, 0], [16, 16]).unwrap();
+    const BUDGET: usize = 16 << 10;
+
+    // Unconstrained, unfaulted reference for the epoch-1 bytes.
+    let reference = Universe::builder().timeout(Duration::from_secs(30)).run(n, move |comm| {
+        pipelined_step(comm, &domain).unwrap();
+        let c = comm.reconfigure().unwrap();
+        pipelined_step(&c, &domain).unwrap()
+    });
+
+    // Kill-op bound probed under the SAME flow constraints (backpressure
+    // changes op interleavings, not op counts — but probe like-for-like).
+    let max_op = Universe::builder()
+        .flow_control(1, 512)
+        .mem_budget(BUDGET)
+        .run(n, move |comm| {
+            pipelined_step(comm, &domain).unwrap();
+            comm.op_count()
+        })
+        .into_iter()
+        .min()
+        .unwrap();
+
+    let mut recovered_clean = 0u32;
+    for seed in 0..24u64 {
+        let start = Instant::now();
+        if seed % 2 == 0 {
+            // Kill arm: a seeded casualty while every sender sits behind a
+            // 1-credit window; parked senders must unpark into PeerDead,
+            // reconfigure's sweep must hand fenced credits back exactly,
+            // and the respawned epoch must redistribute bit-for-bit.
+            let plan = FaultPlan::seeded(seed, n, max_op);
+            let out = Universe::builder()
+                .flow_control(1, 512)
+                .mem_budget(BUDGET)
+                .zerocopy(true)
+                .zerocopy_threshold(0)
+                .check(seed % 4 == 0)
+                .timeout(Duration::from_secs(30))
+                .fault_plan(plan)
+                .run(n, move |comm| {
+                    let rec = if comm.epoch() == 0 {
+                        comm.set_timeout(Duration::from_millis(800));
+                        let res = pipelined_step(comm, &domain);
+                        if let Err(DdrError::Mpi(MpiError::MemoryPressure { .. })) = &res {
+                            panic!("seed {seed}: MemoryPressure escaped under faults");
+                        }
+                        if !comm.is_alive(comm.rank()) {
+                            return None;
+                        }
+                        comm.set_timeout(Duration::from_secs(30));
+                        match comm.reconfigure() {
+                            Ok(c) => Some(c),
+                            Err(_) => return None,
+                        }
+                    } else {
+                        None // respawned replacement, already in epoch 1
+                    };
+                    let c = rec.as_ref().unwrap_or(comm);
+                    assert_eq!(c.epoch(), 1, "seed {seed}: recovery must land in epoch 1");
+                    let bytes = pipelined_step(c, &domain).unwrap();
+                    assert!(
+                        c.mem_high_water() <= BUDGET,
+                        "seed {seed}: governor peak {} exceeded the {BUDGET}-byte budget",
+                        c.mem_high_water()
+                    );
+                    Some(bytes)
+                });
+            let finished = out.iter().filter(|o| o.is_some()).count();
+            assert!(finished >= n - 1, "seed {seed}: at most one original thread may die");
+            for (r, res) in out.iter().enumerate() {
+                if let Some(bytes) = res {
+                    assert_eq!(
+                        bytes, &reference[r],
+                        "seed {seed} rank {r}: constrained recovery bytes differ"
+                    );
+                }
+            }
+        } else {
+            // Corrupt arm: checksums on, so the NACK/retransmit path runs
+            // with its re-sent deposits charged against the same windows.
+            let src = (seed as usize / 2) % n;
+            let dest = (src + 1 + (seed as usize / 3) % (n - 1)) % n;
+            let occurrence = (seed / 5) % 4;
+            let plan = FaultPlan::new(seed).corrupt_message(src, dest, None, occurrence);
+            let out = Universe::builder()
+                .flow_control(1, 512)
+                .mem_budget(BUDGET)
+                .checksum(true)
+                .check(seed % 3 == 0)
+                .timeout(Duration::from_secs(20))
+                .fault_plan(plan)
+                .run(n, move |comm| {
+                    let res = pipelined_step(comm, &domain);
+                    (res, comm.mem_high_water(), comm.flow_counters())
+                });
+            for (r, (res, high_water, _)) in out.iter().enumerate() {
+                assert!(
+                    *high_water <= BUDGET,
+                    "seed {seed} rank {r}: governor peak {high_water} exceeded the budget"
+                );
+                match res {
+                    Ok(bytes) => {
+                        assert_eq!(bytes, &reference[r], "seed {seed} rank {r}: bytes differ");
+                    }
+                    Err(DdrError::Mpi(MpiError::MemoryPressure { .. })) => {
+                        panic!("seed {seed} rank {r}: MemoryPressure escaped the ladder")
+                    }
+                    Err(DdrError::Mpi(MpiError::IntegrityFailure { .. }))
+                    | Err(DdrError::Mpi(MpiError::PeerDead { .. }))
+                    | Err(DdrError::Mpi(MpiError::Timeout { .. }))
+                    | Err(DdrError::Incomplete(_)) => {}
+                    other => panic!("seed {seed} rank {r}: unexpected outcome {other:?}"),
+                }
+            }
+            if out.iter().all(|(r, _, _)| r.is_ok()) {
+                recovered_clean += 1;
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(15),
+            "seed {seed}: backpressured resolution must not burn the watchdog"
+        );
+    }
+    // The corrupt arm must genuinely have recovered to clean bytes through
+    // the constrained windows on a decent share of seeds.
+    assert!(recovered_clean >= 6, "only {recovered_clean}/12 corrupt seeds recovered cleanly");
+}
+
 /// End-to-end elasticity under the deadlock checker AND under zero-copy: a
 /// rank disappears mid-redistribution (after the mapping, before its
 /// exchange — so with zero-copy active its peers' loans must be revoked,

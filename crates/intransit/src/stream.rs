@@ -68,6 +68,11 @@ pub struct FrameStats {
     /// *arrived* — retrying the receive cannot recover it, so an integrity
     /// loss never burns the retry budget.
     pub corrupted: u64,
+    /// Producer-side admission-control stalls: sends that found the frame
+    /// window full and waited for a consumer ack (see
+    /// [`crate::FrameWindow`]). Zero on pure consumers; populated via
+    /// [`crate::FrameWindow::stats`] when merging whole-resource summaries.
+    pub backpressured: u64,
 }
 
 impl fmt::Display for FrameStats {
@@ -75,14 +80,15 @@ impl fmt::Display for FrameStats {
         write!(
             f,
             "{} received, {} skipped ({} from dead sources, {} to reconfiguration, \
-             {} corrupt), {} retries, {} stale",
+             {} corrupt), {} retries, {} stale, {} backpressured",
             self.received,
             self.skipped,
             self.dead_sources,
             self.reconfigured,
             self.corrupted,
             self.retries,
-            self.stale
+            self.stale,
+            self.backpressured
         )
     }
 }
@@ -97,6 +103,7 @@ impl FrameStats {
         self.stale += other.stale;
         self.reconfigured += other.reconfigured;
         self.corrupted += other.corrupted;
+        self.backpressured += other.backpressured;
     }
 }
 
@@ -419,6 +426,7 @@ mod tests {
             stale: 0,
             reconfigured: 1,
             corrupted: 0,
+            backpressured: 4,
         };
         let b = FrameStats {
             received: 5,
@@ -428,14 +436,17 @@ mod tests {
             stale: 2,
             reconfigured: 0,
             corrupted: 1,
+            backpressured: 1,
         };
         a.merge(&b);
         assert_eq!(a.received, 8);
         assert_eq!(a.stale, 2);
         assert_eq!(a.corrupted, 1);
+        assert_eq!(a.backpressured, 5);
         let s = a.to_string();
         assert!(s.contains("8 received") && s.contains("1 skipped"), "{s}");
         assert!(s.contains("1 corrupt"), "{s}");
+        assert!(s.contains("5 backpressured"), "{s}");
     }
 
     /// A corrupt frame is an *arrived-but-unusable* loss: the receiver must

@@ -559,8 +559,13 @@ impl Comm {
             _span: span,
         };
 
-        // Send phase (buffered, never blocks). A deposit only fails if this
-        // rank itself is dead — that is a hard error even under salvage.
+        // Send phase (buffered; blocks only on the flow-control gate when a
+        // pair's credit window or the memory budget is full — the executor
+        // in ddr-core clamps pipeline depth to the credit window precisely
+        // so these eager deposits cannot deadlock). A deposit fails if this
+        // rank itself is dead — a hard error even under salvage — or with a
+        // structured Timeout/MemoryPressure if a full gate makes no
+        // progress for the whole watchdog window.
         for (d, dt) in send_types.iter().enumerate() {
             if d == me || dt.packed_len() == 0 {
                 continue;

@@ -5,6 +5,7 @@ use crate::datatype::Datatype;
 use crate::elastic::ElasticState;
 use crate::error::{Error, Result};
 use crate::fault::{mix64, FaultPlan, FaultState, Keystream, MessageVerdict};
+use crate::flow::{AcquireCtx, FlowCharge, FlowConfig, FlowCounters, FlowLedger};
 use crate::integrity::{checksum64, stream_seed, Checksum, IntegrityCells, IntegrityCounters};
 use crate::life::{Liveness, ShrinkBarrier};
 use crate::mailbox::{Envelope, Mailbox, MsgKey, Payload, TakeOutcome};
@@ -94,6 +95,9 @@ pub(crate) struct WorldState {
     /// Integrity-plane counters (verifications, detections, retransmits,
     /// exhaustions).
     pub integrity: IntegrityCells,
+    /// Flow-control ledger: per-pair credit windows, the memory governor,
+    /// and the sender parking gate (see [`crate::flow`]).
+    pub flow: Arc<FlowLedger>,
 }
 
 impl WorldState {
@@ -110,9 +114,11 @@ impl WorldState {
         retransmit_max: Option<u32>,
         retransmit_backoff: Option<Duration>,
         sched_seed: Option<u64>,
+        flow_cfg: FlowConfig,
     ) -> Self {
+        let flow = Arc::new(FlowLedger::new(n, flow_cfg));
         WorldState {
-            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            mailboxes: (0..n).map(|i| Mailbox::with_flow(i, Arc::clone(&flow))).collect(),
             liveness: Liveness::new(n),
             shrink: ShrinkBarrier::default(),
             faults: fault_plan.map(FaultState::new),
@@ -124,7 +130,7 @@ impl WorldState {
             default_timeout,
             zerocopy: zerocopy.unwrap_or_else(zerocopy_env_default),
             zc_threshold: zc_threshold.unwrap_or_else(crate::zerocopy::zc_threshold_env_default),
-            pool: BufferPool::default(),
+            pool: BufferPool::with_flow(Arc::clone(&flow)),
             transport: TransportCells::default(),
             elastic: ElasticState::new(n),
             reconfig: ShrinkBarrier::default(),
@@ -135,6 +141,7 @@ impl WorldState {
             retransmit_backoff: retransmit_backoff
                 .unwrap_or_else(crate::integrity::retransmit_backoff_env_default),
             integrity: IntegrityCells::default(),
+            flow,
         }
     }
 
@@ -164,7 +171,15 @@ impl WorldState {
     /// (see [`FaultState::on_message_zc`]), so the fastest path stays
     /// exercised under corruption faults.
     pub fn zerocopy_active(&self) -> bool {
-        self.zerocopy && self.faults.as_ref().is_none_or(|f| !f.forces_staging())
+        let base = self.zerocopy && self.faults.as_ref().is_none_or(|f| !f.forces_staging());
+        // First rung of the degradation ladder: past half the memory budget,
+        // shed loans to the staged path — staged traffic is metered by the
+        // governor and recycled through the pool, loans are not.
+        if base && self.flow.shedding_zerocopy() {
+            self.flow.note_zerocopy_shed();
+            return false;
+        }
+        base
     }
 
     pub fn is_alive(&self, world_rank: usize) -> bool {
@@ -178,6 +193,9 @@ impl WorldState {
             for mb in &self.mailboxes {
                 mb.interrupt();
             }
+            // Senders parked on the credit gate re-run their liveness probe
+            // on wake, so a death releases them with PeerDead immediately.
+            self.flow.wake_all();
             self.shrink.on_death(&self.liveness);
             self.reconfig.on_death(&self.liveness);
         }
@@ -567,6 +585,49 @@ impl Comm {
         }
     }
 
+    /// Acquire flow-control credits for one envelope to `dest`: `bytes`
+    /// against the pair's byte window, `mem` against the memory governor
+    /// (plus one message credit, always). Blocks — boundedly — when the
+    /// window or budget is full; a peer death, the sender's own fault-kill,
+    /// or an epoch bump during the wait unparks with the matching error.
+    /// The mailbox releases the returned charge when the envelope is popped
+    /// or swept.
+    fn acquire_charge(
+        &self,
+        dest: usize,
+        key_tag: u64,
+        bytes: usize,
+        mem: usize,
+    ) -> Result<FlowCharge> {
+        self.sched_point("credit");
+        let src_world = self.world_rank();
+        let dst_world = self.members[dest];
+        let ctx = AcquireCtx {
+            src_world,
+            dst_world,
+            bytes,
+            mem,
+            timeout: self.timeout.get(),
+            rank_local: self.rank,
+            dest_local: dest,
+            tag: key_tag,
+            comm_id: self.comm_id,
+        };
+        self.world.flow.acquire(&ctx, || {
+            if !self.world.is_alive(src_world) {
+                return Some(Error::PeerDead { rank: self.rank });
+            }
+            if !self.world.is_alive(dst_world) {
+                return Some(Error::PeerDead { rank: dest });
+            }
+            let world_epoch = self.world.epoch();
+            if world_epoch != self.epoch {
+                return Some(Error::StaleEpoch { comm_epoch: self.epoch, world_epoch });
+            }
+            None
+        })
+    }
+
     pub(crate) fn deposit_to(&self, dest: usize, key_tag: u64, payload: Vec<u8>) -> Result<()> {
         self.deposit_sig(dest, key_tag, payload, None)
     }
@@ -631,6 +692,10 @@ impl Comm {
                 }
             }
         }
+        // Credit gate, after the fault verdict: a dropped or fenced message
+        // never reserves anything, so there is no reserve-without-deposit
+        // window. Staged payloads charge the governor for their full length.
+        let charge = self.acquire_charge(dest, key_tag, payload.len(), payload.len())?;
         self.world.transport.staged_msgs.fetch_add(1, Ordering::Relaxed);
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
         self.world.mailboxes[self.members[dest]].deposit(
@@ -643,6 +708,7 @@ impl Comm {
                 taints: Vec::new(),
                 clock,
                 type_sig,
+                charge: Some(charge),
             },
         );
         Ok(())
@@ -696,6 +762,9 @@ impl Comm {
         self.fault_tick()?;
         let (clock, type_sig) = self.send_stamp(None, payload.len());
         let key: MsgKey = (self.comm_id, self.rank, key_tag);
+        // Control traffic is uncharged (`charge: None`): verdicts and NACKs
+        // are tiny, and gating them behind the very windows they exist to
+        // drain could deadlock the recovery protocol.
         self.world.mailboxes[self.members[dest]].deposit(
             key,
             Envelope {
@@ -706,6 +775,7 @@ impl Comm {
                 taints: Vec::new(),
                 clock,
                 type_sig,
+                charge: None,
             },
         );
         Ok(())
@@ -730,6 +800,11 @@ impl Comm {
         // Same op accounting as `deposit_to`, so op positions (the fault
         // plan coordinate system) are identical across wire paths.
         self.fault_tick()?;
+        // A loan occupies a mailbox slot but stages no bytes: it charges one
+        // message credit and nothing against the byte window or governor.
+        // Acquired before the loan is created/registered so a gate failure
+        // leaves no half-registered loan behind.
+        let charge = self.acquire_charge(dest, key_tag, 0, 0)?;
         // Lend-time checksum: walk the selection's byte runs in packed order
         // through the streaming hasher, which equals hashing the packed form
         // — so a receiver can verify its claimed copy without the sender
@@ -774,6 +849,7 @@ impl Comm {
                 taints,
                 clock,
                 type_sig,
+                charge: Some(charge),
             },
         );
         Ok(cell)
@@ -863,6 +939,15 @@ impl Comm {
                     continue;
                 }
             }
+            // Watchdog deferral: a sender parked on the credit gate or the
+            // governor is applying backpressure, not deadlocked — re-arm the
+            // deadline instead of reporting a false timeout. Bounded because
+            // the sender's own gate wait is bounded (it either acquires,
+            // errors, or leaves the parked state).
+            if matches!(o, TakeOutcome::TimedOut) && self.world.flow.rank_in_wait(src_world) {
+                self.world.flow.note_watchdog_defer();
+                continue;
+            }
             break o;
         };
         drop(wait);
@@ -931,6 +1016,36 @@ impl Comm {
         self.world.zerocopy_active()
     }
 
+    /// Flow-control counters so far in this universe: credit waits, total
+    /// stall time, watchdog deferrals, slow-peer advisories, zero-copy
+    /// sheds, budget denials, pool trims.
+    pub fn flow_counters(&self) -> FlowCounters {
+        self.world.flow.counters()
+    }
+
+    /// The universe's resolved flow-control configuration (builder or
+    /// `DDR_MAILBOX_CREDITS` / `DDR_MAILBOX_BYTES` / `DDR_MEM_BUDGET`).
+    pub fn flow_config(&self) -> FlowConfig {
+        self.world.flow.config()
+    }
+
+    /// Configured memory budget in bytes (0 = unlimited).
+    pub fn mem_budget(&self) -> usize {
+        self.world.flow.config().mem_budget
+    }
+
+    /// Current memory-governor occupancy in bytes (staged mailbox payloads
+    /// plus pool-retained capacity).
+    pub fn mem_usage(&self) -> usize {
+        self.world.flow.mem_used()
+    }
+
+    /// Largest memory-governor occupancy observed so far — the measured
+    /// peak staging footprint. With a budget configured, never exceeds it.
+    pub fn mem_high_water(&self) -> usize {
+        self.world.flow.mem_high_water()
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------
@@ -994,6 +1109,15 @@ impl Comm {
                     ddrtrace::instant_arg("minimpi", "fenced_msg", "src", env.src as i64);
                     continue;
                 }
+            }
+            // Any-source watchdog deferral: if any live peer is parked on
+            // the flow gate, its message may still be coming — backpressure
+            // must not read as a timeout.
+            if matches!(o, TakeOutcome::TimedOut)
+                && self.world.flow.any_other_in_wait(self.world_rank())
+            {
+                self.world.flow.note_watchdog_defer();
+                continue;
             }
             break o;
         };

@@ -90,6 +90,21 @@
 //! When checking is off (the default) the cost is one `Option` branch per
 //! operation and no detector thread exists.
 //!
+//! ## Flow control and memory governance
+//!
+//! Sends are eager but no longer unbounded: every `(sender, receiver)` pair
+//! has a credit window ([`FlowConfig`], `DDR_MAILBOX_CREDITS` /
+//! `DDR_MAILBOX_BYTES`, or [`UniverseBuilder::flow_control`]) and a
+//! process-global **memory governor** meters staged bytes against
+//! `DDR_MEM_BUDGET` ([`UniverseBuilder::mem_budget`]). Overloaded senders
+//! park on a credit gate — observable via [`Comm::flow_counters`] and never
+//! mistaken for a deadlock by the watchdog or the wait-for-graph detector —
+//! and the runtime degrades in stages (shed zero-copy → shrink pipeline
+//! depth → trim the pool) before the terminal [`Error::MemoryPressure`].
+//! Credits ride on the envelopes themselves, so the epoch sweep performed by
+//! [`Comm::reconfigure`] restores them exactly: no credit leaks or
+//! duplicates across a membership change.
+//!
 //! ## Deterministic schedule exploration
 //!
 //! `Universe::builder().sched_seed(s)` (or `DDR_SCHED_SEED=s`) arms a seeded
@@ -127,6 +142,7 @@ mod elastic;
 pub mod env;
 mod error;
 mod fault;
+mod flow;
 mod integrity;
 mod kernels;
 mod life;
@@ -149,6 +165,7 @@ pub use datatype::{ByteRuns, Datatype, Subarray};
 pub use elastic::RecoveryCounters;
 pub use error::{Error, Result};
 pub use fault::{FaultAction, FaultPlan, MessageMatcher};
+pub use flow::{FlowConfig, FlowCounters};
 pub use integrity::IntegrityCounters;
 pub use kernels::PackCounters;
 pub use pod::{bytes_of, bytes_of_mut, Pod};

@@ -1,8 +1,9 @@
 //! Per-rank message stores with blocking, tag-matched retrieval.
 
+use crate::flow::{FlowCharge, FlowLedger};
 use crate::zerocopy::ZcHandle;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Key identifying a message stream: (communicator id, sender's rank within
@@ -46,6 +47,12 @@ pub(crate) struct Envelope {
     /// Sender's datatype signature, stamped when checking is enabled and
     /// verified against the receiver's declared expectation.
     pub type_sig: Option<crate::check::TypeSig>,
+    /// Flow-control credits this envelope holds while queued. Released by
+    /// the mailbox exactly once — when the envelope is popped for delivery
+    /// or discarded by the epoch sweep — which is what makes credit grants
+    /// "piggyback" on delivery and makes the sweep an exact credit reset
+    /// across [`crate::Comm::reconfigure`]. `None` for control traffic.
+    pub charge: Option<FlowCharge>,
 }
 
 #[derive(Default)]
@@ -63,19 +70,53 @@ struct Queues {
 pub(crate) struct Mailbox {
     queues: Mutex<Queues>,
     cv: Condvar,
+    /// World rank that owns (receives from) this mailbox — the credit
+    /// pair's column when releasing charges.
+    owner: usize,
+    /// The universe's flow ledger; `None` in bare unit tests.
+    flow: Option<Arc<FlowLedger>>,
 }
 
 impl Mailbox {
+    /// A mailbox wired to the universe's flow ledger: every charged
+    /// envelope it releases returns its credits to `flow`.
+    pub fn with_flow(owner: usize, flow: Arc<FlowLedger>) -> Self {
+        Mailbox { owner, flow: Some(flow), ..Default::default() }
+    }
+
     fn lock(&self) -> MutexGuard<'_, Queues> {
         self.queues.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Return the envelope's credits (if any) to the ledger. Called exactly
+    /// once per charged envelope: on pop-for-delivery or on epoch sweep.
+    /// `take()` makes a second call a no-op by construction.
+    fn settle(&self, env: &mut Envelope) {
+        if let Some(charge) = env.charge.take() {
+            if let Some(flow) = &self.flow {
+                flow.release(charge, self.owner);
+            }
+        }
+    }
+
     pub fn deposit(&self, key: MsgKey, env: Envelope) {
+        // The sender acquired this envelope's credits *before* depositing,
+        // so the queue depth per (sender, receiver) pair can never exceed
+        // the configured window.
+        #[cfg(debug_assertions)]
+        if let (Some(flow), Some(charge)) = (&self.flow, env.charge.as_ref()) {
+            debug_assert!(
+                flow.pair_within_cap(charge.src_world, self.owner),
+                "deposit from world rank {} would exceed the credit cap",
+                charge.src_world
+            );
+        }
         let mut q = self.lock();
         q.by_key.entry(key).or_default().push_back(env);
         drop(q);
-        // Receivers may be waiting on any key; notify them all. Contention is
-        // bounded: only the owning rank ever blocks on this mailbox.
+        // Receivers may be waiting on any key; notify them all. The queue
+        // itself is bounded by the credit window: a sender without credits
+        // parks on the flow gate and never reaches this deposit.
         self.cv.notify_all();
     }
 
@@ -111,7 +152,9 @@ impl Mailbox {
         let deadline = Instant::now() + timeout;
         let mut q = self.lock();
         loop {
-            if let Some(env) = Self::pop(&mut q, key) {
+            if let Some(mut env) = Self::pop(&mut q, key) {
+                drop(q);
+                self.settle(&mut env);
                 return TakeOutcome::Delivered(env);
             }
             if abort() {
@@ -132,7 +175,11 @@ impl Mailbox {
             if res.timed_out() {
                 // Re-check once after timeout in case of a race with deposit.
                 return match Self::pop(&mut q, key) {
-                    Some(env) => TakeOutcome::Delivered(env),
+                    Some(mut env) => {
+                        drop(q);
+                        self.settle(&mut env);
+                        TakeOutcome::Delivered(env)
+                    }
                     None if abort() => TakeOutcome::Aborted,
                     None => TakeOutcome::TimedOut,
                 };
@@ -151,7 +198,9 @@ impl Mailbox {
 
     /// Non-blocking probe-and-take.
     pub fn try_take(&self, key: MsgKey) -> Option<Envelope> {
-        Self::pop(&mut self.lock(), key)
+        let mut env = Self::pop(&mut self.lock(), key)?;
+        self.settle(&mut env);
+        Some(env)
     }
 
     /// Drop every queued envelope whose epoch is not `current_epoch` and
@@ -164,10 +213,14 @@ impl Mailbox {
         let mut q = self.lock();
         let mut fenced = 0u64;
         q.by_key.retain(|_, dq| {
-            dq.retain(|env| {
+            dq.retain_mut(|env| {
                 let keep = env.epoch == current_epoch;
                 if !keep {
                     fenced += 1;
+                    // Discarding a stale envelope returns its credits: the
+                    // sweep is the epoch-fenced credit reset, so a
+                    // reconfigure can neither leak nor duplicate credits.
+                    self.settle(env);
                 }
                 keep
             });
@@ -215,7 +268,9 @@ impl Mailbox {
         let deadline = Instant::now() + timeout;
         let mut q = self.lock();
         loop {
-            if let Some(env) = scan(&mut q, comm_id, tag, size, start) {
+            if let Some(mut env) = scan(&mut q, comm_id, tag, size, start) {
+                drop(q);
+                self.settle(&mut env);
                 return TakeOutcome::Delivered(env);
             }
             if abort() {
@@ -234,7 +289,11 @@ impl Mailbox {
                 // One last scan after the final wakeup, in case a deposit
                 // raced with the timeout.
                 return match scan(&mut q, comm_id, tag, size, start) {
-                    Some(env) => TakeOutcome::Delivered(env),
+                    Some(mut env) => {
+                        drop(q);
+                        self.settle(&mut env);
+                        TakeOutcome::Delivered(env)
+                    }
                     None if abort() => TakeOutcome::Aborted,
                     None => TakeOutcome::TimedOut,
                 };
@@ -278,6 +337,7 @@ mod tests {
             taints: Vec::new(),
             clock: None,
             type_sig: None,
+            charge: None,
         }
     }
 

@@ -22,6 +22,7 @@
 //!   run copies of large exchanges out across cores.
 
 use crate::datatype::Datatype;
+use crate::flow::FlowLedger;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
@@ -243,9 +244,19 @@ const POOL_MAX_BUFFERS: usize = 64;
 #[derive(Default)]
 pub(crate) struct BufferPool {
     inner: Mutex<PoolInner>,
+    /// Memory governor: parked free-list capacity is metered against the
+    /// universe budget, and retention past it is denied (buffers are freed
+    /// instead — the trim stage of the degradation ladder). `None` only in
+    /// bare unit tests.
+    flow: Option<Arc<FlowLedger>>,
 }
 
 impl BufferPool {
+    /// A pool whose retained capacity is metered by `flow`.
+    pub fn with_flow(flow: Arc<FlowLedger>) -> Self {
+        BufferPool { flow: Some(flow), ..Default::default() }
+    }
+
     fn lock(&self) -> MutexGuard<'_, PoolInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -268,6 +279,12 @@ impl BufferPool {
             inner.free_bytes -= buf.capacity();
             inner.stats.reuse_hits += 1;
             buf.clear();
+            drop(inner);
+            // The buffer leaves the free list: return its metered capacity
+            // to the governor (a staged deposit will re-meter the payload).
+            if let Some(flow) = &self.flow {
+                flow.mem_sub(buf.capacity());
+            }
             return buf;
         }
         drop(inner);
@@ -283,8 +300,17 @@ impl BufferPool {
             return;
         }
         buf.clear();
-        let mut inner = self.lock();
         let cap = buf.capacity();
+        // Governor gate on retention: parked capacity counts against the
+        // budget; a denial frees the buffer to the allocator instead.
+        if let Some(flow) = &self.flow {
+            if !flow.pool_try_retain(cap) {
+                self.lock().stats.trimmed_bytes += cap as u64;
+                ddrtrace::instant_arg("minimpi", "pool_trim", "bytes", cap as i64);
+                return;
+            }
+        }
+        let mut inner = self.lock();
         let at = inner.free.partition_point(|b| b.capacity() < cap);
         inner.free.insert(at, buf);
         inner.free_bytes += cap;
@@ -302,11 +328,19 @@ impl BufferPool {
                 None => break,
             }
         }
+        drop(inner);
+        // Capacity evicted by the demand-decay trim is no longer parked:
+        // give its metered bytes back to the governor.
+        if trimmed > 0 {
+            if let Some(flow) = &self.flow {
+                flow.mem_sub(trimmed as usize);
+            }
+        }
         if ddrtrace::enabled() {
             if trimmed > 0 {
                 ddrtrace::instant_arg("minimpi", "pool_trim", "bytes", trimmed as i64);
             }
-            ddrtrace::counter("pool_free_bytes", inner.free_bytes as i64);
+            ddrtrace::counter("pool_free_bytes", self.lock().free_bytes as i64);
         }
     }
 
